@@ -1,0 +1,51 @@
+//! Benches for experiments A1/A2 — the self-loop and δ ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_graph::BalancingGraph;
+use dlb_harness::{experiments, init, GraphSpec, Runner, SchemeSpec};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tables");
+    group.sample_size(10);
+    group.bench_function("self_loops_quick", |b| {
+        b.iter(|| {
+            black_box(
+                experiments::ablation_self_loops(true)
+                    .expect("a1 runs")
+                    .num_rows(),
+            )
+        });
+    });
+    group.bench_function("delta_quick", |b| {
+        b.iter(|| black_box(experiments::ablation_delta(true).expect("a2 runs").num_rows()));
+    });
+    group.finish();
+}
+
+fn bench_laziness_cost(c: &mut Criterion) {
+    // How much does laziness (more self-loops, hence more ports) cost
+    // per step? Fixed 500 steps of rotor-router at increasing d°.
+    let spec = GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 };
+    let graph = spec.build().expect("graph builds");
+    let n = graph.num_nodes();
+    let initial = init::point_mass(n, 50 * n as i64);
+    let runner = Runner::default();
+
+    let mut group = c.benchmark_group("ablation_laziness_cost");
+    for d_self in [0usize, 4, 8, 12] {
+        let gp = BalancingGraph::with_self_loops(graph.clone(), d_self).expect("valid d°");
+        group.bench_with_input(BenchmarkId::new("d_self", d_self), &d_self, |b, _| {
+            b.iter(|| {
+                let out = runner
+                    .run_for(&gp, &SchemeSpec::RotorRouter, &initial, 500)
+                    .expect("run succeeds");
+                black_box(out.final_discrepancy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_laziness_cost);
+criterion_main!(benches);

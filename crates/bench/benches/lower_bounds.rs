@@ -1,0 +1,75 @@
+//! Benches for experiments E5/E6/E7 — the Section 4 lower bounds.
+//!
+//! Each lower-bound construction is benched twice: instance
+//! construction (BFS labelling, flow assignment) and orbit/fixed-point
+//! verification by simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_bounds::{thm41, thm42, thm43};
+use dlb_core::Engine;
+use dlb_graph::generators;
+use dlb_harness::experiments;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_tables");
+    group.sample_size(10);
+    group.bench_function("thm41_quick", |b| {
+        b.iter(|| black_box(experiments::thm41_lower(true).expect("e5 runs").num_rows()));
+    });
+    group.bench_function("thm42_quick", |b| {
+        b.iter(|| black_box(experiments::thm42_stateless(true).expect("e6 runs").num_rows()));
+    });
+    group.bench_function("thm43_quick", |b| {
+        b.iter(|| black_box(experiments::thm43_rotor_cycle(true).expect("e7 runs").num_rows()));
+    });
+    group.finish();
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound_constructions");
+    for n in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("thm41_cycle", n), &n, |b, &n| {
+            let graph = generators::cycle(n).expect("cycle builds");
+            b.iter(|| {
+                let inst = thm41::instance(graph.clone(), 0).expect("instance builds");
+                black_box(inst.discrepancy())
+            });
+        });
+        let odd = n + 1;
+        group.bench_with_input(BenchmarkId::new("thm43_cycle", odd), &odd, |b, &odd| {
+            b.iter(|| {
+                let inst = thm43::instance_on_cycle(odd).expect("instance builds");
+                black_box(inst.discrepancy())
+            });
+        });
+    }
+    group.bench_function("thm42_instance_d16", |b| {
+        b.iter(|| black_box(thm42::instance(96, 16).expect("instance builds").trap_load));
+    });
+    group.finish();
+}
+
+fn bench_orbit_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm43_orbit_steps");
+    group.sample_size(10);
+    for n in [65usize, 257] {
+        group.bench_with_input(BenchmarkId::new("steps_2n", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut inst = thm43::instance_on_cycle(n).expect("instance builds");
+                let mut engine = Engine::new(inst.graph.clone(), inst.initial.clone());
+                engine.run(&mut inst.balancer, 2 * n).expect("orbit runs");
+                black_box(engine.loads().discrepancy())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_constructions,
+    bench_orbit_simulation
+);
+criterion_main!(benches);

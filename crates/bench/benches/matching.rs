@@ -1,0 +1,75 @@
+//! Bench for experiment E8 — the diffusive vs dimension-exchange
+//! contrast — plus the matching substrate itself (schedule generation
+//! and engine rounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_core::LoadVector;
+use dlb_graph::generators;
+use dlb_harness::experiments;
+use dlb_matching::{
+    greedy_edge_coloring, BalancingCircuit, MatchingEngine, MatchingSchedule, PairRule,
+    RandomMatchings,
+};
+use std::hint::black_box;
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dimension_exchange");
+    group.sample_size(10);
+    group.bench_function("full_quick_table", |b| {
+        b.iter(|| {
+            black_box(
+                experiments::dimension_exchange(true)
+                    .expect("e8 runs")
+                    .num_rows(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let graph = generators::random_regular(1024, 8, 42).expect("graph builds");
+
+    let mut group = c.benchmark_group("matching_substrate");
+    group.bench_function("greedy_edge_coloring_n1024_d8", |b| {
+        b.iter(|| black_box(greedy_edge_coloring(&graph).len()));
+    });
+    group.bench_function("random_maximal_matching_n1024_d8", |b| {
+        let mut sched = RandomMatchings::new(&graph, 3);
+        b.iter(|| black_box(sched.next_matching().len()));
+    });
+    group.finish();
+}
+
+fn bench_engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_engine_100_rounds");
+    group.sample_size(20);
+    for d in [4usize, 8, 16] {
+        let graph = generators::random_regular(512, d, 42).expect("graph builds");
+        group.bench_with_input(BenchmarkId::new("random_matchings", d), &d, |b, _| {
+            b.iter(|| {
+                let mut sched = RandomMatchings::new(&graph, 3);
+                let mut engine = MatchingEngine::new(LoadVector::point_mass(512, 51_200));
+                engine
+                    .run(&mut sched, PairRule::ExtraToLarger, 100)
+                    .expect("rounds run");
+                black_box(engine.loads().discrepancy())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("balancing_circuit", d), &d, |b, _| {
+            let circuit = BalancingCircuit::new(&graph).expect("circuit builds");
+            b.iter(|| {
+                let mut circuit = circuit.clone();
+                let mut engine = MatchingEngine::new(LoadVector::point_mass(512, 51_200));
+                engine
+                    .run(&mut circuit, PairRule::ExtraToLarger, 100)
+                    .expect("rounds run");
+                black_box(engine.loads().discrepancy())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table, bench_substrate, bench_engine_rounds);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench for experiment E1 — the empirical Table 1.
+//!
+//! Regenerates the full Table 1 measurement (quick sizes) under
+//! Criterion timing, and benches the per-graph single-scheme runs that
+//! make it up, so regressions in any scheme's planning cost show up
+//! per-row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlb_graph::BalancingGraph;
+use dlb_harness::{experiments, init, GraphSpec, Runner, SchemeSpec};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("full_quick_table", |b| {
+        b.iter(|| {
+            let table = experiments::table1(true).expect("table1 must run");
+            black_box(table.num_rows())
+        });
+    });
+    group.finish();
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let spec = GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 };
+    let graph = spec.build().expect("graph builds");
+    let n = graph.num_nodes();
+    let gp = BalancingGraph::lazy(graph);
+    let initial = init::point_mass(n, 50 * n as i64);
+    let runner = Runner::default();
+    let steps = 200;
+
+    let mut group = c.benchmark_group("table1_rows");
+    group.sample_size(10);
+    for scheme in [
+        SchemeSpec::SendFloor,
+        SchemeSpec::RotorRouter,
+        SchemeSpec::ContinuousMimic,
+        SchemeSpec::RandomizedExtra { seed: 7 },
+    ] {
+        group.bench_function(scheme.label(), |b| {
+            b.iter(|| {
+                let out = runner
+                    .run_for(&gp, &scheme, &initial, steps)
+                    .expect("run succeeds");
+                black_box(out.final_discrepancy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_rows);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Benches for experiments E2/E3 — the Theorem 2.3 scaling laws.
+//!
+//! `thm23_expander` and `thm23_cycle` regenerate the scaling tables at
+//! quick sizes; the per-size groups bench a single 4T run per graph so
+//! the cost growth with n is visible in the Criterion report itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_graph::BalancingGraph;
+use dlb_harness::{experiments, init, GraphSpec, Runner, SchemeSpec};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm23_tables");
+    group.sample_size(10);
+    group.bench_function("expander_quick", |b| {
+        b.iter(|| black_box(experiments::thm23_expander(true).expect("e2 runs").num_rows()));
+    });
+    group.bench_function("cycle_quick", |b| {
+        b.iter(|| black_box(experiments::thm23_cycle(true).expect("e3 runs").num_rows()));
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let runner = Runner::default();
+    let mut group = c.benchmark_group("thm23_rotor_4t");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let spec = GraphSpec::RandomRegular { n, d: 4, seed: 42 };
+        let graph = spec.build().expect("graph builds");
+        let gp = BalancingGraph::lazy(graph);
+        let k = 50 * n as i64;
+        let steps = runner
+            .horizon_steps(&spec, 4, n, k as u64)
+            .expect("horizon computes");
+        let initial = init::point_mass(n, k);
+        group.bench_with_input(BenchmarkId::new("expander", n), &n, |b, _| {
+            b.iter(|| {
+                let out = runner
+                    .run_for(&gp, &SchemeSpec::RotorRouter, &initial, steps)
+                    .expect("run succeeds");
+                black_box(out.final_discrepancy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Bench for experiment E4 — Theorem 3.3 (good s-balancers).
+//!
+//! Times the full quick verification table and the individual
+//! time-to-target runs across the `s` sweep, so the `1/s` speed-up
+//! trend is visible as bench time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlb_graph::BalancingGraph;
+use dlb_harness::{experiments, init, GraphSpec, Runner, SchemeSpec};
+use std::hint::black_box;
+
+fn bench_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm33");
+    group.sample_size(10);
+    group.bench_function("full_quick_table", |b| {
+        b.iter(|| black_box(experiments::thm33_time_to_d(true).expect("e4 runs").num_rows()));
+    });
+    group.finish();
+}
+
+fn bench_s_sweep(c: &mut Criterion) {
+    let spec = GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 };
+    let graph = spec.build().expect("graph builds");
+    let n = graph.num_nodes();
+    let initial = init::point_mass(n, 50 * n as i64);
+    let runner = Runner::default();
+
+    let mut group = c.benchmark_group("thm33_good_balancer_to_bound");
+    group.sample_size(10);
+    for s in [1usize, 4, 12] {
+        let gp = BalancingGraph::with_self_loops(graph.clone(), 12).expect("d° = 12");
+        // Run to the theorem's discrepancy bound 3d⁺ + 4d°.
+        let target = 3 * 16 + 4 * 12;
+        group.bench_with_input(BenchmarkId::new("s", s), &s, |b, &s| {
+            b.iter(|| {
+                let out = runner
+                    .run_to_discrepancy(
+                        &gp,
+                        &SchemeSpec::Good { s },
+                        &initial,
+                        target,
+                        200_000,
+                    )
+                    .expect("run succeeds");
+                black_box(out.time_to_target)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table, bench_s_sweep);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion benchmarks for the reproduction of Berenbrink et al.
+//! (PODC 2015).
+//!
+//! This crate holds no library code — the benches under `benches/`
+//! regenerate the paper's evaluation (one group per table/figure, see
+//! DESIGN.md §3) plus engine-throughput ablations. Run them with:
+//!
+//! ```text
+//! cargo bench -p dlb-bench               # everything
+//! cargo bench -p dlb-bench --bench thm23 # one experiment
+//! ```
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,43 @@
+//! The lower-bound constructions of Section 4 of Berenbrink et al.
+//! (PODC 2015), as runnable instances.
+//!
+//! Each construction produces a concrete `(graph, initial loads,
+//! balancer)` triple whose bad behaviour is *exactly invariant* — a
+//! fixed point or a 2-periodic orbit of the balancing dynamics — so the
+//! lower bound can be verified by simulation rather than argued:
+//!
+//! * [`thm41`] — a **round-fair but cumulatively unfair** balancer
+//!   frozen in a steady state with discrepancy `Ω(d·diam(G))`
+//!   (Theorem 4.1): dropping the cumulative-fairness condition of
+//!   Definition 2.1 destroys Theorem 2.3.
+//! * [`thm42`] — the **stateless trap** (Theorem 4.2): on the
+//!   clique-circulant graph, every deterministic stateless scheme can
+//!   be stuck at discrepancy `Ω(d)` forever, while stateful schemes
+//!   (the rotor-router) escape the very same instance.
+//! * [`thm43`] — the **two-periodic rotor-router orbit** (Theorem 4.3):
+//!   without self-loops, on a non-bipartite graph, an adversarial
+//!   initial state keeps the rotor-router's discrepancy at
+//!   `Ω(d·φ(G))`, where `2φ(G)+1` is the odd girth.
+//!
+//! # A note on Theorem 4.3's construction
+//!
+//! The paper sets `f₀(v₁,v₂) = L` "if `b(v₁) ≥ φ(G)` **or**
+//! `b(v₂) ≥ φ(G)`". Read literally, a node `v` with `b(v) = φ−1`
+//! adjacent to the antipodal level would send flows differing by 2
+//! across its edges, which no rotor-router step can realise and which
+//! contradicts the proof's own claim `|f_t(v,v₁) − f_t(v,v₂)| ≤ 1`.
+//! The construction is implemented with the **and** reading (`L` only
+//! when *both* endpoints are at level ≥ φ, i.e. on and beyond the
+//! antipodal edge), under which all of the proof's invariants check out
+//! — and the tests verify them exactly (2-periodicity, per-node flow
+//! spread ≤ 1, discrepancy `4φ−1` on the odd cycle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fixed_flow;
+pub mod thm41;
+pub mod thm42;
+pub mod thm43;
+
+pub use fixed_flow::FixedFlowBalancer;

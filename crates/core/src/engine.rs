@@ -1,0 +1,330 @@
+use dlb_graph::BalancingGraph;
+
+use crate::fairness::FairnessMonitor;
+use crate::{Balancer, CumulativeLedger, EngineError, FlowPlan, LoadVector};
+
+/// Outcome of a single engine step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepSummary {
+    /// The step just completed (1-based, matching the paper's `t`).
+    pub step: usize,
+    /// Discrepancy of the post-step load vector.
+    pub discrepancy: i64,
+    /// Number of nodes with negative load after the step.
+    pub negative_nodes: usize,
+}
+
+/// The synchronous simulation engine.
+///
+/// The engine owns the balancing graph `G⁺` and the load vector `x_t`,
+/// and drives any [`Balancer`] through the paper's round structure:
+///
+/// 1. the balancer fills a [`FlowPlan`] from the current loads;
+/// 2. the engine validates it (token conservation; overdraw only for
+///    schemes that declare it);
+/// 3. the optional [`FairnessMonitor`] observes the pre-step state;
+/// 4. flows are routed — original-port tokens to the neighbour behind
+///    the port, self-loop tokens back to the sender, un-planned tokens
+///    retained (the remainder `r_t(u)` of §2);
+/// 5. the cumulative ledger `F_t` is updated.
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::{generators, BalancingGraph};
+/// use dlb_core::{Engine, LoadVector};
+/// use dlb_core::schemes::SendFloor;
+///
+/// let gp = BalancingGraph::lazy(generators::cycle(8)?);
+/// let mut engine = Engine::new(gp, LoadVector::point_mass(8, 800));
+/// engine.run(&mut SendFloor::new(), 200)?;
+/// assert_eq!(engine.loads().total(), 800); // conservation
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    gp: BalancingGraph,
+    loads: LoadVector,
+    scratch: Vec<i64>,
+    plan: FlowPlan,
+    ledger: CumulativeLedger,
+    monitor: Option<FairnessMonitor>,
+    step: usize,
+    negative_node_steps: u64,
+}
+
+impl Engine {
+    /// Creates an engine over `gp` with initial loads `x₁`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != gp.num_nodes()`.
+    pub fn new(gp: BalancingGraph, initial: LoadVector) -> Self {
+        assert_eq!(
+            initial.len(),
+            gp.num_nodes(),
+            "initial load vector must have one entry per node"
+        );
+        let plan = FlowPlan::for_graph(&gp);
+        let ledger = CumulativeLedger::for_graph(&gp);
+        let scratch = vec![0; gp.num_nodes()];
+        Engine {
+            gp,
+            loads: initial,
+            scratch,
+            plan,
+            ledger,
+            monitor: None,
+            step: 0,
+            negative_node_steps: 0,
+        }
+    }
+
+    /// Attaches a [`FairnessMonitor`] that will observe every subsequent
+    /// step (costs one extra `O(n·d⁺)` pass per step).
+    pub fn attach_monitor(&mut self) {
+        self.monitor = Some(FairnessMonitor::new());
+    }
+
+    /// The attached monitor, if any.
+    pub fn monitor(&self) -> Option<&FairnessMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// The balancing graph.
+    pub fn graph(&self) -> &BalancingGraph {
+        &self.gp
+    }
+
+    /// Current loads `x_t`.
+    pub fn loads(&self) -> &LoadVector {
+        &self.loads
+    }
+
+    /// The cumulative ledger `F_t`.
+    pub fn ledger(&self) -> &CumulativeLedger {
+        &self.ledger
+    }
+
+    /// Steps completed so far.
+    pub fn step_count(&self) -> usize {
+        self.step
+    }
+
+    /// Total node-steps that ended with negative load.
+    pub fn negative_node_steps(&self) -> u64 {
+        self.negative_node_steps
+    }
+
+    /// Runs one synchronous round of `balancer`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overdraw`] if a non-overdrawing balancer plans to
+    /// send more than a node holds; [`EngineError::NegativeLoad`] if a
+    /// non-overdrawing balancer is asked to plan from negative loads.
+    pub fn step(&mut self, balancer: &mut dyn Balancer) -> Result<StepSummary, EngineError> {
+        let n = self.gp.num_nodes();
+        self.plan.clear();
+        balancer.plan(&self.gp, &self.loads, &mut self.plan);
+
+        // Validation.
+        if !balancer.may_overdraw() {
+            for u in 0..n {
+                let x = self.loads.get(u);
+                if x < 0 {
+                    return Err(EngineError::NegativeLoad {
+                        node: u,
+                        load: x,
+                        step: self.step + 1,
+                    });
+                }
+                let sent = self.plan.node_total(u);
+                if sent > x as u64 {
+                    return Err(EngineError::Overdraw {
+                        node: u,
+                        load: x,
+                        planned: sent,
+                        step: self.step + 1,
+                    });
+                }
+            }
+        }
+
+        if let Some(monitor) = &mut self.monitor {
+            monitor.observe(&self.gp, &self.loads, &self.plan);
+        }
+
+        // Routing: retained tokens stay, port flows move (self-loop
+        // ports "move" back to the sender).
+        let d = self.gp.degree();
+        let graph = self.gp.graph();
+        for u in 0..n {
+            let flows = self.plan.node(u);
+            let sent: u64 = flows.iter().sum();
+            self.scratch[u] = self.loads.get(u) - sent as i64;
+        }
+        for u in 0..n {
+            let flows = self.plan.node(u);
+            let mut self_total = 0u64;
+            for (p, &f) in flows.iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                if p < d {
+                    self.scratch[graph.neighbor(u, p)] += f as i64;
+                } else {
+                    self_total += f;
+                }
+            }
+            self.scratch[u] += self_total as i64;
+        }
+
+        self.ledger.record(&self.plan);
+        self.loads.as_mut_slice().copy_from_slice(&self.scratch);
+        self.step += 1;
+
+        let negative_nodes = self.loads.negative_nodes();
+        self.negative_node_steps += negative_nodes as u64;
+        Ok(StepSummary {
+            step: self.step,
+            discrepancy: self.loads.discrepancy(),
+            negative_nodes,
+        })
+    }
+
+    /// Runs `steps` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run(&mut self, balancer: &mut dyn Balancer, steps: usize) -> Result<(), EngineError> {
+        for _ in 0..steps {
+            self.step(balancer)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `stop(summary)` returns true, for at most `max_steps`
+    /// rounds. Returns the step count at which the predicate fired, or
+    /// `None` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_until(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        max_steps: usize,
+        mut stop: impl FnMut(&StepSummary) -> bool,
+    ) -> Result<Option<usize>, EngineError> {
+        for _ in 0..max_steps {
+            let summary = self.step(balancer)?;
+            if stop(&summary) {
+                return Ok(Some(summary.step));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{RotorRouter, SendFloor};
+    use dlb_graph::{generators, PortOrder};
+
+    fn lazy_cycle(n: usize) -> BalancingGraph {
+        BalancingGraph::lazy(generators::cycle(n).unwrap())
+    }
+
+    #[test]
+    fn conserves_tokens() {
+        let gp = lazy_cycle(8);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 777));
+        let mut bal = SendFloor::new();
+        engine.run(&mut bal, 100).unwrap();
+        assert_eq!(engine.loads().total(), 777);
+        assert_eq!(engine.step_count(), 100);
+    }
+
+    #[test]
+    fn rotor_router_balances_cycle() {
+        let gp = lazy_cycle(16);
+        let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).unwrap();
+        let mut engine = Engine::new(gp, LoadVector::point_mass(16, 1600));
+        engine.run(&mut rotor, 2000).unwrap();
+        assert!(
+            engine.loads().discrepancy() <= 8,
+            "discrepancy {} too large",
+            engine.loads().discrepancy()
+        );
+    }
+
+    #[test]
+    fn run_until_reports_first_hit() {
+        let gp = lazy_cycle(16);
+        let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).unwrap();
+        let mut engine = Engine::new(gp, LoadVector::point_mass(16, 1600));
+        let hit = engine
+            .run_until(&mut rotor, 10_000, |s| s.discrepancy <= 10)
+            .unwrap();
+        assert!(hit.is_some());
+        assert!(engine.loads().discrepancy() <= 10);
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let gp = lazy_cycle(8);
+        let mut bal = SendFloor::new();
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 80));
+        let hit = engine.run_until(&mut bal, 3, |s| s.discrepancy == -1).unwrap();
+        assert_eq!(hit, None);
+        assert_eq!(engine.step_count(), 3);
+    }
+
+    #[test]
+    fn overdraw_rejected_for_honest_schemes() {
+        struct Liar;
+        impl Balancer for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn plan(&mut self, gp: &BalancingGraph, _loads: &LoadVector, plan: &mut FlowPlan) {
+                // Sends 1000 from node 0 regardless of its load.
+                plan.set(0, 0, 1000);
+                let _ = gp;
+            }
+        }
+        let gp = lazy_cycle(4);
+        let mut engine = Engine::new(gp, LoadVector::uniform(4, 5));
+        let err = engine.step(&mut Liar).unwrap_err();
+        assert!(matches!(err, EngineError::Overdraw { node: 0, .. }));
+    }
+
+    #[test]
+    fn monitor_observes_steps() {
+        let gp = lazy_cycle(8);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 100));
+        engine.attach_monitor();
+        engine.run(&mut SendFloor::new(), 10).unwrap();
+        let m = engine.monitor().unwrap();
+        assert_eq!(m.steps_observed(), 10);
+        assert_eq!(m.floor_violations(), 0);
+    }
+
+    #[test]
+    fn ledger_tracks_steps() {
+        let gp = lazy_cycle(4);
+        let mut engine = Engine::new(gp, LoadVector::uniform(4, 4));
+        engine.run(&mut SendFloor::new(), 7).unwrap();
+        assert_eq!(engine.ledger().steps(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per node")]
+    fn rejects_wrong_initial_length() {
+        let gp = lazy_cycle(4);
+        let _ = Engine::new(gp, LoadVector::uniform(3, 1));
+    }
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation [`Engine`](crate::Engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A balancer that declares itself non-overdrawing planned to send
+    /// more tokens than the node holds.
+    ///
+    /// The paper's own schemes never overdraw ("NL" column of Table 1);
+    /// seeing this error means an implementation violates its class.
+    Overdraw {
+        /// The node that planned to send too much.
+        node: usize,
+        /// The node's load `x_t(u)` before the step.
+        load: i64,
+        /// The total the plan would send, `f_t^out(u)`.
+        planned: u64,
+        /// The step at which it happened (1-based, matching the paper).
+        step: usize,
+    },
+    /// A balancer produced a plan for a differently-shaped graph.
+    ShapeMismatch {
+        /// Expected number of nodes.
+        expected_nodes: usize,
+        /// Number of nodes the plan covers.
+        found_nodes: usize,
+    },
+    /// A balancer was asked to plan for a negative load it cannot
+    /// handle (only overdraw-capable schemes accept negative loads).
+    NegativeLoad {
+        /// The node with negative load.
+        node: usize,
+        /// Its load.
+        load: i64,
+        /// The step at which it was observed.
+        step: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Overdraw {
+                node,
+                load,
+                planned,
+                step,
+            } => write!(
+                f,
+                "node {node} planned to send {planned} tokens but holds only {load} at step {step}"
+            ),
+            EngineError::ShapeMismatch {
+                expected_nodes,
+                found_nodes,
+            } => write!(
+                f,
+                "flow plan covers {found_nodes} nodes, engine expected {expected_nodes}"
+            ),
+            EngineError::NegativeLoad { node, load, step } => write!(
+                f,
+                "node {node} has negative load {load} at step {step} under a scheme that forbids it"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_fields() {
+        let e = EngineError::Overdraw {
+            node: 3,
+            load: 5,
+            planned: 9,
+            step: 12,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("node 3") && msg.contains('9') && msg.contains("step 12"));
+
+        let e = EngineError::ShapeMismatch {
+            expected_nodes: 8,
+            found_nodes: 4,
+        };
+        assert!(e.to_string().contains('8') && e.to_string().contains('4'));
+
+        let e = EngineError::NegativeLoad {
+            node: 1,
+            load: -2,
+            step: 5,
+        };
+        assert!(e.to_string().contains("-2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

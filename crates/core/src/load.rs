@@ -1,0 +1,211 @@
+/// A vector of integer token counts, one per node (`x_t` in the paper).
+///
+/// Loads are `i64`: the paper's own algorithms never go negative, but
+/// two of the baselines it compares against (\[4\]'s continuous-mimicking
+/// scheme and \[18\]'s randomized edge rounding) can overdraw a node, and
+/// the engine must represent that state faithfully rather than panic.
+///
+/// # Example
+///
+/// ```
+/// use dlb_core::LoadVector;
+///
+/// let x = LoadVector::point_mass(4, 100);
+/// assert_eq!(x.total(), 100);
+/// assert_eq!(x.discrepancy(), 100);
+/// assert_eq!(x.mean(), 25.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LoadVector {
+    loads: Vec<i64>,
+}
+
+impl LoadVector {
+    /// Wraps an explicit load vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty.
+    pub fn new(loads: Vec<i64>) -> Self {
+        assert!(!loads.is_empty(), "load vector must not be empty");
+        LoadVector { loads }
+    }
+
+    /// All `total` tokens on node 0 — the paper's worst-case initial
+    /// distribution with discrepancy `K = total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn point_mass(n: usize, total: i64) -> Self {
+        assert!(n > 0, "load vector must not be empty");
+        let mut loads = vec![0; n];
+        loads[0] = total;
+        LoadVector { loads }
+    }
+
+    /// Every node holds exactly `per_node` tokens (discrepancy 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(n: usize, per_node: i64) -> Self {
+        assert!(n > 0, "load vector must not be empty");
+        LoadVector {
+            loads: vec![per_node; n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Always false (constructors reject empty vectors); provided for
+    /// API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Load of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn get(&self, u: usize) -> i64 {
+        self.loads[u]
+    }
+
+    /// The loads as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.loads
+    }
+
+    /// Mutable access for the engine and initial-distribution builders.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i64] {
+        &mut self.loads
+    }
+
+    /// Total number of tokens `m` (invariant under balancing).
+    pub fn total(&self) -> i64 {
+        self.loads.iter().sum()
+    }
+
+    /// Maximum load over all nodes.
+    pub fn max(&self) -> i64 {
+        *self.loads.iter().max().expect("non-empty")
+    }
+
+    /// Minimum load over all nodes.
+    pub fn min(&self) -> i64 {
+        *self.loads.iter().min().expect("non-empty")
+    }
+
+    /// The discrepancy `max − min`, the paper's central quantity.
+    pub fn discrepancy(&self) -> i64 {
+        self.max() - self.min()
+    }
+
+    /// The average load `x̄` (real-valued; total need not divide n).
+    pub fn mean(&self) -> f64 {
+        self.total() as f64 / self.loads.len() as f64
+    }
+
+    /// The paper's *balancedness*: gap between the maximum load and the
+    /// average load, `max_u x(u) − x̄` (§1.3).
+    pub fn balancedness(&self) -> f64 {
+        self.max() as f64 - self.mean()
+    }
+
+    /// `‖x − x̄‖_∞`: largest absolute deviation from the average.
+    pub fn max_deviation(&self) -> f64 {
+        let mean = self.mean();
+        self.loads
+            .iter()
+            .map(|&x| (x as f64 - mean).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Number of nodes currently holding negative load (possible only
+    /// under the overdraw-capable baseline schemes).
+    pub fn negative_nodes(&self) -> usize {
+        self.loads.iter().filter(|&&x| x < 0).count()
+    }
+
+    /// The loads as f64, for comparison against the continuous process.
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.loads.iter().map(|&x| x as f64).collect()
+    }
+}
+
+impl From<Vec<i64>> for LoadVector {
+    fn from(loads: Vec<i64>) -> Self {
+        LoadVector::new(loads)
+    }
+}
+
+impl AsRef<[i64]> for LoadVector {
+    fn as_ref(&self) -> &[i64] {
+        &self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass_statistics() {
+        let x = LoadVector::point_mass(5, 50);
+        assert_eq!(x.len(), 5);
+        assert_eq!(x.total(), 50);
+        assert_eq!(x.max(), 50);
+        assert_eq!(x.min(), 0);
+        assert_eq!(x.discrepancy(), 50);
+        assert_eq!(x.mean(), 10.0);
+        assert_eq!(x.balancedness(), 40.0);
+        assert_eq!(x.max_deviation(), 40.0);
+    }
+
+    #[test]
+    fn uniform_has_zero_discrepancy() {
+        let x = LoadVector::uniform(7, 3);
+        assert_eq!(x.discrepancy(), 0);
+        assert_eq!(x.balancedness(), 0.0);
+        assert_eq!(x.total(), 21);
+    }
+
+    #[test]
+    fn negative_nodes_counted() {
+        let x = LoadVector::new(vec![5, -2, 0, -1]);
+        assert_eq!(x.negative_nodes(), 2);
+        assert_eq!(x.min(), -2);
+        assert_eq!(x.discrepancy(), 7);
+    }
+
+    #[test]
+    fn conversion_roundtrips() {
+        let x = LoadVector::from(vec![1, 2, 3]);
+        assert_eq!(x.as_ref(), &[1, 2, 3]);
+        assert_eq!(x.to_f64(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(x.get(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn rejects_empty() {
+        let _ = LoadVector::new(vec![]);
+    }
+
+    #[test]
+    fn mean_handles_non_divisible_totals() {
+        let x = LoadVector::new(vec![1, 0, 0]);
+        assert!((x.mean() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((x.balancedness() - 2.0 / 3.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,157 @@
+//! The potential functions of Section 3.
+//!
+//! For a threshold parameter `c`, the paper defines
+//!
+//! * `φ_t(c)  = Σ_v max{x_t(v) − c·d⁺, 0}` — tokens stacked *above*
+//!   height `c·d⁺` ("red tokens" in the proof of Lemma 3.5), and
+//! * `φ′_t(c) = Σ_v max{c·d⁺ + s − x_t(v), 0}` — gaps *below* height
+//!   `c·d⁺ + s` (Lemma 3.7).
+//!
+//! For good s-balancers both potentials are non-increasing in time, and
+//! the proof of Theorem 3.3 partitions time into phases by the rate at
+//! which they drop. The [`PotentialTracker`] records both families over
+//! a run so tests and experiments can verify monotonicity (Lemmas 3.5
+//! and 3.7) and measure phase lengths.
+
+use crate::LoadVector;
+
+/// `φ_t(c) = Σ_v max{x_t(v) − c·d⁺, 0}`.
+///
+/// # Example
+///
+/// ```
+/// use dlb_core::{potential, LoadVector};
+///
+/// let x = LoadVector::new(vec![10, 3, 0]);
+/// // d⁺ = 4, c = 1: only the node at 10 exceeds 4, by 6.
+/// assert_eq!(potential::phi(&x, 1, 4), 6);
+/// ```
+pub fn phi(loads: &LoadVector, c: i64, d_plus: usize) -> i64 {
+    let threshold = c * d_plus as i64;
+    loads
+        .as_slice()
+        .iter()
+        .map(|&x| (x - threshold).max(0))
+        .sum()
+}
+
+/// `φ′_t(c) = Σ_v max{c·d⁺ + s − x_t(v), 0}`.
+pub fn phi_prime(loads: &LoadVector, c: i64, d_plus: usize, s: usize) -> i64 {
+    let threshold = c * d_plus as i64 + s as i64;
+    loads
+        .as_slice()
+        .iter()
+        .map(|&x| (threshold - x).max(0))
+        .sum()
+}
+
+/// Records `φ` and `φ′` at a fixed `(c, d⁺, s)` across a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PotentialTracker {
+    c: i64,
+    d_plus: usize,
+    s: usize,
+    phi_series: Vec<i64>,
+    phi_prime_series: Vec<i64>,
+}
+
+impl PotentialTracker {
+    /// Creates a tracker for threshold `c`, degree `d⁺` and
+    /// self-preference `s`.
+    pub fn new(c: i64, d_plus: usize, s: usize) -> Self {
+        PotentialTracker {
+            c,
+            d_plus,
+            s,
+            phi_series: Vec::new(),
+            phi_prime_series: Vec::new(),
+        }
+    }
+
+    /// Samples both potentials from the current loads.
+    pub fn sample(&mut self, loads: &LoadVector) {
+        self.phi_series.push(phi(loads, self.c, self.d_plus));
+        self.phi_prime_series
+            .push(phi_prime(loads, self.c, self.d_plus, self.s));
+    }
+
+    /// The recorded `φ` series.
+    pub fn phi_series(&self) -> &[i64] {
+        &self.phi_series
+    }
+
+    /// The recorded `φ′` series.
+    pub fn phi_prime_series(&self) -> &[i64] {
+        &self.phi_prime_series
+    }
+
+    /// Whether the `φ` series is non-increasing (Lemma 3.5).
+    pub fn phi_monotone(&self) -> bool {
+        self.phi_series.windows(2).all(|w| w[1] <= w[0])
+    }
+
+    /// Whether the `φ′` series is non-increasing (Lemma 3.7).
+    pub fn phi_prime_monotone(&self) -> bool {
+        self.phi_prime_series.windows(2).all(|w| w[1] <= w[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_counts_excess_tokens() {
+        let x = LoadVector::new(vec![10, 5, 4, 0]);
+        assert_eq!(phi(&x, 1, 4), 6 + 1); // 10−4 and 5−4
+        assert_eq!(phi(&x, 2, 4), 2); // only 10−8
+        assert_eq!(phi(&x, 3, 4), 0);
+    }
+
+    #[test]
+    fn phi_prime_counts_gaps() {
+        let x = LoadVector::new(vec![10, 5, 4, 0]);
+        // c = 1, d⁺ = 4, s = 2 ⇒ threshold 6: gaps 0, 1, 2, 6.
+        assert_eq!(phi_prime(&x, 1, 4, 2), 9);
+    }
+
+    #[test]
+    fn phi_zero_c_counts_all_tokens() {
+        let x = LoadVector::new(vec![3, 2, 1]);
+        assert_eq!(phi(&x, 0, 4), 6);
+    }
+
+    #[test]
+    fn phi_handles_negative_c_and_loads() {
+        let x = LoadVector::new(vec![-2, 5]);
+        assert_eq!(phi(&x, -1, 4), (-2i64 + 4) + (5 + 4));
+        assert_eq!(phi_prime(&x, 0, 4, 0), 2);
+    }
+
+    #[test]
+    fn tracker_detects_monotone_series() {
+        let mut t = PotentialTracker::new(1, 4, 1);
+        t.sample(&LoadVector::new(vec![10, 0]));
+        t.sample(&LoadVector::new(vec![8, 2]));
+        t.sample(&LoadVector::new(vec![6, 4]));
+        assert!(t.phi_monotone());
+        assert_eq!(t.phi_series(), &[6, 4, 2]);
+    }
+
+    #[test]
+    fn tracker_detects_violation() {
+        let mut t = PotentialTracker::new(1, 4, 1);
+        t.sample(&LoadVector::new(vec![6, 4]));
+        t.sample(&LoadVector::new(vec![10, 0]));
+        assert!(!t.phi_monotone());
+    }
+
+    #[test]
+    fn tracker_phi_prime_series() {
+        let mut t = PotentialTracker::new(1, 4, 2);
+        t.sample(&LoadVector::new(vec![0, 12]));
+        t.sample(&LoadVector::new(vec![6, 6]));
+        assert_eq!(t.phi_prime_series(), &[6, 0]);
+        assert!(t.phi_prime_monotone());
+    }
+}

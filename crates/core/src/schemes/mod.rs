@@ -1,0 +1,36 @@
+//! The balancing schemes: the paper's algorithm classes plus every
+//! baseline its Table 1 compares against.
+//!
+//! | Scheme | Class | D | SL | NL | NC | Source |
+//! |---|---|---|---|---|---|---|
+//! | [`SendFloor`] | cumulatively 0-fair | ✓ | ✓ | ✓ | ✓ | §1.1, Obs. 2.2 |
+//! | [`SendRound`] | cumulatively 0-fair; good s-balancer for `d⁺ > 2d` | ✓ | ✓ | ✓ | ✓ | §1.1, Obs. 2.2/3.2 |
+//! | [`RotorRouter`] | cumulatively 1-fair | ✓ | ✗ | ✓ | ✓ | §1.2, Obs. 2.2 |
+//! | [`RotorRouterStar`] | good 1-balancer | ✓ | ✗ | ✓ | ✓ | §1.1, Obs. 3.2 |
+//! | [`GoodBalancer`] | good s-balancer (s chosen) | ✓ | ✗ | ✓ | ✓ | Def. 3.1 |
+//! | [`RoundFairDiffusion`] | round-fair (\[17\] class) | rule-dep. | rule-dep. | ✓ | ✓ | \[17\] |
+//! | [`QuasirandomDiffusion`] | bounded-error (\[9\]) | ✓ | ✗ | ✗ | ✓ | \[9\] |
+//! | [`ContinuousMimic`] | continuous-flow quantisation (\[4\]) | ✓ | ✗ | ✗ | ✗ | \[4\] |
+//! | [`RandomizedExtraTokens`] | randomized (\[5\]) | ✗ | ✓ | ✓ | ✓ | \[5\] |
+//! | [`RandomizedEdgeRounding`] | randomized (\[18\]) | ✗ | ✓ | ✗ | ✓ | \[18\] |
+//!
+//! D = deterministic, SL = stateless, NL = never negative load,
+//! NC = no additional communication (beyond receiving tokens).
+
+mod good;
+mod mimic;
+mod quasirandom;
+mod randomized;
+mod rotor;
+mod rotor_star;
+mod roundfair;
+mod send;
+
+pub use good::GoodBalancer;
+pub use mimic::ContinuousMimic;
+pub use quasirandom::QuasirandomDiffusion;
+pub use randomized::{RandomizedEdgeRounding, RandomizedExtraTokens};
+pub use rotor::RotorRouter;
+pub use rotor_star::RotorRouterStar;
+pub use roundfair::{RoundFairDiffusion, RoundingRule};
+pub use send::{SendFloor, SendRound};

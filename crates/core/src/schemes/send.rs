@@ -1,0 +1,275 @@
+use dlb_graph::BalancingGraph;
+
+use crate::balancer::split_load;
+use crate::{Balancer, FlowPlan, LoadVector};
+
+/// SEND(⌊x/d⁺⌋): every original edge receives exactly `⌊x/d⁺⌋` tokens;
+/// the rest goes to the self-loops (§1.1).
+///
+/// The simplest member of the cumulatively fair class: stateless,
+/// deterministic, and **cumulatively 0-fair** (Observation 2.2) — all
+/// original edges of a node carry identical totals at all times, since
+/// they receive identical flow in every single step.
+///
+/// With `d° ≥ 1` the surplus `x mod d⁺` is spread round-robin-free over
+/// self-loops (each still gets at least `⌊x/d⁺⌋`, as Definition 2.1
+/// requires); with `d° = 0` the surplus is retained as the remainder
+/// `r_t(u)` — the formulation Proposition A.2 shows equivalent.
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::{generators, BalancingGraph};
+/// use dlb_core::{Engine, LoadVector};
+/// use dlb_core::schemes::SendFloor;
+///
+/// let gp = BalancingGraph::lazy(generators::cycle(8)?);
+/// let mut engine = Engine::new(gp, LoadVector::point_mass(8, 400));
+/// engine.attach_monitor();
+/// engine.run(&mut SendFloor::new(), 300)?;
+/// // Cumulative 0-fairness, machine-checked:
+/// assert_eq!(engine.ledger().original_edge_spread(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendFloor {
+    _private: (),
+}
+
+impl SendFloor {
+    /// Creates the scheme (no parameters, no state).
+    pub fn new() -> Self {
+        SendFloor { _private: () }
+    }
+}
+
+impl Balancer for SendFloor {
+    fn name(&self) -> &'static str {
+        "send-floor"
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+        let d = gp.degree();
+        let d_plus = gp.degree_plus();
+        let d_self = gp.num_self_loops();
+        for u in 0..gp.num_nodes() {
+            let (base, e) = split_load(loads.get(u), d_plus);
+            let flows = plan.node_mut(u);
+            for f in flows.iter_mut() {
+                *f = base;
+            }
+            // Spread the e surplus tokens over self-loops: each gets
+            // e/d° plus the first e mod d° one extra. (checked_div is
+            // None exactly when there are no self-loops.)
+            if let Some(per_loop) = e.checked_div(d_self) {
+                let extra = e % d_self;
+                for (i, f) in flows[d..].iter_mut().enumerate() {
+                    *f += per_loop as u64 + u64::from(i < extra);
+                }
+            }
+            // d° = 0: surplus is retained implicitly by the engine.
+        }
+    }
+}
+
+/// SEND([x/d⁺]): every original edge receives `[x/d⁺]` — `x/d⁺` rounded
+/// to the nearest integer (half rounds up) — and self-loops absorb the
+/// rest round-fairly (§1.1).
+///
+/// Cumulatively 0-fair (Observation 2.2) like [`SendFloor`], but also a
+/// **good s-balancer** when `d⁺ > 2d` (Observation 3.2): it is
+/// round-fair and, with this implementation's surplus placement,
+/// s-self-preferring with `s ≥ ⌈(d⁺ − 2d)/2⌉` (the
+/// [`FairnessMonitor`](crate::fairness::FairnessMonitor) reports the
+/// exact witnessed value for any given run).
+///
+/// Requires `d° ≥ d`; with fewer self-loops, `d·[x/d⁺]` can exceed `x`
+/// and the scheme would overdraw — the constructor refuses such graphs
+/// at planning time via a panic, because this is a class violation, not
+/// a runtime condition.
+///
+/// # Panics
+///
+/// [`Balancer::plan`] panics if the graph has `d° < d`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendRound {
+    _private: (),
+}
+
+impl SendRound {
+    /// Creates the scheme (no parameters, no state).
+    pub fn new() -> Self {
+        SendRound { _private: () }
+    }
+}
+
+impl Balancer for SendRound {
+    fn name(&self) -> &'static str {
+        "send-round"
+    }
+
+    fn is_stateless(&self) -> bool {
+        true
+    }
+
+    fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+        let d = gp.degree();
+        let d_plus = gp.degree_plus();
+        let d_self = gp.num_self_loops();
+        assert!(
+            d_self >= d,
+            "SEND([x/d+]) requires d° >= d self-loops (got d° = {d_self}, d = {d})"
+        );
+        for u in 0..gp.num_nodes() {
+            let (base, e) = split_load(loads.get(u), d_plus);
+            // Round half up: [x/d⁺] = base + 1 iff 2e >= d⁺.
+            let round_up = 2 * e >= d_plus;
+            let original_flow = base + u64::from(round_up);
+            let flows = plan.node_mut(u);
+            for f in flows[..d].iter_mut() {
+                *f = original_flow;
+            }
+            // Surplus for self-loops: e extras minus the d consumed by
+            // originals when rounding up. Each self-loop gets base or
+            // base+1 (round-fair), extras first.
+            let loop_extras = if round_up { e - d } else { e };
+            debug_assert!(loop_extras <= d_self);
+            for (i, f) in flows[d..].iter_mut().enumerate() {
+                *f = base + u64::from(i < loop_extras);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use dlb_graph::generators;
+
+    fn lazy_cycle(n: usize) -> BalancingGraph {
+        BalancingGraph::lazy(generators::cycle(n).unwrap())
+    }
+
+    #[test]
+    fn send_floor_plans_floor_on_originals() {
+        let gp = lazy_cycle(4); // d = 2, d⁺ = 4
+        let loads = LoadVector::uniform(4, 11); // base 2, e 3
+        let mut plan = FlowPlan::for_graph(&gp);
+        SendFloor::new().plan(&gp, &loads, &mut plan);
+        for u in 0..4 {
+            assert_eq!(plan.node(u)[..2], [2, 2], "originals get the floor");
+            // Self-loops absorb 3 extras: 2+2=4 on loops split as 4, 3.
+            assert_eq!(plan.node(u)[2..], [4, 3]);
+            assert_eq!(plan.node_total(u), 11, "everything is sent");
+        }
+    }
+
+    #[test]
+    fn send_floor_retains_surplus_without_self_loops() {
+        let gp = BalancingGraph::bare(generators::cycle(4).unwrap()); // d⁺ = 2
+        let loads = LoadVector::uniform(4, 5); // base 2, e 1
+        let mut plan = FlowPlan::for_graph(&gp);
+        SendFloor::new().plan(&gp, &loads, &mut plan);
+        assert_eq!(plan.node(0), &[2, 2]);
+        assert_eq!(plan.node_total(0), 4, "one token retained");
+    }
+
+    #[test]
+    fn send_floor_is_cumulatively_zero_fair() {
+        let gp = lazy_cycle(8);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 997));
+        engine.run(&mut SendFloor::new(), 200).unwrap();
+        assert_eq!(engine.ledger().original_edge_spread(), 0);
+    }
+
+    #[test]
+    fn send_round_rounds_half_up() {
+        let gp = lazy_cycle(4); // d = 2, d⁺ = 4
+        // x = 10: base 2, e 2, 2e = 4 >= 4 ⇒ originals get 3.
+        let loads = LoadVector::uniform(4, 10);
+        let mut plan = FlowPlan::for_graph(&gp);
+        SendRound::new().plan(&gp, &loads, &mut plan);
+        assert_eq!(plan.node(0)[..2], [3, 3]);
+        // loop_extras = 2 − 2 = 0: self-loops get base 2 each.
+        assert_eq!(plan.node(0)[2..], [2, 2]);
+        assert_eq!(plan.node_total(0), 10);
+    }
+
+    #[test]
+    fn send_round_rounds_down_below_half() {
+        let gp = lazy_cycle(4);
+        // x = 9: base 2, e 1, 2e = 2 < 4 ⇒ originals get 2.
+        let loads = LoadVector::uniform(4, 9);
+        let mut plan = FlowPlan::for_graph(&gp);
+        SendRound::new().plan(&gp, &loads, &mut plan);
+        assert_eq!(plan.node(0)[..2], [2, 2]);
+        // One extra goes to the first self-loop: round fair.
+        assert_eq!(plan.node(0)[2..], [3, 2]);
+        assert_eq!(plan.node_total(0), 9);
+    }
+
+    #[test]
+    fn send_round_is_round_fair_and_never_overdraws() {
+        let gp = lazy_cycle(8);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 1003));
+        engine.attach_monitor();
+        engine.run(&mut SendRound::new(), 300).unwrap();
+        let m = engine.monitor().unwrap();
+        assert_eq!(m.round_violations(), 0);
+        assert_eq!(m.floor_violations(), 0);
+        assert_eq!(m.overdraw_events(), 0);
+        assert_eq!(engine.loads().total(), 1003);
+    }
+
+    #[test]
+    fn send_round_is_self_preferring_with_extra_laziness() {
+        // d = 2, d° = 4 > d ⇒ d⁺ = 6 > 2d: good s-balancer regime.
+        let gp =
+            BalancingGraph::with_self_loops(generators::cycle(8).unwrap(), 4).unwrap();
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 1009));
+        engine.attach_monitor();
+        engine.run(&mut SendRound::new(), 300).unwrap();
+        let m = engine.monitor().unwrap();
+        assert_eq!(m.round_violations(), 0);
+        let s = m.witnessed_s();
+        assert!(
+            s.is_none() || s.unwrap() >= 1,
+            "witnessed s = {s:?}, expected >= 1 for d+ > 2d"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires d°")]
+    fn send_round_rejects_insufficient_self_loops() {
+        let gp =
+            BalancingGraph::with_self_loops(generators::cycle(4).unwrap(), 1).unwrap();
+        let loads = LoadVector::uniform(4, 5);
+        let mut plan = FlowPlan::for_graph(&gp);
+        SendRound::new().plan(&gp, &loads, &mut plan);
+    }
+
+    #[test]
+    fn both_schemes_report_stateless_deterministic() {
+        assert!(SendFloor::new().is_stateless());
+        assert!(SendFloor::new().is_deterministic());
+        assert!(!SendFloor::new().may_overdraw());
+        assert!(SendRound::new().is_stateless());
+        assert!(SendRound::new().is_deterministic());
+        assert!(!SendRound::new().may_overdraw());
+    }
+
+    #[test]
+    fn send_floor_balances_to_within_theorem_bound_on_cycle() {
+        // Theorem 2.3 (ii): O(d√n) discrepancy; on a 16-cycle with
+        // d = 2 the final discrepancy should be far below the initial.
+        let gp = lazy_cycle(16);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(16, 3200));
+        engine.run(&mut SendFloor::new(), 5000).unwrap();
+        assert!(engine.loads().discrepancy() <= 2 * 4 + 4);
+    }
+}

@@ -1,0 +1,178 @@
+use crate::{GraphError, NodeId, RegularGraph};
+
+/// Incremental builder for [`RegularGraph`] values.
+///
+/// Generators and tests add undirected edges one at a time; the terminal
+/// [`build`](GraphBuilder::build) method checks d-regularity and hands the
+/// result to [`RegularGraph::from_adjacency`] for full validation.
+///
+/// Port numbering follows insertion order: the i-th edge added at node `u`
+/// becomes `u`'s original port `i`. This determinism matters for the
+/// rotor-router experiments, where port order is part of the adversary's
+/// power (Theorem 4.3).
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4, 2);
+/// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+///     b.add_edge(u, v)?;
+/// }
+/// let g = b.build()?;
+/// assert_eq!(g.degree(), 2);
+/// # Ok::<(), dlb_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    d: usize,
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes of target degree `d`.
+    pub fn new(n: usize, d: usize) -> Self {
+        GraphBuilder {
+            n,
+            d,
+            adjacency: vec![Vec::with_capacity(d); n],
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an endpoint is out of range, `u == v`, the edge
+    /// already exists, or either endpoint already has `d` edges.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::NotSimple { from: u, to: v });
+        }
+        if self.adjacency[u].contains(&(v as u32)) {
+            return Err(GraphError::NotSimple { from: u, to: v });
+        }
+        if self.adjacency[u].len() >= self.d || self.adjacency[v].len() >= self.d {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("edge ({u}, {v}) would exceed target degree {}", self.d),
+            });
+        }
+        self.adjacency[u].push(v as u32);
+        self.adjacency[v].push(u as u32);
+        Ok(())
+    }
+
+    /// Whether the edge `{u, v}` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.n && self.adjacency[u].contains(&(v as u32))
+    }
+
+    /// Current degree of node `u`.
+    pub fn degree_of(&self, u: NodeId) -> usize {
+        self.adjacency[u].len()
+    }
+
+    /// Number of undirected edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Finalises the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotRegular`] if some node does not have
+    /// exactly `d` edges, and propagates any validation error from
+    /// [`RegularGraph::from_adjacency`].
+    pub fn build(self) -> Result<RegularGraph, GraphError> {
+        for (u, nbrs) in self.adjacency.iter().enumerate() {
+            if nbrs.len() != self.d {
+                return Err(GraphError::NotRegular {
+                    node: u,
+                    found: nbrs.len(),
+                    expected: self.d,
+                });
+            }
+        }
+        let flat: Vec<u32> = self.adjacency.into_iter().flatten().collect();
+        RegularGraph::from_adjacency(self.n, self.d, flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_cycle_of_four() {
+        let mut b = GraphBuilder::new(4, 2);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn ports_follow_insertion_order() {
+        let mut b = GraphBuilder::new(4, 2);
+        b.add_edge(0, 3).unwrap();
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build().unwrap();
+        // Node 0 saw 3 first, then 1.
+        assert_eq!(g.neighbors(0), &[3, 1]);
+    }
+
+    #[test]
+    fn rejects_duplicate_edges() {
+        let mut b = GraphBuilder::new(3, 2);
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.add_edge(1, 0), Err(GraphError::NotSimple { from: 1, to: 0 }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(3, 2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::NotSimple { from: 1, to: 1 }));
+    }
+
+    #[test]
+    fn rejects_degree_overflow() {
+        let mut b = GraphBuilder::new(4, 1);
+        b.add_edge(0, 1).unwrap();
+        let err = b.add_edge(0, 2).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn build_fails_on_underfull_node() {
+        let mut b = GraphBuilder::new(4, 2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, GraphError::NotRegular { .. }));
+    }
+
+    #[test]
+    fn degree_and_edge_counts_track_insertions() {
+        let mut b = GraphBuilder::new(4, 3);
+        assert_eq!(b.num_edges(), 0);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        assert_eq!(b.degree_of(0), 2);
+        assert_eq!(b.degree_of(3), 0);
+        assert_eq!(b.num_edges(), 2);
+        assert!(b.has_edge(2, 0));
+    }
+}

@@ -1,0 +1,158 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating graphs.
+///
+/// Every constructor in this crate validates its input eagerly; a
+/// successfully constructed [`RegularGraph`](crate::RegularGraph) or
+/// [`BalancingGraph`](crate::BalancingGraph) is guaranteed to satisfy the
+/// structural invariants of the paper's model (symmetric, d-regular,
+/// simple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The requested number of nodes is zero or otherwise unusable.
+    EmptyGraph,
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A node's degree does not match the declared degree `d`.
+    NotRegular {
+        /// The node with the wrong degree.
+        node: usize,
+        /// The degree that node has.
+        found: usize,
+        /// The degree the graph declares.
+        expected: usize,
+    },
+    /// The edge `(u, v)` is present but its reverse `(v, u)` is not.
+    NotSymmetric {
+        /// Tail of the unmatched directed edge.
+        from: usize,
+        /// Head of the unmatched directed edge.
+        to: usize,
+    },
+    /// The original graph contains a self-loop or a repeated edge.
+    ///
+    /// The paper assumes the input graph `G` is simple (§1.3); self-loops
+    /// enter only through the balancing graph `G⁺`.
+    NotSimple {
+        /// One endpoint of the repeated or degenerate edge.
+        from: usize,
+        /// The other endpoint.
+        to: usize,
+    },
+    /// Parameters are structurally impossible (e.g. odd `n·d`, `d ≥ n`).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A randomized generator exhausted its retry budget.
+    GenerationFailed {
+        /// Name of the generator that failed.
+        generator: &'static str,
+        /// Number of attempts performed before giving up.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyGraph => write!(f, "graph must have at least one node"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::NotRegular {
+                node,
+                found,
+                expected,
+            } => write!(
+                f,
+                "node {node} has degree {found}, expected regular degree {expected}"
+            ),
+            GraphError::NotSymmetric { from, to } => write!(
+                f,
+                "directed edge ({from}, {to}) has no reverse edge ({to}, {from})"
+            ),
+            GraphError::NotSimple { from, to } => write!(
+                f,
+                "edge ({from}, {to}) makes the original graph non-simple"
+            ),
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid graph parameters: {reason}")
+            }
+            GraphError::GenerationFailed {
+                generator,
+                attempts,
+            } => write!(
+                f,
+                "generator `{generator}` failed to produce a valid graph after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::EmptyGraph, "at least one node"),
+            (
+                GraphError::NodeOutOfRange { node: 7, n: 4 },
+                "node index 7 out of range",
+            ),
+            (
+                GraphError::NotRegular {
+                    node: 1,
+                    found: 3,
+                    expected: 4,
+                },
+                "degree 3",
+            ),
+            (
+                GraphError::NotSymmetric { from: 0, to: 2 },
+                "no reverse edge",
+            ),
+            (GraphError::NotSimple { from: 5, to: 5 }, "non-simple"),
+            (
+                GraphError::InvalidParameters {
+                    reason: "d must be < n".into(),
+                },
+                "d must be < n",
+            ),
+            (
+                GraphError::GenerationFailed {
+                    generator: "random_regular",
+                    attempts: 100,
+                },
+                "random_regular",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message {msg:?} should contain {needle:?}"
+            );
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase(), "message should start lowercase: {msg}");
+            assert!(!msg.ends_with('.'), "message should not end with a period");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

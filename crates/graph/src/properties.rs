@@ -1,0 +1,184 @@
+//! Structural graph properties: bipartiteness and odd girth.
+//!
+//! Theorem 4.3 bounds the rotor-router's discrepancy on non-bipartite
+//! graphs without self-loops by `Ω(d·φ(G))`, where `2φ(G) + 1` is the
+//! **odd girth** — the length of the shortest odd cycle. These checks
+//! are exact (BFS per node, `O(n·m)`), sized for the experiment graphs.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, RegularGraph};
+
+/// Whether the graph is bipartite (contains no odd cycle).
+///
+/// Bipartite graphs have no odd girth; the Theorem 4.3 construction
+/// requires non-bipartite input.
+pub fn is_bipartite(graph: &RegularGraph) -> bool {
+    let n = graph.num_nodes();
+    let mut color = vec![u8::MAX; n];
+    for start in 0..n {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    queue.push_back(v);
+                } else if color[v] == color[u] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The odd girth: the length of the shortest odd-length cycle, or `None`
+/// if the graph is bipartite.
+///
+/// Computed by BFS from every node: an edge `{u, v}` with
+/// `dist(s, u) == dist(s, v)` closes an odd cycle of length
+/// `dist(s,u) + dist(s,v) + 1` through `s`; minimising over all sources
+/// and edges yields the exact odd girth.
+pub fn odd_girth(graph: &RegularGraph) -> Option<u32> {
+    let n = graph.num_nodes();
+    let mut best: Option<u32> = None;
+    for s in 0..n {
+        let dist = bfs_levels(graph, s);
+        for u in 0..n {
+            let du = dist[u];
+            if du == u32::MAX {
+                continue;
+            }
+            for &v in graph.neighbors(u) {
+                let v = v as usize;
+                if u < v && dist[v] == du {
+                    let cycle_len = 2 * du + 1;
+                    best = Some(best.map_or(cycle_len, |b| b.min(cycle_len)));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The paper's `φ(G)`, defined through `2φ(G) + 1 =` odd girth; `None`
+/// for bipartite graphs.
+///
+/// Theorem 4.3: the rotor-router without self-loops can be stuck at
+/// discrepancy `Ω(d·φ(G))`.
+pub fn odd_girth_radius(graph: &RegularGraph) -> Option<u32> {
+    odd_girth(graph).map(|g| (g - 1) / 2)
+}
+
+fn bfs_levels(graph: &RegularGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == u32::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Summary of a graph's structural properties, as printed by experiment
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphProperties {
+    /// Number of nodes.
+    pub n: usize,
+    /// Regular degree.
+    pub d: usize,
+    /// Exact diameter (`None` when disconnected).
+    pub diameter: Option<u32>,
+    /// Whether the graph is bipartite.
+    pub bipartite: bool,
+    /// Odd girth (`None` when bipartite).
+    pub odd_girth: Option<u32>,
+}
+
+/// Computes the full [`GraphProperties`] summary (exact, `O(n·m)`).
+pub fn summarize(graph: &RegularGraph) -> GraphProperties {
+    GraphProperties {
+        n: graph.num_nodes(),
+        d: graph.degree(),
+        diameter: crate::traversal::diameter(graph),
+        bipartite: is_bipartite(graph),
+        odd_girth: odd_girth(graph),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn even_cycles_are_bipartite() {
+        assert!(is_bipartite(&generators::cycle(8).unwrap()));
+        assert_eq!(odd_girth(&generators::cycle(8).unwrap()), None);
+    }
+
+    #[test]
+    fn odd_cycles_have_odd_girth_n() {
+        for n in [3usize, 5, 9, 15] {
+            let g = generators::cycle(n).unwrap();
+            assert!(!is_bipartite(&g));
+            assert_eq!(odd_girth(&g), Some(n as u32), "n = {n}");
+            assert_eq!(odd_girth_radius(&g), Some(((n - 1) / 2) as u32));
+        }
+    }
+
+    #[test]
+    fn hypercube_is_bipartite() {
+        assert!(is_bipartite(&generators::hypercube(4).unwrap()));
+    }
+
+    #[test]
+    fn complete_graph_odd_girth_is_three() {
+        let g = generators::complete(5).unwrap();
+        assert_eq!(odd_girth(&g), Some(3));
+        assert_eq!(odd_girth_radius(&g), Some(1));
+    }
+
+    #[test]
+    fn petersen_odd_girth_is_five() {
+        assert_eq!(odd_girth(&generators::petersen()), Some(5));
+        assert_eq!(odd_girth_radius(&generators::petersen()), Some(2));
+    }
+
+    #[test]
+    fn complete_bipartite_is_bipartite() {
+        assert!(is_bipartite(&generators::complete_bipartite(4).unwrap()));
+    }
+
+    #[test]
+    fn chorded_cycle_odd_girth() {
+        // C_9 with offset-3 chords: triangle 0-3-6? 0~3, 3~6, 6~0 via
+        // offset 3: yes — odd girth 3.
+        let g = generators::chorded_cycle(9, 3).unwrap();
+        assert_eq!(odd_girth(&g), Some(3));
+    }
+
+    #[test]
+    fn summarize_reports_consistent_fields() {
+        let g = generators::cycle(7).unwrap();
+        let p = summarize(&g);
+        assert_eq!(p.n, 7);
+        assert_eq!(p.d, 2);
+        assert_eq!(p.diameter, Some(3));
+        assert!(!p.bipartite);
+        assert_eq!(p.odd_girth, Some(7));
+    }
+}

@@ -1,0 +1,285 @@
+use crate::GraphError;
+
+/// Index of a node in a graph. Nodes are anonymous (the paper requires no
+/// identifiers, §1.3); indices exist only so loads and flows can be stored
+/// in flat vectors.
+pub type NodeId = usize;
+
+/// A symmetric d-regular graph `G = (V, E)` in compressed sparse row form.
+///
+/// This is the *original graph* of the paper's model (§1.3): every node
+/// has exactly `d` incident original edges, every directed edge has its
+/// reverse, and the graph is simple (no self-loops, no repeated edges).
+/// These invariants are validated at construction time and hold for every
+/// value of this type.
+///
+/// Neighbours of node `u` occupy the slice
+/// `adjacency[u*d .. (u+1)*d]`; the position of a neighbour within that
+/// slice is the node's **original-edge port number**, which balancers use
+/// to address edges without global identifiers.
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::generators;
+///
+/// let g = generators::hypercube(4)?;
+/// assert_eq!(g.num_nodes(), 16);
+/// assert_eq!(g.degree(), 4);
+/// assert_eq!(g.num_edges(), 16 * 4 / 2);
+/// // Neighbour lists are sorted, so ports are deterministic.
+/// assert_eq!(g.neighbors(0), &[1, 2, 4, 8]);
+/// # Ok::<(), dlb_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegularGraph {
+    n: usize,
+    d: usize,
+    /// Flat adjacency: `adjacency[u*d + p]` is the neighbour of `u` behind
+    /// original port `p`.
+    adjacency: Vec<u32>,
+}
+
+impl RegularGraph {
+    /// Builds a graph from a flat adjacency table, validating regularity,
+    /// symmetry and simplicity.
+    ///
+    /// `adjacency` must have length `n * d` and `adjacency[u*d..][..d]`
+    /// must list the neighbours of node `u` (in any order; they are kept
+    /// as given so generators control port numbering).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if `n == 0`, the table has the wrong shape,
+    /// an index is out of range, some node's neighbour list contains
+    /// duplicates or `u` itself, or some directed edge has no reverse.
+    pub fn from_adjacency(n: usize, d: usize, adjacency: Vec<u32>) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::EmptyGraph);
+        }
+        if d >= n {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("degree d = {d} must be smaller than n = {n}"),
+            });
+        }
+        if adjacency.len() != n * d {
+            return Err(GraphError::InvalidParameters {
+                reason: format!(
+                    "adjacency table has {} entries, expected n*d = {}",
+                    adjacency.len(),
+                    n * d
+                ),
+            });
+        }
+        let graph = RegularGraph { n, d, adjacency };
+        graph.validate()?;
+        Ok(graph)
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        let n = self.n;
+        let d = self.d;
+        // Range + simplicity per node.
+        let mut seen = vec![false; n];
+        for u in 0..n {
+            let nbrs = self.neighbors(u);
+            for &v in nbrs {
+                let v = v as usize;
+                if v >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if v == u {
+                    return Err(GraphError::NotSimple { from: u, to: v });
+                }
+                if seen[v] {
+                    return Err(GraphError::NotSimple { from: u, to: v });
+                }
+                seen[v] = true;
+            }
+            for &v in nbrs {
+                seen[v as usize] = false;
+            }
+        }
+        // Symmetry: every directed edge has a reverse.
+        for u in 0..n {
+            for &v in self.neighbors(u) {
+                let v = v as usize;
+                if !self.neighbors(v).contains(&(u as u32)) {
+                    return Err(GraphError::NotSymmetric { from: u, to: v });
+                }
+            }
+        }
+        let _ = d;
+        Ok(())
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The regular degree `d` (number of original edges per node).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.d
+    }
+
+    /// Number of undirected edges `|E| = n·d/2`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.n * self.d / 2
+    }
+
+    /// Neighbours of `u`, indexed by original port number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[u32] {
+        &self.adjacency[u * self.d..(u + 1) * self.d]
+    }
+
+    /// The neighbour of `u` behind original port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()` or `p >= self.degree()`.
+    #[inline]
+    pub fn neighbor(&self, u: NodeId, p: usize) -> NodeId {
+        debug_assert!(p < self.d);
+        self.adjacency[u * self.d + p] as NodeId
+    }
+
+    /// The port of `v` through which the edge `(u, v)` arrives back at
+    /// `u`, i.e. the reverse-port map. Returns `None` if `(u, v)` is not
+    /// an edge.
+    ///
+    /// Balancers use this to route a token sent by `u` on port `p` into
+    /// `v`'s load without a global edge table.
+    pub fn reverse_port(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        self.neighbors(v).iter().position(|&w| w as usize == u)
+    }
+
+    /// Iterates over all directed edges `(u, p, v)` — node, original
+    /// port, neighbour.
+    pub fn directed_edges(&self) -> impl Iterator<Item = (NodeId, usize, NodeId)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .enumerate()
+                .map(move |(p, &v)| (u, p, v as NodeId))
+        })
+    }
+
+    /// Iterates over all undirected edges `{u, v}` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.directed_edges()
+            .filter(|&(u, _, v)| u < v)
+            .map(|(u, _, v)| (u, v))
+    }
+
+    /// Whether `{u, v}` is an edge of the graph.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u < self.n && self.neighbors(u).contains(&(v as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> RegularGraph {
+        // K3: each node adjacent to the other two.
+        RegularGraph::from_adjacency(3, 2, vec![1, 2, 0, 2, 0, 1]).unwrap()
+    }
+
+    #[test]
+    fn triangle_basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.degree(), 2);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbor(1, 0), 0);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn reverse_port_roundtrip() {
+        let g = triangle();
+        for (u, p, v) in g.directed_edges().collect::<Vec<_>>() {
+            let back = g.reverse_port(u, v).expect("edge must have reverse");
+            assert_eq!(g.neighbor(v, back), u);
+            let _ = p;
+        }
+    }
+
+    #[test]
+    fn reverse_port_absent_for_non_edges() {
+        // C4: 0-1-2-3-0; (0,2) is not an edge.
+        let g = RegularGraph::from_adjacency(4, 2, vec![1, 3, 0, 2, 1, 3, 0, 2]).unwrap();
+        assert_eq!(g.reverse_port(0, 2), None);
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert_eq!(
+            RegularGraph::from_adjacency(0, 0, vec![]),
+            Err(GraphError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn rejects_degree_not_below_n() {
+        let err = RegularGraph::from_adjacency(3, 3, vec![0; 9]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_table_shape() {
+        let err = RegularGraph::from_adjacency(3, 2, vec![1, 2, 0]).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        let err = RegularGraph::from_adjacency(3, 2, vec![1, 9, 0, 2, 0, 1]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 9, n: 3 });
+    }
+
+    #[test]
+    fn rejects_self_loop_in_original_graph() {
+        let err = RegularGraph::from_adjacency(3, 2, vec![0, 2, 2, 0, 0, 1]).unwrap_err();
+        assert_eq!(err, GraphError::NotSimple { from: 0, to: 0 });
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = RegularGraph::from_adjacency(4, 2, vec![1, 1, 0, 2, 1, 3, 0, 2]).unwrap_err();
+        assert_eq!(err, GraphError::NotSimple { from: 0, to: 1 });
+    }
+
+    #[test]
+    fn rejects_asymmetric_adjacency() {
+        // 0 lists 1, but 1 does not list 0.
+        let err = RegularGraph::from_adjacency(4, 2, vec![1, 3, 2, 3, 1, 3, 0, 2]).unwrap_err();
+        assert!(matches!(err, GraphError::NotSymmetric { .. }));
+    }
+
+    #[test]
+    fn edges_are_each_listed_once() {
+        let g = triangle();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn directed_edges_count_is_nd() {
+        let g = triangle();
+        assert_eq!(g.directed_edges().count(), 3 * 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Breadth-first traversal utilities: distances, eccentricity, diameter
+//! and connectivity.
+//!
+//! The lower-bound constructions of Section 4 are built on the distance
+//! labelling `b(v) = dist(v, u)` (Theorems 4.1 and 4.3), and the
+//! Ω(d·diam) statements need exact diameters for verification.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, RegularGraph};
+
+/// Sentinel distance for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `source`; unreachable nodes get
+/// [`UNREACHABLE`].
+///
+/// This is the labelling `b(v)` used by the proofs of Theorems 4.1 and
+/// 4.3.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &RegularGraph, source: NodeId) -> Vec<u32> {
+    assert!(source < graph.num_nodes(), "source out of range");
+    let mut dist = vec![UNREACHABLE; graph.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        for &v in graph.neighbors(u) {
+            let v = v as usize;
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The eccentricity of `source`: the largest finite BFS distance from it.
+///
+/// Returns `None` if some node is unreachable from `source`.
+pub fn eccentricity(graph: &RegularGraph, source: NodeId) -> Option<u32> {
+    let dist = bfs_distances(graph, source);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// Whether the graph is connected.
+pub fn is_connected(graph: &RegularGraph) -> bool {
+    eccentricity(graph, 0).is_some()
+}
+
+/// The exact diameter, by running BFS from every node (`O(n·m)`).
+///
+/// Returns `None` for disconnected graphs. Suitable for the experiment
+/// sizes in this reproduction (n ≤ ~10⁴ for diameter-verified runs);
+/// use [`diameter_double_sweep`] for a fast lower estimate on larger
+/// graphs.
+pub fn diameter(graph: &RegularGraph) -> Option<u32> {
+    let mut best = 0;
+    for u in 0..graph.num_nodes() {
+        best = best.max(eccentricity(graph, u)?);
+    }
+    Some(best)
+}
+
+/// A lower bound on the diameter via the classic double-sweep heuristic:
+/// BFS from `start`, then BFS from the farthest node found. Exact on
+/// trees and usually tight on the families used here.
+///
+/// Returns `None` for disconnected graphs.
+pub fn diameter_double_sweep(graph: &RegularGraph, start: NodeId) -> Option<u32> {
+    let d1 = bfs_distances(graph, start);
+    let (far, &best) = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| if d == UNREACHABLE { 0 } else { d })?;
+    if best == UNREACHABLE || d1.contains(&UNREACHABLE) {
+        return None;
+    }
+    eccentricity(graph, far)
+}
+
+/// A farthest pair `(u, w)` realising the double-sweep distance, used by
+/// the Theorem 4.1 construction which needs two nodes at distance
+/// ~diam(G).
+pub fn farthest_pair(graph: &RegularGraph, start: NodeId) -> Option<(NodeId, NodeId, u32)> {
+    let d1 = bfs_distances(graph, start);
+    if d1.contains(&UNREACHABLE) {
+        return None;
+    }
+    let u = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .map(|(i, _)| i)?;
+    let d2 = bfs_distances(graph, u);
+    let (w, &dist) = d2.iter().enumerate().max_by_key(|&(_, &d)| d)?;
+    Some((u, w, dist))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_cycle_is_ring_distance() {
+        let g = generators::cycle(8).unwrap();
+        let dist = bfs_distances(&g, 0);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn cycle_diameter_is_half_n() {
+        for n in [4usize, 5, 9, 16] {
+            let g = generators::cycle(n).unwrap();
+            assert_eq!(diameter(&g), Some((n / 2) as u32), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn hypercube_diameter_is_dimension() {
+        let g = generators::hypercube(5).unwrap();
+        assert_eq!(diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn torus_diameter_is_sum_of_half_sides() {
+        let g = generators::torus(2, 5).unwrap();
+        assert_eq!(diameter(&g), Some(4)); // 2 + 2
+    }
+
+    #[test]
+    fn complete_graph_diameter_is_one() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn double_sweep_matches_exact_on_cycle() {
+        let g = generators::cycle(17).unwrap();
+        assert_eq!(diameter_double_sweep(&g, 3), diameter(&g));
+    }
+
+    #[test]
+    fn petersen_has_diameter_two() {
+        let g = generators::petersen();
+        assert_eq!(diameter(&g), Some(2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn farthest_pair_realises_diameter_on_cycle() {
+        let g = generators::cycle(10).unwrap();
+        let (u, w, dist) = farthest_pair(&g, 2).unwrap();
+        assert_eq!(dist, 5);
+        let d = bfs_distances(&g, u);
+        assert_eq!(d[w], 5);
+    }
+
+    #[test]
+    fn eccentricity_of_cycle_node() {
+        let g = generators::cycle(9).unwrap();
+        assert_eq!(eccentricity(&g, 4), Some(4));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the graph substrate: every generator must emit
+//! structurally valid graphs across its whole parameter range, and the
+//! traversal/property algorithms must agree with closed forms.
+
+use dlb_graph::{generators, properties, traversal, BalancingGraph, PortOrder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cycles_are_valid_and_have_known_shape(n in 3usize..200) {
+        let g = generators::cycle(n).unwrap();
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.degree(), 2);
+        prop_assert_eq!(g.num_edges(), n);
+        prop_assert_eq!(traversal::diameter(&g), Some((n / 2) as u32));
+        prop_assert_eq!(properties::is_bipartite(&g), n % 2 == 0);
+        if n % 2 == 1 {
+            prop_assert_eq!(properties::odd_girth(&g), Some(n as u32));
+        }
+    }
+
+    #[test]
+    fn circulants_are_symmetric_and_vertex_transitive_in_degree(
+        n in 7usize..120,
+        o2 in 2usize..3,
+    ) {
+        let g = generators::circulant(n, &[1, o2]).unwrap();
+        prop_assert_eq!(g.degree(), 4);
+        for (u, _, v) in g.directed_edges() {
+            prop_assert!(g.has_edge(v, u), "missing reverse of ({u}, {v})");
+        }
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_valid_across_degrees(
+        n in 10usize..80,
+        d in 3usize..9,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(n * d % 2 == 0 && d < n / 2);
+        let g = generators::random_regular(n, d, seed).unwrap();
+        prop_assert_eq!(g.degree(), d);
+        prop_assert_eq!(g.num_edges(), n * d / 2);
+        // from_adjacency validated symmetry/simplicity; spot-check the
+        // reverse-port map is total.
+        for (u, _, v) in g.directed_edges() {
+            prop_assert!(g.reverse_port(u, v).is_some());
+        }
+    }
+
+    #[test]
+    fn bfs_distance_is_symmetric_on_random_graphs(
+        n in 8usize..48,
+        seed in 0u64..30,
+    ) {
+        let g = generators::random_regular(n, 4, seed).unwrap();
+        let from0 = traversal::bfs_distances(&g, 0);
+        #[allow(clippy::needless_range_loop)] // v is a node id, not a position
+        for v in 1..n.min(6) {
+            let fromv = traversal::bfs_distances(&g, v);
+            prop_assert_eq!(from0[v], fromv[0], "d(0,{}) != d({},0)", v, v);
+        }
+    }
+
+    #[test]
+    fn all_port_orders_are_permutations(
+        n in 4usize..40,
+        d_self in 0usize..9,
+        seed in 0u64..20,
+    ) {
+        let g = generators::cycle(n).unwrap();
+        let gp = BalancingGraph::with_self_loops(g, d_self).unwrap();
+        let d_plus = gp.degree_plus();
+        for order in [
+            PortOrder::Sequential,
+            PortOrder::Interleaved,
+            PortOrder::Shuffled { seed },
+        ] {
+            let seq = order.sequence_for(&gp, n / 2).unwrap();
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            let expect: Vec<u16> = (0..d_plus as u16).collect();
+            prop_assert_eq!(sorted, expect, "{:?}", order);
+        }
+    }
+
+    #[test]
+    fn torus_diameter_closed_form(r in 1usize..3, side in 3usize..8) {
+        let g = generators::torus(r, side).unwrap();
+        let expect = (r * (side / 2)) as u32;
+        prop_assert_eq!(traversal::diameter(&g), Some(expect));
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming(dim in 1usize..8) {
+        let g = generators::hypercube(dim).unwrap();
+        let dist = traversal::bfs_distances(&g, 0);
+        for (u, &du) in dist.iter().enumerate() {
+            prop_assert_eq!(du, (u as u32).count_ones(), "node {}", u);
+        }
+    }
+
+    #[test]
+    fn clique_circulant_has_the_clique(n_mult in 5usize..12, half in 2usize..6) {
+        let d = 2 * half;
+        let n = n_mult * d;
+        let g = generators::clique_circulant(n, d).unwrap();
+        // Nodes 0..half are pairwise adjacent (distance < half on the
+        // ring in one direction or the other).
+        for i in 0..half {
+            for j in 0..half {
+                if i != j {
+                    prop_assert!(g.has_edge(i, j), "({},{}) missing, d = {}", i, j, d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_bounded_by_diameter(n in 6usize..40, seed in 0u64..20) {
+        let g = generators::random_regular(n, 4, seed).unwrap();
+        let diam = traversal::diameter(&g).unwrap();
+        for u in 0..n.min(8) {
+            let ecc = traversal::eccentricity(&g, u).unwrap();
+            prop_assert!(ecc <= diam);
+            prop_assert!(2 * ecc >= diam, "eccentricity at least half diameter");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! E9 — the mechanism behind Theorems 2.3/3.3: the deviation
+//! `‖x_t − P^t·x₁‖_∞` between each discrete scheme and the continuous
+//! process it shadows.
+//!
+//! The paper's proofs never reason about the discrepancy directly; they
+//! bound the sup distance to the continuous trajectory via the
+//! corrective-vector expansion (equation (6)) and let the continuous
+//! convergence do the rest. This experiment plots that quantity: for
+//! cumulatively fair schemes it stays `O(d·√(log n/µ))` uniformly in
+//! `t`, for the \[4\]-mimic it stays `O(d)` by construction, and for the
+//! cumulatively unfair adversary it drifts.
+
+use crate::deviation::DeviationProbe;
+use crate::init;
+use crate::report::Table;
+use crate::runner::{RunError, Runner};
+use crate::suite::{GraphSpec, SchemeSpec};
+use dlb_graph::BalancingGraph;
+
+const MEAN_LOAD: i64 = 50;
+
+/// Runs E9 and renders the max-deviation table with a coarse
+/// trajectory (deviation at 1/4, 1/2, 3/4 and full horizon).
+///
+/// # Errors
+///
+/// Propagates instance-construction and engine errors.
+pub fn deviation_trace(quick: bool) -> Result<Table, RunError> {
+    let spec = if quick {
+        GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 }
+    } else {
+        GraphSpec::RandomRegular { n: 512, d: 4, seed: 42 }
+    };
+    let graph = spec.build()?;
+    let n = graph.num_nodes();
+    let d = graph.degree();
+    let gp = BalancingGraph::lazy(graph);
+    let runner = Runner::default();
+    let k = (MEAN_LOAD * n as i64) as u64;
+    let steps = runner.horizon_steps(&spec, d, n, k)?;
+    let initial = init::point_mass(n, MEAN_LOAD * n as i64);
+    let mu = 1.0 - spec.lambda2(d)?;
+    let fair_bound = d as f64 * ((n as f64).ln() / mu).sqrt();
+
+    let mut table = Table::new(
+        format!(
+            "E9: ‖x_t − P^t·x₁‖∞ on {} over 4T = {steps} steps (Thm 2.3 mechanism; fair bound d·√(ln n/µ) = {fair_bound:.1})",
+            spec.label()
+        ),
+        &["scheme", "dev@T", "dev@2T", "dev@3T", "dev@4T", "max dev", "final disc"],
+    );
+
+    let quarter = (steps / 4).max(1);
+    let probe = DeviationProbe {
+        sample_every: quarter,
+    };
+    for scheme in [
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+        SchemeSpec::ContinuousMimic,
+        SchemeSpec::RoundFairFirstPorts,
+        SchemeSpec::RandomizedExtra { seed: 7 },
+    ] {
+        let trace = probe.run(&gp, &scheme, &initial, steps)?;
+        let at = |t: usize| -> String {
+            trace
+                .samples
+                .iter()
+                .find(|s| s.step >= t)
+                .map(|s| format!("{:.1}", s.deviation))
+                .unwrap_or_else(|| "-".into())
+        };
+        let fair = matches!(
+            scheme,
+            SchemeSpec::SendFloor | SchemeSpec::SendRound | SchemeSpec::RotorRouter
+        );
+        if fair {
+            assert!(
+                trace.max_deviation() <= fair_bound,
+                "{}: deviation {:.1} exceeds the fair-class bound {:.1}",
+                scheme.label(),
+                trace.max_deviation(),
+                fair_bound
+            );
+        }
+        table.push_row(vec![
+            scheme.label(),
+            at(quarter),
+            at(2 * quarter),
+            at(3 * quarter),
+            at(steps),
+            format!("{:.1}", trace.max_deviation()),
+            trace.last().discrepancy.to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_trace_runs_and_fair_schemes_meet_bound() {
+        let t = deviation_trace(true).unwrap();
+        assert_eq!(t.num_rows(), 6);
+        assert!(t.render().contains("ROTOR-ROUTER"));
+    }
+}

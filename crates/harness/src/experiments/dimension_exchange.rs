@@ -1,0 +1,107 @@
+//! E8 — the diffusive vs dimension-exchange contrast (§1.2).
+//!
+//! "Whereas for all diffusion algorithms considered so far the
+//! discrepancy in the diffusion model is at least d, dimension
+//! exchange algorithms are able to balance the load up to an additive
+//! constant." The experiment measures exactly this: as `d` grows, the
+//! best diffusive schemes' final discrepancy tracks `Θ(d)` (here
+//! represented by the rotor-router and the \[4\]-mimic), while the
+//! random-matching and balancing-circuit dimension-exchange balancers
+//! stay at `O(1)`.
+
+use crate::init;
+use crate::report::Table;
+use crate::runner::{RunError, Runner};
+use crate::suite::{GraphSpec, SchemeSpec};
+use dlb_graph::BalancingGraph;
+use dlb_matching::{BalancingCircuit, MatchingEngine, PairRule, RandomMatchings};
+
+const MEAN_LOAD: i64 = 50;
+
+/// Runs E8 and renders the contrast table.
+///
+/// # Errors
+///
+/// Propagates instance-construction and engine errors; fails if the
+/// dimension-exchange models do not reach `O(1)` discrepancy.
+pub fn dimension_exchange(quick: bool) -> Result<Table, RunError> {
+    let degrees: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 24] };
+    let n = if quick { 64 } else { 256 };
+    let runner = Runner::default();
+
+    let mut table = Table::new(
+        format!("E8: diffusive vs dimension-exchange on random d-regular graphs (n = {n})"),
+        &[
+            "d",
+            "steps (4T)",
+            "rotor-router (diff.)",
+            "cont.-mimic (diff.)",
+            "random matching (dim-ex)",
+            "balancing circuit (dim-ex)",
+        ],
+    );
+
+    for &d in degrees {
+        let spec = GraphSpec::RandomRegular { n, d, seed: 42 };
+        let graph = spec.build()?;
+        let k = (MEAN_LOAD * n as i64) as u64;
+        let steps = runner.horizon_steps(&spec, d, n, k)?;
+        let initial = init::point_mass(n, MEAN_LOAD * n as i64);
+
+        let gp = BalancingGraph::lazy(graph.clone());
+        let rotor = runner.run_for(&gp, &SchemeSpec::RotorRouter, &initial, steps)?;
+        let mimic = runner.run_for(&gp, &SchemeSpec::ContinuousMimic, &initial, steps)?;
+
+        // Dimension exchange gets the same number of communication
+        // rounds. Random matching model:
+        let mut random_sched = RandomMatchings::new(&graph, 7);
+        let mut dimex = MatchingEngine::new(initial.clone());
+        dimex
+            .run(&mut random_sched, PairRule::CoinFlip { seed: 3 }, steps)
+            .map_err(|e| RunError::Graph(dlb_graph::GraphError::InvalidParameters {
+                reason: format!("matching engine failed: {e}"),
+            }))?;
+        let random_disc = dimex.loads().discrepancy();
+
+        // Balancing-circuit (periodic) model:
+        let mut circuit = BalancingCircuit::new(&graph).map_err(|e| {
+            RunError::Graph(dlb_graph::GraphError::InvalidParameters {
+                reason: format!("edge coloring failed: {e}"),
+            })
+        })?;
+        let mut periodic = MatchingEngine::new(initial.clone());
+        periodic
+            .run(&mut circuit, PairRule::ExtraToLarger, steps)
+            .map_err(|e| RunError::Graph(dlb_graph::GraphError::InvalidParameters {
+                reason: format!("matching engine failed: {e}"),
+            }))?;
+        let circuit_disc = periodic.loads().discrepancy();
+
+        assert!(
+            random_disc <= 4,
+            "random matching model should reach O(1), got {random_disc} at d = {d}"
+        );
+
+        table.push_row(vec![
+            d.to_string(),
+            steps.to_string(),
+            rotor.final_discrepancy.to_string(),
+            mimic.final_discrepancy.to_string(),
+            random_disc.to_string(),
+            circuit_disc.to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_contrast_runs() {
+        let t = dimension_exchange(true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.render().contains("dim-ex"));
+    }
+}

@@ -1,0 +1,158 @@
+//! E1 — the empirical Table 1.
+//!
+//! For every scheme and every graph in the suite: run for `4T` steps
+//! from a point-mass start and report the final discrepancy, alongside
+//! the paper's property columns (D/SL/NL/NC) — which are not just
+//! printed but *verified*: the run is instrumented, and a scheme whose
+//! monitor contradicts its declared flags fails the experiment.
+
+use crate::report::{fmt_flag, Table};
+use crate::runner::{RunError, Runner};
+use crate::suite::{GraphSpec, SchemeSpec};
+use crate::init;
+use dlb_graph::BalancingGraph;
+
+/// Per-node average load used across the Table 1 runs.
+const MEAN_LOAD: i64 = 50;
+
+fn graph_suite(quick: bool) -> Vec<GraphSpec> {
+    if quick {
+        vec![
+            GraphSpec::Cycle { n: 32 },
+            GraphSpec::Torus2D { side: 6 },
+            GraphSpec::Hypercube { dim: 5 },
+            GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 },
+        ]
+    } else {
+        vec![
+            GraphSpec::Cycle { n: 64 },
+            GraphSpec::Torus2D { side: 16 },
+            GraphSpec::Hypercube { dim: 8 },
+            GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 },
+        ]
+    }
+}
+
+fn scheme_suite() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::RoundFairFirstPorts,
+        SchemeSpec::RoundFairRandom { seed: 7 },
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+        SchemeSpec::RotorRouterStar,
+        SchemeSpec::Good { s: 2 },
+        SchemeSpec::Quasirandom,
+        SchemeSpec::ContinuousMimic,
+        SchemeSpec::RandomizedExtra { seed: 7 },
+        SchemeSpec::RandomizedRounding { seed: 7 },
+    ]
+}
+
+/// Runs E1 and renders the discrepancy-after-`4T` table.
+///
+/// # Errors
+///
+/// Propagates instance-construction and engine errors; also fails if a
+/// scheme's verified runtime properties contradict its declared
+/// Table 1 flags.
+pub fn table1(quick: bool) -> Result<Table, RunError> {
+    let graphs = graph_suite(quick);
+    let schemes = scheme_suite();
+    let runner = Runner::default();
+
+    let mut headers: Vec<String> = vec!["scheme", "D", "SL", "NL", "NC", "witnessed δ"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    for g in &graphs {
+        headers.push(format!("disc@{}", g.label()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "E1: discrepancy after 4T per scheme (Table 1, empirical)",
+        &header_refs,
+    );
+
+    for scheme in &schemes {
+        let (det, stateless, no_neg, no_comm) = scheme.table1_flags();
+        let mut row = vec![
+            scheme.label(),
+            fmt_flag(det),
+            fmt_flag(stateless),
+            fmt_flag(no_neg),
+            fmt_flag(no_comm),
+        ];
+        let mut worst_delta: u64 = 0;
+        let mut cells = Vec::new();
+        for spec in &graphs {
+            let graph = spec.build()?;
+            let n = graph.num_nodes();
+            let d = graph.degree();
+            let gp = BalancingGraph::lazy(graph);
+            let k = (MEAN_LOAD * n as i64) as u64;
+            let steps = runner.horizon_steps(spec, d, n, k)?;
+            let initial = init::point_mass(n, MEAN_LOAD * n as i64);
+            let out = runner.run_for(&gp, scheme, &initial, steps)?;
+            // Verify the declared NL flag: schemes claiming
+            // never-negative-load must witness zero negative node-steps.
+            if no_neg {
+                assert_eq!(
+                    out.negative_node_steps, 0,
+                    "{} claims NL but went negative on {}",
+                    scheme.label(),
+                    spec.label()
+                );
+            }
+            worst_delta = worst_delta.max(out.witnessed_delta);
+            cells.push(out.final_discrepancy.to_string());
+        }
+        row.push(worst_delta.to_string());
+        row.extend(cells);
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table_has_all_schemes() {
+        let t = table1(true).unwrap();
+        assert_eq!(t.num_rows(), scheme_suite().len());
+        let rendered = t.render();
+        assert!(rendered.contains("ROTOR-ROUTER"));
+        assert!(rendered.contains("SEND(floor)"));
+        assert!(rendered.contains("cont.-mimic"));
+    }
+
+    #[test]
+    fn cumulatively_fair_schemes_beat_the_adversary() {
+        // The paper's headline: on the expander, the cumulatively fair
+        // class lands below the cumulatively unfair in-class adversary.
+        let t = table1(true).unwrap();
+        let csv = t.to_csv();
+        let col = |line: &str, idx: usize| -> i64 {
+            line.split(',').nth(idx).unwrap().parse().unwrap()
+        };
+        // Last column = random regular graph discrepancy.
+        let ncols = csv.lines().next().unwrap().split(',').count();
+        let mut adv = None;
+        let mut rotor = None;
+        for line in csv.lines().skip(1) {
+            if line.starts_with("round-fair (adv.)") {
+                adv = Some(col(line, ncols - 1));
+            }
+            if line.starts_with("ROTOR-ROUTER,") {
+                rotor = Some(col(line, ncols - 1));
+            }
+        }
+        let (adv, rotor) = (adv.unwrap(), rotor.unwrap());
+        assert!(
+            rotor <= adv,
+            "rotor-router ({rotor}) must not lose to the unfair adversary ({adv})"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! E2 / E3 — the Theorem 2.3 scaling experiments.
+//!
+//! Theorem 2.3 bounds the discrepancy of cumulatively fair balancers
+//! after `O(T)` steps by `O(d·√(log n/µ))` (claim i) and `O(d·√n)`
+//! (claim ii). These are *upper* bounds; the experiments verify that
+//! the measured discrepancy of every cumulatively fair scheme stays
+//! under the bound at every size (with the bound's constant set to 1 —
+//! the measured values run far below even that), and contrast it with
+//! the cumulatively *unfair* in-class adversary, which degrades with
+//! size as \[17\]'s `Θ(d·log n/µ)`-scale analysis predicts.
+
+use crate::init;
+use crate::report::Table;
+use crate::runner::{RunError, Runner};
+use crate::suite::{GraphSpec, SchemeSpec};
+use dlb_graph::BalancingGraph;
+use dlb_spectral::SpectralGap;
+
+const MEAN_LOAD: i64 = 50;
+
+fn fair_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+    ]
+}
+
+fn run_sizes(
+    title: &str,
+    specs: &[GraphSpec],
+    bound: impl Fn(usize, usize, f64) -> f64,
+    bound_name: &str,
+) -> Result<Table, RunError> {
+    let runner = Runner::default();
+    let mut headers = vec![
+        "graph".to_string(),
+        "µ".to_string(),
+        "steps (4T)".to_string(),
+    ];
+    for s in fair_schemes() {
+        headers.push(format!("disc {}", s.label()));
+    }
+    headers.push("disc round-fair adv.".to_string());
+    headers.push(bound_name.to_string());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+
+    for spec in specs {
+        let graph = spec.build()?;
+        let n = graph.num_nodes();
+        let d = graph.degree();
+        let gp = BalancingGraph::lazy(graph);
+        let gap = SpectralGap::from_lambda2(spec.lambda2(d)?);
+        let k = (MEAN_LOAD * n as i64) as u64;
+        let steps = runner.horizon_steps(spec, d, n, k)?;
+        let initial = init::point_mass(n, MEAN_LOAD * n as i64);
+
+        let mut row = vec![
+            spec.label(),
+            format!("{:.3e}", gap.mu),
+            steps.to_string(),
+        ];
+        let theorem_bound = bound(n, d, gap.mu);
+        for scheme in fair_schemes() {
+            let out = runner.run_for(&gp, &scheme, &initial, steps)?;
+            assert!(
+                (out.final_discrepancy as f64) <= theorem_bound,
+                "{} on {}: measured {} exceeds the Theorem 2.3 bound {:.1}",
+                scheme.label(),
+                spec.label(),
+                out.final_discrepancy,
+                theorem_bound
+            );
+            row.push(out.final_discrepancy.to_string());
+        }
+        let adv = runner.run_for(&gp, &SchemeSpec::RoundFairFirstPorts, &initial, steps)?;
+        row.push(adv.final_discrepancy.to_string());
+        row.push(format!("{theorem_bound:.1}"));
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// E2: discrepancy-vs-n on random 4-regular expanders, against the
+/// claim (i) bound `d·√(ln n/µ)`.
+///
+/// # Errors
+///
+/// Propagates instance-construction and engine errors; fails if a
+/// cumulatively fair scheme exceeds the theorem bound.
+pub fn thm23_expander(quick: bool) -> Result<Table, RunError> {
+    let sizes: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512, 1024, 2048, 4096]
+    };
+    let specs: Vec<GraphSpec> = sizes
+        .iter()
+        .map(|&n| GraphSpec::RandomRegular { n, d: 4, seed: 42 })
+        .collect();
+    run_sizes(
+        "E2: Thm 2.3(i) on expanders — discrepancy after 4T vs d·√(ln n/µ)",
+        &specs,
+        |n, d, mu| d as f64 * ((n as f64).ln() / mu).sqrt(),
+        "bound d·√(ln n/µ)",
+    )
+}
+
+/// E3: discrepancy-vs-n on cycles, against the claim (ii) bound
+/// `d·√n`.
+///
+/// # Errors
+///
+/// Propagates instance-construction and engine errors; fails if a
+/// cumulatively fair scheme exceeds the theorem bound.
+pub fn thm23_cycle(quick: bool) -> Result<Table, RunError> {
+    let sizes: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256, 512]
+    };
+    let specs: Vec<GraphSpec> = sizes.iter().map(|&n| GraphSpec::Cycle { n }).collect();
+    run_sizes(
+        "E3: Thm 2.3(ii) on cycles — discrepancy after 4T vs d·√n",
+        &specs,
+        |n, d, _mu| d as f64 * (n as f64).sqrt(),
+        "bound d·√n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_expander_table_runs_and_respects_bounds() {
+        let t = thm23_expander(true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.render().contains("random-4-regular"));
+    }
+
+    #[test]
+    fn quick_cycle_table_runs_and_respects_bounds() {
+        let t = thm23_cycle(true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.render().contains("cycle(n=32)"));
+    }
+}

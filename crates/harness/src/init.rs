@@ -1,0 +1,83 @@
+//! Initial load distributions.
+//!
+//! The paper's bounds hold for *arbitrary* initial distributions with
+//! discrepancy `K`; experiments use the distributions below to probe
+//! different regimes. All randomized constructors take explicit seeds.
+
+use dlb_core::LoadVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All `total` tokens on node 0: the canonical worst case,
+/// `K = total`.
+pub fn point_mass(n: usize, total: i64) -> LoadVector {
+    LoadVector::point_mass(n, total)
+}
+
+/// Tokens spread uniformly at random: every token lands on an
+/// independently uniform node (multinomial loads, `K = O(m/n·log n)`
+/// whp for `m ≫ n`).
+pub fn random_tokens(n: usize, total: i64, seed: u64) -> LoadVector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut loads = vec![0i64; n];
+    for _ in 0..total {
+        loads[rng.gen_range(0..n)] += 1;
+    }
+    LoadVector::new(loads)
+}
+
+/// Half the nodes (the first `n/2`) hold `2·per_node`, the rest 0:
+/// a bimodal distribution with `K = 2·per_node` and heavy spatial
+/// correlation — adversarial for diffusion on low-conductance graphs.
+pub fn bimodal(n: usize, per_node: i64) -> LoadVector {
+    let mut loads = vec![0i64; n];
+    for load in loads.iter_mut().take(n / 2) {
+        *load = 2 * per_node;
+    }
+    LoadVector::new(loads)
+}
+
+/// A linear ramp: node `i` holds `i · slope` tokens
+/// (`K = (n−1)·slope`), matching the distance-potential states of the
+/// Section 4 lower bounds.
+pub fn ramp(n: usize, slope: i64) -> LoadVector {
+    LoadVector::new((0..n as i64).map(|i| i * slope).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass_discrepancy_is_total() {
+        let x = point_mass(8, 100);
+        assert_eq!(x.discrepancy(), 100);
+        assert_eq!(x.total(), 100);
+    }
+
+    #[test]
+    fn random_tokens_conserve_and_are_seeded() {
+        let a = random_tokens(16, 1000, 3);
+        let b = random_tokens(16, 1000, 3);
+        let c = random_tokens(16, 1000, 4);
+        assert_eq!(a.total(), 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bimodal_structure() {
+        let x = bimodal(8, 10);
+        assert_eq!(x.get(0), 20);
+        assert_eq!(x.get(7), 0);
+        assert_eq!(x.total(), 80);
+        assert_eq!(x.discrepancy(), 20);
+    }
+
+    #[test]
+    fn ramp_structure() {
+        let x = ramp(5, 3);
+        assert_eq!(x.as_slice(), &[0, 3, 6, 9, 12]);
+        assert_eq!(x.discrepancy(), 12);
+    }
+}

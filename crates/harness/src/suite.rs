@@ -1,0 +1,344 @@
+use dlb_core::schemes::{
+    ContinuousMimic, GoodBalancer, QuasirandomDiffusion, RandomizedEdgeRounding,
+    RandomizedExtraTokens, RotorRouter, RotorRouterStar, RoundFairDiffusion, RoundingRule,
+    SendFloor, SendRound,
+};
+use dlb_core::Balancer;
+use dlb_graph::{generators, BalancingGraph, GraphError, PortOrder, RegularGraph};
+use dlb_spectral::{closed_form, power};
+
+/// A named graph family at a concrete size — the workload axis of every
+/// experiment.
+///
+/// `lambda2` uses closed forms where the spectrum is known (cycles,
+/// tori, hypercubes, even-degree clique-circulants) and falls back to
+/// deflated power iteration for random regular graphs, so horizons
+/// `T = O(log(Kn)/µ)` are computed the same way the paper's bounds are
+/// stated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// The cycle `C_n` (d = 2): the canonical poor expander.
+    Cycle {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// The 2-dimensional `side × side` torus (d = 4).
+    Torus2D {
+        /// Side length.
+        side: usize,
+    },
+    /// The hypercube `Q_dim` (n = 2^dim, d = dim).
+    Hypercube {
+        /// Dimension.
+        dim: usize,
+    },
+    /// A seeded random d-regular graph: the "constant-degree expander"
+    /// of Table 1.
+    RandomRegular {
+        /// Number of nodes.
+        n: usize,
+        /// Degree.
+        d: usize,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// The Theorem 4.2 clique-circulant.
+    CliqueCirculant {
+        /// Number of nodes.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors for infeasible parameters.
+    pub fn build(&self) -> Result<RegularGraph, GraphError> {
+        match *self {
+            GraphSpec::Cycle { n } => generators::cycle(n),
+            GraphSpec::Torus2D { side } => generators::torus(2, side),
+            GraphSpec::Hypercube { dim } => generators::hypercube(dim),
+            GraphSpec::RandomRegular { n, d, seed } => generators::random_regular(n, d, seed),
+            GraphSpec::CliqueCirculant { n, d } => generators::clique_circulant(n, d),
+        }
+    }
+
+    /// A short human-readable label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            GraphSpec::Cycle { n } => format!("cycle(n={n})"),
+            GraphSpec::Torus2D { side } => format!("torus({side}x{side})"),
+            GraphSpec::Hypercube { dim } => format!("hypercube(d={dim})"),
+            GraphSpec::RandomRegular { n, d, .. } => format!("random-{d}-regular(n={n})"),
+            GraphSpec::CliqueCirculant { n, d } => format!("clique-circulant(n={n},d={d})"),
+        }
+    }
+
+    /// `λ₂` of the balancing graph with `d°` self-loops per node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors (the random-regular case
+    /// must build the graph to run power iteration).
+    pub fn lambda2(&self, d_self: usize) -> Result<f64, GraphError> {
+        Ok(match *self {
+            GraphSpec::Cycle { n } => closed_form::lambda2_cycle(n, d_self),
+            GraphSpec::Torus2D { side } => closed_form::lambda2_torus(2, side, d_self),
+            GraphSpec::Hypercube { dim } => closed_form::lambda2_hypercube(dim, d_self),
+            GraphSpec::RandomRegular { .. } => {
+                let gp = BalancingGraph::with_self_loops(self.build()?, d_self)?;
+                power::lambda2(&gp, power::PowerOptions::default()).lambda2
+            }
+            GraphSpec::CliqueCirculant { n, d } if d % 2 == 0 => {
+                let offsets: Vec<usize> = (1..=d / 2).collect();
+                closed_form::lambda2_circulant(n, &offsets, d_self)
+            }
+            GraphSpec::CliqueCirculant { .. } => {
+                let gp = BalancingGraph::with_self_loops(self.build()?, d_self)?;
+                power::lambda2(&gp, power::PowerOptions::default()).lambda2
+            }
+        })
+    }
+}
+
+/// A named balancing scheme — the algorithm axis of every experiment.
+///
+/// `build` instantiates the scheme for a concrete balancing graph;
+/// `table1_flags` reports the paper's D / SL / NL / NC property columns
+/// so the Table 1 reproduction can print (and the monitor can verify)
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeSpec {
+    /// SEND(⌊x/d⁺⌋).
+    SendFloor,
+    /// SEND([x/d⁺]).
+    SendRound,
+    /// The rotor-router with sequential port order.
+    RotorRouter,
+    /// The rotor-router with originals and self-loops interleaved.
+    RotorRouterInterleaved,
+    /// The rotor-router with an independent random port order per node
+    /// (seeded) — the port-order sensitivity ablation (A3).
+    RotorRouterShuffled {
+        /// Order seed.
+        seed: u64,
+    },
+    /// ROTOR-ROUTER* (requires d° = d).
+    RotorRouterStar,
+    /// The generic good s-balancer.
+    Good {
+        /// Self-preference parameter (1 ≤ s ≤ d°).
+        s: usize,
+    },
+    /// \[17\]-class diffusion, surplus always on the first ports
+    /// (cumulatively unfair in-class adversary).
+    RoundFairFirstPorts,
+    /// \[17\]-class diffusion with seeded random surplus placement.
+    RoundFairRandom {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// \[17\]-class diffusion with a lagged rotor (tunable cumulative δ).
+    RoundFairLagged {
+        /// Steps between rotor advances.
+        period: usize,
+    },
+    /// The bounded-error quasirandom diffusion of \[9\].
+    Quasirandom,
+    /// The continuous-mimicking scheme of \[4\].
+    ContinuousMimic,
+    /// Randomized extra-token placement of \[5\].
+    RandomizedExtra {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Randomized edge rounding of \[18\].
+    RandomizedRounding {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl SchemeSpec {
+    /// Instantiates the scheme for `gp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the scheme's structural requirements are
+    /// not met (e.g. ROTOR-ROUTER* needs `d° = d`, good s-balancers
+    /// need `1 ≤ s ≤ d°`).
+    pub fn build(&self, gp: &BalancingGraph) -> Result<Box<dyn Balancer>, GraphError> {
+        Ok(match *self {
+            SchemeSpec::SendFloor => Box::new(SendFloor::new()),
+            SchemeSpec::SendRound => {
+                if gp.num_self_loops() < gp.degree() {
+                    return Err(GraphError::InvalidParameters {
+                        reason: "SEND([x/d+]) requires d° >= d".into(),
+                    });
+                }
+                Box::new(SendRound::new())
+            }
+            SchemeSpec::RotorRouter => Box::new(RotorRouter::new(gp, PortOrder::Sequential)?),
+            SchemeSpec::RotorRouterInterleaved => {
+                Box::new(RotorRouter::new(gp, PortOrder::Interleaved)?)
+            }
+            SchemeSpec::RotorRouterShuffled { seed } => {
+                Box::new(RotorRouter::new(gp, PortOrder::Shuffled { seed })?)
+            }
+            SchemeSpec::RotorRouterStar => {
+                Box::new(RotorRouterStar::new(gp, PortOrder::Sequential)?)
+            }
+            SchemeSpec::Good { s } => Box::new(GoodBalancer::new(gp, s)?),
+            SchemeSpec::RoundFairFirstPorts => {
+                Box::new(RoundFairDiffusion::new(gp, RoundingRule::FirstPorts))
+            }
+            SchemeSpec::RoundFairRandom { seed } => {
+                Box::new(RoundFairDiffusion::new(gp, RoundingRule::Random { seed }))
+            }
+            SchemeSpec::RoundFairLagged { period } => {
+                Box::new(RoundFairDiffusion::new(gp, RoundingRule::LaggedRotor { period }))
+            }
+            SchemeSpec::Quasirandom => Box::new(QuasirandomDiffusion::new(gp)),
+            SchemeSpec::ContinuousMimic => Box::new(ContinuousMimic::new(gp)),
+            SchemeSpec::RandomizedExtra { seed } => Box::new(RandomizedExtraTokens::new(seed)),
+            SchemeSpec::RandomizedRounding { seed } => {
+                Box::new(RandomizedEdgeRounding::new(seed))
+            }
+        })
+    }
+
+    /// A short label for tables.
+    pub fn label(&self) -> String {
+        match *self {
+            SchemeSpec::SendFloor => "SEND(floor)".into(),
+            SchemeSpec::SendRound => "SEND(round)".into(),
+            SchemeSpec::RotorRouter => "ROTOR-ROUTER".into(),
+            SchemeSpec::RotorRouterInterleaved => "ROTOR-ROUTER (interleaved)".into(),
+            SchemeSpec::RotorRouterShuffled { .. } => "ROTOR-ROUTER (shuffled)".into(),
+            SchemeSpec::RotorRouterStar => "ROTOR-ROUTER*".into(),
+            SchemeSpec::Good { s } => format!("good-{s}-balancer"),
+            SchemeSpec::RoundFairFirstPorts => "round-fair (adv.)".into(),
+            SchemeSpec::RoundFairRandom { .. } => "round-fair (rand.)".into(),
+            SchemeSpec::RoundFairLagged { period } => format!("round-fair (lag {period})"),
+            SchemeSpec::Quasirandom => "quasirandom [9]".into(),
+            SchemeSpec::ContinuousMimic => "cont.-mimic [4]".into(),
+            SchemeSpec::RandomizedExtra { .. } => "rand. extra [5]".into(),
+            SchemeSpec::RandomizedRounding { .. } => "rand. rounding [18]".into(),
+        }
+    }
+
+    /// The Table 1 property columns `(D, SL, NL, NC)`: deterministic,
+    /// stateless, never-negative-load, no-additional-communication.
+    pub fn table1_flags(&self) -> (bool, bool, bool, bool) {
+        match *self {
+            SchemeSpec::SendFloor | SchemeSpec::SendRound => (true, true, true, true),
+            SchemeSpec::RotorRouter
+            | SchemeSpec::RotorRouterInterleaved
+            | SchemeSpec::RotorRouterShuffled { .. }
+            | SchemeSpec::RotorRouterStar
+            | SchemeSpec::Good { .. } => (true, false, true, true),
+            SchemeSpec::RoundFairFirstPorts => (true, true, true, true),
+            SchemeSpec::RoundFairRandom { .. } => (false, false, true, true),
+            SchemeSpec::RoundFairLagged { .. } => (true, false, true, true),
+            SchemeSpec::Quasirandom => (true, false, false, true),
+            SchemeSpec::ContinuousMimic => (true, false, false, false),
+            SchemeSpec::RandomizedExtra { .. } => (false, true, true, true),
+            SchemeSpec::RandomizedRounding { .. } => (false, true, false, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_specs_build_and_label() {
+        let specs = [
+            GraphSpec::Cycle { n: 12 },
+            GraphSpec::Torus2D { side: 4 },
+            GraphSpec::Hypercube { dim: 3 },
+            GraphSpec::RandomRegular { n: 16, d: 4, seed: 1 },
+            GraphSpec::CliqueCirculant { n: 20, d: 4 },
+        ];
+        for spec in &specs {
+            let g = spec.build().unwrap();
+            assert!(g.num_nodes() > 0, "{}", spec.label());
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn lambda2_closed_forms_match_power_iteration() {
+        let spec = GraphSpec::Torus2D { side: 4 };
+        let exact = spec.lambda2(8).unwrap();
+        let gp = BalancingGraph::with_self_loops(spec.build().unwrap(), 8).unwrap();
+        let est = power::lambda2(&gp, power::PowerOptions::default()).lambda2;
+        assert!((exact - est).abs() < 1e-7, "{exact} vs {est}");
+    }
+
+    #[test]
+    fn clique_circulant_even_degree_uses_closed_form() {
+        let spec = GraphSpec::CliqueCirculant { n: 24, d: 6 };
+        let exact = spec.lambda2(6).unwrap();
+        let gp = BalancingGraph::with_self_loops(spec.build().unwrap(), 6).unwrap();
+        let est = power::lambda2(&gp, power::PowerOptions::default()).lambda2;
+        assert!((exact - est).abs() < 1e-6, "{exact} vs {est}");
+    }
+
+    #[test]
+    fn all_schemes_build_on_lazy_graph() {
+        let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
+        let schemes = [
+            SchemeSpec::SendFloor,
+            SchemeSpec::SendRound,
+            SchemeSpec::RotorRouter,
+            SchemeSpec::RotorRouterStar,
+            SchemeSpec::Good { s: 1 },
+            SchemeSpec::RoundFairFirstPorts,
+            SchemeSpec::RoundFairRandom { seed: 1 },
+            SchemeSpec::RoundFairLagged { period: 4 },
+            SchemeSpec::Quasirandom,
+            SchemeSpec::ContinuousMimic,
+            SchemeSpec::RandomizedExtra { seed: 1 },
+            SchemeSpec::RandomizedRounding { seed: 1 },
+        ];
+        for s in &schemes {
+            let bal = s.build(&gp).unwrap();
+            assert!(!bal.name().is_empty(), "{}", s.label());
+            let (_, _, _, _) = s.table1_flags();
+        }
+    }
+
+    #[test]
+    fn structural_requirements_enforced() {
+        let bare = BalancingGraph::bare(generators::cycle(8).unwrap());
+        assert!(SchemeSpec::SendRound.build(&bare).is_err());
+        assert!(SchemeSpec::RotorRouterStar.build(&bare).is_err());
+        assert!(SchemeSpec::Good { s: 1 }.build(&bare).is_err());
+        assert!(SchemeSpec::RotorRouter.build(&bare).is_ok());
+    }
+
+    #[test]
+    fn flags_match_scheme_self_description() {
+        let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
+        for spec in [
+            SchemeSpec::SendFloor,
+            SchemeSpec::RotorRouter,
+            SchemeSpec::Quasirandom,
+            SchemeSpec::ContinuousMimic,
+            SchemeSpec::RandomizedExtra { seed: 1 },
+            SchemeSpec::RandomizedRounding { seed: 1 },
+        ] {
+            let bal = spec.build(&gp).unwrap();
+            let (det, stateless, no_negative, _) = spec.table1_flags();
+            assert_eq!(bal.is_deterministic(), det, "{}", spec.label());
+            assert_eq!(bal.is_stateless(), stateless, "{}", spec.label());
+            assert_eq!(!bal.may_overdraw(), no_negative, "{}", spec.label());
+        }
+    }
+}

@@ -1,0 +1,275 @@
+use dlb_core::LoadVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{MatchingError, MatchingSchedule};
+
+/// How a matched pair resolves the odd token when their combined load
+/// is odd.
+///
+/// With combined load `2q + 1`, the pair ends at `(q, q + 1)`: the
+/// rule decides which side gets `q + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRule {
+    /// The previously *larger* node keeps the extra token — the
+    /// conservative deterministic rule (never inverts an imbalance).
+    ExtraToLarger,
+    /// The previously *smaller* node takes the extra token — the
+    /// aggressive deterministic rule.
+    ExtraToSmaller,
+    /// A fair coin decides, as in Friedrich–Sauerwald \[10\] (seeded, so
+    /// runs are reproducible).
+    CoinFlip {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// The dimension-exchange engine: applies one matching per round, each
+/// matched pair averaging its load.
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::generators;
+/// use dlb_core::LoadVector;
+/// use dlb_matching::{BalancingCircuit, MatchingEngine, PairRule};
+///
+/// let graph = generators::hypercube(4)?;
+/// let mut circuit = BalancingCircuit::new(&graph)?;
+/// let mut engine = MatchingEngine::new(LoadVector::point_mass(16, 1600));
+/// engine.run(&mut circuit, PairRule::ExtraToLarger, 200)?;
+/// assert!(engine.loads().discrepancy() <= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchingEngine {
+    loads: LoadVector,
+    steps: usize,
+    rng: Option<StdRng>,
+}
+
+impl MatchingEngine {
+    /// Creates the engine with initial loads.
+    pub fn new(initial: LoadVector) -> Self {
+        MatchingEngine {
+            loads: initial,
+            steps: 0,
+            rng: None,
+        }
+    }
+
+    /// Current loads.
+    pub fn loads(&self) -> &LoadVector {
+        &self.loads
+    }
+
+    /// Rounds executed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Applies one round with the given matching source and rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingError::NodeOutOfRange`] if the matching
+    /// references nodes beyond the load vector.
+    pub fn step(
+        &mut self,
+        schedule: &mut dyn MatchingSchedule,
+        rule: PairRule,
+    ) -> Result<(), MatchingError> {
+        let matching = schedule.next_matching();
+        let n = self.loads.len();
+        if let PairRule::CoinFlip { seed } = rule {
+            if self.rng.is_none() {
+                self.rng = Some(StdRng::seed_from_u64(seed));
+            }
+        }
+        for &(u, v) in matching.pairs() {
+            let (u, v) = (u as usize, v as usize);
+            if u >= n {
+                return Err(MatchingError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(MatchingError::NodeOutOfRange { node: v, n });
+            }
+            let (xu, xv) = (self.loads.get(u), self.loads.get(v));
+            let sum = xu + xv;
+            let low = sum.div_euclid(2);
+            let high = sum - low;
+            let (new_u, new_v) = if low == high {
+                (low, low)
+            } else {
+                match rule {
+                    PairRule::ExtraToLarger => {
+                        if xu >= xv {
+                            (high, low)
+                        } else {
+                            (low, high)
+                        }
+                    }
+                    PairRule::ExtraToSmaller => {
+                        if xu <= xv {
+                            (high, low)
+                        } else {
+                            (low, high)
+                        }
+                    }
+                    PairRule::CoinFlip { .. } => {
+                        let rng = self.rng.as_mut().expect("seeded above");
+                        if rng.gen_bool(0.5) {
+                            (high, low)
+                        } else {
+                            (low, high)
+                        }
+                    }
+                }
+            };
+            self.loads.as_mut_slice()[u] = new_u;
+            self.loads.as_mut_slice()[v] = new_v;
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Applies `rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`MatchingEngine::step`].
+    pub fn run(
+        &mut self,
+        schedule: &mut dyn MatchingSchedule,
+        rule: PairRule,
+        rounds: usize,
+    ) -> Result<(), MatchingError> {
+        for _ in 0..rounds {
+            self.step(schedule, rule)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BalancingCircuit, RandomMatchings};
+    use dlb_graph::generators;
+
+    #[test]
+    fn pairwise_averaging_conserves_tokens() {
+        let graph = generators::random_regular(20, 4, 2).unwrap();
+        let mut sched = RandomMatchings::new(&graph, 5);
+        let mut engine = MatchingEngine::new(LoadVector::point_mass(20, 777));
+        engine
+            .run(&mut sched, PairRule::ExtraToLarger, 500)
+            .unwrap();
+        assert_eq!(engine.loads().total(), 777);
+        assert_eq!(engine.steps(), 500);
+    }
+
+    #[test]
+    fn reaches_constant_discrepancy_on_random_matchings() {
+        // The [18] headline in miniature: discrepancy O(1), not Ω(d).
+        let d = 8;
+        let graph = generators::random_regular(64, d, 9).unwrap();
+        let mut sched = RandomMatchings::new(&graph, 5);
+        let mut engine = MatchingEngine::new(LoadVector::point_mass(64, 6400));
+        engine
+            .run(&mut sched, PairRule::CoinFlip { seed: 2 }, 3000)
+            .unwrap();
+        assert!(
+            engine.loads().discrepancy() <= 3,
+            "dimension exchange should reach O(1), got {}",
+            engine.loads().discrepancy()
+        );
+    }
+
+    #[test]
+    fn balancing_circuit_balances_hypercube() {
+        let graph = generators::hypercube(5).unwrap();
+        let mut circuit = BalancingCircuit::new(&graph).unwrap();
+        let mut engine = MatchingEngine::new(LoadVector::point_mass(32, 3200));
+        engine
+            .run(&mut circuit, PairRule::ExtraToLarger, 300)
+            .unwrap();
+        assert!(
+            engine.loads().discrepancy() <= 2,
+            "got {}",
+            engine.loads().discrepancy()
+        );
+    }
+
+    #[test]
+    fn max_never_increases_min_never_decreases() {
+        let graph = generators::cycle(16).unwrap();
+        let mut sched = RandomMatchings::new(&graph, 1);
+        let mut engine = MatchingEngine::new(LoadVector::point_mass(16, 160));
+        let mut prev_max = engine.loads().max();
+        let mut prev_min = engine.loads().min();
+        for _ in 0..200 {
+            engine.step(&mut sched, PairRule::ExtraToLarger).unwrap();
+            let (max, min) = (engine.loads().max(), engine.loads().min());
+            assert!(max <= prev_max, "averaging cannot raise the maximum");
+            assert!(min >= prev_min, "averaging cannot lower the minimum");
+            prev_max = max;
+            prev_min = min;
+        }
+    }
+
+    #[test]
+    fn even_pairs_split_exactly() {
+        let graph = generators::cycle(4).unwrap();
+        let mut circuit = BalancingCircuit::new(&graph).unwrap();
+        let mut engine = MatchingEngine::new(LoadVector::new(vec![10, 0, 10, 0]));
+        engine.step(&mut circuit, PairRule::ExtraToLarger).unwrap();
+        // Whatever the matching, each pair sums to 10 and splits 5/5.
+        assert_eq!(engine.loads().as_slice(), &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn rules_differ_on_odd_pairs() {
+        let graph = generators::cycle(4).unwrap();
+        let run_rule = |rule| {
+            let mut circuit = BalancingCircuit::new(&graph).unwrap();
+            let mut engine = MatchingEngine::new(LoadVector::new(vec![5, 0, 0, 0]));
+            engine.step(&mut circuit, rule).unwrap();
+            engine.loads().clone()
+        };
+        let larger = run_rule(PairRule::ExtraToLarger);
+        let smaller = run_rule(PairRule::ExtraToSmaller);
+        assert_ne!(larger, smaller);
+        assert_eq!(larger.total(), 5);
+        assert_eq!(smaller.total(), 5);
+    }
+
+    #[test]
+    fn coinflip_is_reproducible() {
+        let graph = generators::random_regular(16, 4, 8).unwrap();
+        let run = || {
+            let mut sched = RandomMatchings::new(&graph, 2);
+            let mut engine = MatchingEngine::new(LoadVector::point_mass(16, 161));
+            engine
+                .run(&mut sched, PairRule::CoinFlip { seed: 6 }, 100)
+                .unwrap();
+            engine.loads().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn out_of_range_matching_is_an_error() {
+        struct Bogus;
+        impl MatchingSchedule for Bogus {
+            fn next_matching(&mut self) -> crate::Matching {
+                crate::Matching::new(vec![(0, 99)]).unwrap()
+            }
+            fn reset(&mut self) {}
+        }
+        let mut engine = MatchingEngine::new(LoadVector::uniform(4, 1));
+        let err = engine.step(&mut Bogus, PairRule::ExtraToLarger).unwrap_err();
+        assert!(matches!(err, MatchingError::NodeOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,51 @@
+//! Dimension-exchange load balancing: the matching models the paper
+//! contrasts with diffusion (§1.2, "Dimension exchange model").
+//!
+//! In the dimension-exchange model a node balances with **one**
+//! neighbour per step, along a matching. Whereas every diffusive
+//! algorithm is stuck at discrepancy `≥ d` in the worst case
+//! (Theorem 4.2), dimension-exchange algorithms balance "up to an
+//! additive constant": Sauerwald and Sun \[18\] show constant final
+//! discrepancy in `O(T)` steps for the random matching model, and for
+//! constant-degree graphs in the periodic *balancing circuit* model.
+//! This crate provides both models so the contrast is measurable
+//! (experiment E8):
+//!
+//! * [`Matching`] — a validated set of pairwise-disjoint edges;
+//! * [`MatchingSchedule`] — where matchings come from:
+//!   [`RandomMatchings`] (seeded, a fresh random maximal matching per
+//!   step) or [`BalancingCircuit`] (a proper edge colouring cycled
+//!   periodically);
+//! * [`PairRule`] — how an odd token is resolved when a pair averages:
+//!   deterministically to the previously-larger node, to the smaller
+//!   node, or by a fair coin as in Friedrich–Sauerwald \[10\];
+//! * [`MatchingEngine`] — the synchronous driver with conservation and
+//!   discrepancy accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use dlb_graph::generators;
+//! use dlb_core::LoadVector;
+//! use dlb_matching::{MatchingEngine, PairRule, RandomMatchings};
+//!
+//! let graph = generators::random_regular(32, 4, 7)?;
+//! let mut schedule = RandomMatchings::new(&graph, 99);
+//! let mut engine = MatchingEngine::new(LoadVector::point_mass(32, 3200));
+//! engine.run(&mut schedule, PairRule::CoinFlip { seed: 1 }, 2_000)?;
+//! assert!(engine.loads().discrepancy() <= 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod engine;
+mod matching;
+mod schedule;
+
+pub use circuit::{greedy_edge_coloring, BalancingCircuit};
+pub use engine::{MatchingEngine, PairRule};
+pub use matching::{Matching, MatchingError};
+pub use schedule::{MatchingSchedule, RandomMatchings};

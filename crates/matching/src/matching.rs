@@ -1,0 +1,177 @@
+use std::error::Error;
+use std::fmt;
+
+use dlb_graph::{NodeId, RegularGraph};
+
+/// Errors from matching construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatchingError {
+    /// A node appears in two pairs of the matching.
+    NodeReused {
+        /// The node appearing twice.
+        node: NodeId,
+    },
+    /// A pair is not an edge of the graph it is validated against.
+    NotAnEdge {
+        /// One endpoint.
+        from: NodeId,
+        /// The other endpoint.
+        to: NodeId,
+    },
+    /// A pair's endpoint is out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: NodeId,
+        /// Number of nodes.
+        n: usize,
+    },
+}
+
+impl fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchingError::NodeReused { node } => {
+                write!(f, "node {node} appears in more than one matched pair")
+            }
+            MatchingError::NotAnEdge { from, to } => {
+                write!(f, "pair ({from}, {to}) is not an edge of the graph")
+            }
+            MatchingError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for a graph with {n} nodes")
+            }
+        }
+    }
+}
+
+impl Error for MatchingError {}
+
+/// A set of pairwise-disjoint edges — one communication round of the
+/// dimension-exchange model.
+///
+/// Construction validates disjointness; [`Matching::validate_for`]
+/// additionally checks every pair is a real edge of a given graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl Matching {
+    /// Builds a matching from pairs, checking pairwise disjointness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingError::NodeReused`] if any node appears twice,
+    /// or [`MatchingError::NodeOutOfRange`] for degenerate self-pairs
+    /// (reported as reuse).
+    pub fn new(pairs: Vec<(u32, u32)>) -> Result<Self, MatchingError> {
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &pairs {
+            for node in [u, v] {
+                if !seen.insert(node) {
+                    return Err(MatchingError::NodeReused {
+                        node: node as NodeId,
+                    });
+                }
+            }
+        }
+        Ok(Matching { pairs })
+    }
+
+    /// The matched pairs.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the matching is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Checks that every pair is an edge of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingError::NotAnEdge`] or
+    /// [`MatchingError::NodeOutOfRange`] on the first violation.
+    pub fn validate_for(&self, graph: &RegularGraph) -> Result<(), MatchingError> {
+        let n = graph.num_nodes();
+        for &(u, v) in &self.pairs {
+            let (u, v) = (u as NodeId, v as NodeId);
+            if u >= n {
+                return Err(MatchingError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(MatchingError::NodeOutOfRange { node: v, n });
+            }
+            if !graph.has_edge(u, v) {
+                return Err(MatchingError::NotAnEdge { from: u, to: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graph::generators;
+
+    #[test]
+    fn accepts_disjoint_pairs() {
+        let m = Matching::new(vec![(0, 1), (2, 3)]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn rejects_reused_node() {
+        let err = Matching::new(vec![(0, 1), (1, 2)]).unwrap_err();
+        assert_eq!(err, MatchingError::NodeReused { node: 1 });
+    }
+
+    #[test]
+    fn rejects_self_pair() {
+        let err = Matching::new(vec![(3, 3)]).unwrap_err();
+        assert_eq!(err, MatchingError::NodeReused { node: 3 });
+    }
+
+    #[test]
+    fn validate_against_graph() {
+        let g = generators::cycle(6).unwrap();
+        let good = Matching::new(vec![(0, 1), (2, 3)]).unwrap();
+        assert!(good.validate_for(&g).is_ok());
+        let bad = Matching::new(vec![(0, 2)]).unwrap();
+        assert_eq!(
+            bad.validate_for(&g),
+            Err(MatchingError::NotAnEdge { from: 0, to: 2 })
+        );
+        let oob = Matching::new(vec![(0, 9)]).unwrap();
+        assert!(matches!(
+            oob.validate_for(&g),
+            Err(MatchingError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matching_is_fine() {
+        let m = Matching::new(vec![]).unwrap();
+        assert!(m.is_empty());
+        assert!(m.validate_for(&generators::cycle(4).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn error_messages_informative() {
+        assert!(MatchingError::NodeReused { node: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(MatchingError::NotAnEdge { from: 1, to: 2 }
+            .to_string()
+            .contains("(1, 2)"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Matching schedules: where each round's matching comes from.
+
+use dlb_graph::RegularGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Matching;
+
+/// A source of one matching per balancing round.
+///
+/// Implemented by [`RandomMatchings`] (the random matching model) and
+/// [`BalancingCircuit`](crate::BalancingCircuit) (the periodic model).
+pub trait MatchingSchedule {
+    /// Produces the matching for the next round.
+    fn next_matching(&mut self) -> Matching;
+
+    /// Restores the schedule to its initial state (replaying the same
+    /// sequence).
+    fn reset(&mut self);
+}
+
+/// The random matching model: every round, a fresh random *maximal*
+/// matching of the graph (greedy over a uniformly shuffled edge list).
+///
+/// This is the model in which Sauerwald–Sun \[18\] prove constant final
+/// discrepancy within `O(T)` for regular graphs.
+#[derive(Debug, Clone)]
+pub struct RandomMatchings {
+    edges: Vec<(u32, u32)>,
+    n: usize,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl RandomMatchings {
+    /// Creates the schedule for `graph` with a fixed seed.
+    pub fn new(graph: &RegularGraph, seed: u64) -> Self {
+        let mut edges: Vec<(u32, u32)> = graph
+            .edges()
+            .map(|(u, v)| (u as u32, v as u32))
+            .collect();
+        // Canonical base order, so that reset() replays exactly.
+        edges.sort_unstable();
+        RandomMatchings {
+            edges,
+            n: graph.num_nodes(),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl MatchingSchedule for RandomMatchings {
+    fn next_matching(&mut self) -> Matching {
+        self.edges.shuffle(&mut self.rng);
+        let mut used = vec![false; self.n];
+        let mut pairs = Vec::new();
+        for &(u, v) in &self.edges {
+            let (ui, vi) = (u as usize, v as usize);
+            if !used[ui] && !used[vi] {
+                used[ui] = true;
+                used[vi] = true;
+                pairs.push((u, v));
+            }
+        }
+        Matching::new(pairs).expect("greedy construction is disjoint")
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        // Restore a canonical edge order so replays are exact.
+        self.edges.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graph::generators;
+
+    #[test]
+    fn produces_valid_maximal_matchings() {
+        let graph = generators::random_regular(24, 4, 5).unwrap();
+        let mut sched = RandomMatchings::new(&graph, 1);
+        for _ in 0..20 {
+            let m = sched.next_matching();
+            m.validate_for(&graph).unwrap();
+            assert!(!m.is_empty());
+            // Maximality: every unmatched node has all neighbours
+            // matched.
+            let mut matched = [false; 24];
+            for &(u, v) in m.pairs() {
+                matched[u as usize] = true;
+                matched[v as usize] = true;
+            }
+            for u in 0..24 {
+                if !matched[u] {
+                    assert!(
+                        graph.neighbors(u).iter().all(|&v| matched[v as usize]),
+                        "matching not maximal at node {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_same_sequence() {
+        let graph = generators::cycle(10).unwrap();
+        let mut sched = RandomMatchings::new(&graph, 3);
+        let first: Vec<Matching> = (0..5).map(|_| sched.next_matching()).collect();
+        sched.reset();
+        let replay: Vec<Matching> = (0..5).map(|_| sched.next_matching()).collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let graph = generators::cycle(10).unwrap();
+        let mut a = RandomMatchings::new(&graph, 3);
+        let mut b = RandomMatchings::new(&graph, 4);
+        let seq_a: Vec<Matching> = (0..5).map(|_| a.next_matching()).collect();
+        let seq_b: Vec<Matching> = (0..5).map(|_| b.next_matching()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exact second eigenvalues for graph families with known spectra.
+//!
+//! For a d-regular graph `G` with adjacency spectrum `{α_i}`, the
+//! balancing graph `G⁺` with `d°` self-loops has transition spectrum
+//! `λ_i = (d° + α_i)/d⁺`. All formulas below follow from the classical
+//! adjacency spectra (see e.g. Levin–Peres–Wilmer \[14\], Ch. 12):
+//!
+//! * cycle `C_n`: `α_k = 2·cos(2πk/n)`;
+//! * hypercube `Q_dim`: `α_k = dim − 2k`;
+//! * torus (side^r): `α = Σ_j 2·cos(2πk_j/side)`;
+//! * complete `K_n`: `α ∈ {n−1, −1}`;
+//! * complete bipartite `K_{d,d}`: `α ∈ {±d, 0}`;
+//! * circulant with offset set `S`: `α_k = Σ_{o∈S} 2·cos(2πko/n)`.
+//!
+//! Experiments use these instead of power iteration when the spectral
+//! gap is `o(1)` (long cycles, large tori), where iterative estimation
+//! converges too slowly to be trusted.
+
+use std::f64::consts::TAU;
+
+/// `λ₂` of the lazy cycle `C_n` with `d°` self-loops (`d = 2`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn lambda2_cycle(n: usize, d_self: usize) -> f64 {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let d_plus = (2 + d_self) as f64;
+    (d_self as f64 + 2.0 * (TAU / n as f64).cos()) / d_plus
+}
+
+/// `λ₂` of the complete graph `K_n` with `d°` self-loops (`d = n−1`).
+///
+/// The non-principal adjacency eigenvalue is `−1` with multiplicity
+/// `n−1`; the returned value is the *largest* non-principal transition
+/// eigenvalue `(d° − 1)/d⁺`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn lambda2_complete(n: usize, d_self: usize) -> f64 {
+    assert!(n >= 2, "complete graph needs n >= 2");
+    let d_plus = (n - 1 + d_self) as f64;
+    (d_self as f64 - 1.0) / d_plus
+}
+
+/// `λ₂` of the hypercube `Q_dim` with `d°` self-loops (`d = dim`).
+///
+/// # Panics
+///
+/// Panics if `dim == 0`.
+pub fn lambda2_hypercube(dim: usize, d_self: usize) -> f64 {
+    assert!(dim >= 1, "hypercube needs dim >= 1");
+    let d_plus = (dim + d_self) as f64;
+    (d_self as f64 + dim as f64 - 2.0) / d_plus
+}
+
+/// `λ₂` of the r-dimensional torus with side length `side` and `d°`
+/// self-loops (`d = 2r`).
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `side < 3`.
+pub fn lambda2_torus(r: usize, side: usize, d_self: usize) -> f64 {
+    assert!(r >= 1, "torus needs r >= 1");
+    assert!(side >= 3, "torus needs side >= 3");
+    let d_plus = (2 * r + d_self) as f64;
+    let alpha2 = 2.0 * (r as f64 - 1.0) + 2.0 * (TAU / side as f64).cos();
+    (d_self as f64 + alpha2) / d_plus
+}
+
+/// `λ₂` of the complete bipartite graph `K_{d,d}` with `d°` self-loops.
+///
+/// The largest non-principal adjacency eigenvalue is 0 (multiplicity
+/// 2d−2); note the walk also has eigenvalue `(d° − d)/d⁺` (the
+/// bipartite `−d` mode), which dominates in magnitude only when
+/// `d° < d` — the returned value is the largest *signed* non-principal
+/// eigenvalue, matching the paper's `µ = 1 − λ₂` convention.
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn lambda2_complete_bipartite(d: usize, d_self: usize) -> f64 {
+    assert!(d >= 1, "complete bipartite needs d >= 1");
+    let d_plus = (d + d_self) as f64;
+    d_self as f64 / d_plus
+}
+
+/// `λ₂` of a circulant graph on `n` nodes with offset set `offsets` and
+/// `d°` self-loops (`d = 2·|offsets|`). Evaluates the exact character
+/// sum for every `k = 1..n` and takes the maximum.
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty or `n < 3`.
+pub fn lambda2_circulant(n: usize, offsets: &[usize], d_self: usize) -> f64 {
+    assert!(n >= 3, "circulant needs n >= 3");
+    assert!(!offsets.is_empty(), "circulant needs offsets");
+    let d_plus = (2 * offsets.len() + d_self) as f64;
+    let mut best = f64::NEG_INFINITY;
+    for k in 1..n {
+        let alpha: f64 = offsets
+            .iter()
+            .map(|&o| 2.0 * (TAU * (k * o) as f64 / n as f64).cos())
+            .sum();
+        best = best.max(alpha);
+    }
+    (d_self as f64 + best) / d_plus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_lambda2_increases_with_n() {
+        let a = lambda2_cycle(8, 2);
+        let b = lambda2_cycle(64, 2);
+        let c = lambda2_cycle(512, 2);
+        assert!(a < b && b < c && c < 1.0);
+    }
+
+    #[test]
+    fn cycle_gap_scales_inverse_quadratically() {
+        // µ(C_n) = (2 − 2cos(2π/n))/d⁺ ≈ (2π²/d⁺)·(2/n²) for large n:
+        // quadrupling? doubling n should divide µ by ~4.
+        let mu = |n: usize| 1.0 - lambda2_cycle(n, 2);
+        let ratio = mu(128) / mu(256);
+        assert!((ratio - 4.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn complete_lambda2_small() {
+        // K_16, lazy: λ₂ = (15 − 1)/30 wait d° = d = 15 ⇒ (15−1)/30.
+        let v = lambda2_complete(16, 15);
+        assert!((v - 14.0 / 30.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hypercube_lambda2_formula() {
+        // Q_4 lazy (d° = 4): λ₂ = (4 + 2)/8 = 0.75.
+        assert!((lambda2_hypercube(4, 4) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn torus_reduces_to_cycle_when_r_is_one() {
+        for side in [5usize, 9, 33] {
+            assert!(
+                (lambda2_torus(1, side, 2) - lambda2_cycle(side, 2)).abs() < 1e-15,
+                "side = {side}"
+            );
+        }
+    }
+
+    #[test]
+    fn circulant_with_offset_one_matches_cycle() {
+        for n in [7usize, 12, 40] {
+            assert!(
+                (lambda2_circulant(n, &[1], 2) - lambda2_cycle(n, 2)).abs() < 1e-12,
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bipartite_lambda2_is_laziness_fraction() {
+        assert!((lambda2_complete_bipartite(4, 4) - 0.5).abs() < 1e-15);
+        assert!((lambda2_complete_bipartite(4, 0) - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_values_below_one() {
+        assert!(lambda2_cycle(1000, 2) < 1.0);
+        assert!(lambda2_complete(100, 99) < 1.0);
+        assert!(lambda2_hypercube(10, 10) < 1.0);
+        assert!(lambda2_torus(3, 11, 6) < 1.0);
+        assert!(lambda2_circulant(100, &[1, 7], 4) < 1.0);
+    }
+}

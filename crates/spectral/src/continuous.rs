@@ -1,0 +1,196 @@
+use dlb_graph::BalancingGraph;
+
+use crate::TransitionOperator;
+
+/// The continuous (divisible-load) diffusion process `x_{t+1} = P·x_t`.
+///
+/// This is the idealised reference every discrete scheme is compared
+/// against (§1): load is infinitely divisible, each node keeps the
+/// `d°/d⁺` fraction and ships `1/d⁺` to each neighbour. It converges to
+/// the uniform vector `x̄`, and the time to do so — `T = O(log(Kn)/µ)` —
+/// is the horizon at which the paper evaluates all discrete schemes.
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::{generators, BalancingGraph};
+/// use dlb_spectral::ContinuousDiffusion;
+///
+/// let gp = BalancingGraph::lazy(generators::cycle(8)?);
+/// let mut proc = ContinuousDiffusion::new(gp, vec![8.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+/// let steps = proc.run_until_within(0.01, 100_000).expect("converges");
+/// assert!(proc.max_deviation() <= 0.01);
+/// assert!(steps > 0);
+/// # Ok::<(), dlb_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousDiffusion {
+    gp: BalancingGraph,
+    loads: Vec<f64>,
+    scratch: Vec<f64>,
+    mean: f64,
+    steps: usize,
+}
+
+impl ContinuousDiffusion {
+    /// Creates the process on `gp` with the given initial load vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != gp.num_nodes()`.
+    pub fn new(gp: BalancingGraph, initial: Vec<f64>) -> Self {
+        assert_eq!(
+            initial.len(),
+            gp.num_nodes(),
+            "initial load vector must have one entry per node"
+        );
+        let mean = initial.iter().sum::<f64>() / initial.len() as f64;
+        let scratch = vec![0.0; initial.len()];
+        ContinuousDiffusion {
+            gp,
+            loads: initial,
+            scratch,
+            mean,
+            steps: 0,
+        }
+    }
+
+    /// Current load vector `x_t`.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// The invariant average load `x̄`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Number of steps performed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Advances one synchronous round.
+    pub fn step(&mut self) {
+        let op = TransitionOperator::new(&self.gp);
+        op.apply(&self.loads, &mut self.scratch);
+        std::mem::swap(&mut self.loads, &mut self.scratch);
+        self.steps += 1;
+    }
+
+    /// Advances `k` rounds.
+    pub fn run(&mut self, k: usize) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Runs until `max_deviation() <= epsilon`, up to `max_steps`.
+    /// Returns the number of steps taken, or `None` on timeout.
+    pub fn run_until_within(&mut self, epsilon: f64, max_steps: usize) -> Option<usize> {
+        let start = self.steps;
+        while self.max_deviation() > epsilon {
+            if self.steps - start >= max_steps {
+                return None;
+            }
+            self.step();
+        }
+        Some(self.steps - start)
+    }
+
+    /// `‖x_t − x̄‖_∞`: the largest deviation of any node from the mean.
+    pub fn max_deviation(&self) -> f64 {
+        self.loads
+            .iter()
+            .map(|&x| (x - self.mean).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Continuous discrepancy `max x_t − min x_t`.
+    pub fn discrepancy(&self) -> f64 {
+        let max = self.loads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.loads.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graph::generators;
+
+    fn point_mass(n: usize, total: f64) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[0] = total;
+        v
+    }
+
+    fn lazy_cycle(n: usize) -> BalancingGraph {
+        BalancingGraph::lazy(generators::cycle(n).unwrap())
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let mut p = ContinuousDiffusion::new(lazy_cycle(10), point_mass(10, 100.0));
+        p.run(57);
+        let total: f64 = p.loads().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deviation_is_monotone_nonincreasing() {
+        let mut p = ContinuousDiffusion::new(lazy_cycle(12), point_mass(12, 60.0));
+        let mut prev = p.max_deviation();
+        for _ in 0..200 {
+            p.step();
+            let cur = p.max_deviation();
+            assert!(cur <= prev + 1e-12);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn converges_within_horizon() {
+        use crate::{closed_form, BalancingHorizon, SpectralGap};
+        let n = 32;
+        let k = 1000.0;
+        let mut p = ContinuousDiffusion::new(lazy_cycle(n), point_mass(n, k));
+        let gap = SpectralGap::from_lambda2(closed_form::lambda2_cycle(n, 2));
+        // After O(log(Kn)/µ) steps the continuous process is balanced up
+        // to a constant; use multiplier 2 for slack.
+        let horizon = BalancingHorizon::new(gap, n, k as u64).steps(2.0);
+        p.run(horizon);
+        assert!(
+            p.max_deviation() < 1.0,
+            "deviation {} after T = {horizon}",
+            p.max_deviation()
+        );
+    }
+
+    #[test]
+    fn discrepancy_and_deviation_relate() {
+        let mut p = ContinuousDiffusion::new(lazy_cycle(8), point_mass(8, 8.0));
+        p.run(3);
+        assert!(p.discrepancy() <= 2.0 * p.max_deviation() + 1e-12);
+        assert!(p.max_deviation() <= p.discrepancy() + 1e-12);
+    }
+
+    #[test]
+    fn run_until_within_times_out_gracefully() {
+        let mut p = ContinuousDiffusion::new(lazy_cycle(64), point_mass(64, 1e6));
+        assert_eq!(p.run_until_within(1e-12, 1), None);
+    }
+
+    #[test]
+    fn steps_counter_tracks_progress() {
+        let mut p = ContinuousDiffusion::new(lazy_cycle(8), point_mass(8, 8.0));
+        p.run(5);
+        assert_eq!(p.steps(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per node")]
+    fn rejects_wrong_length() {
+        let _ = ContinuousDiffusion::new(lazy_cycle(8), vec![1.0; 7]);
+    }
+}

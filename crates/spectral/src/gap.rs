@@ -1,0 +1,173 @@
+/// The spectral gap `µ = 1 − λ₂` of the transition matrix `P` of `G⁺`.
+///
+/// Every bound in the paper is stated in terms of `µ`: the continuous
+/// process balances in `T = O(log(Kn)/µ)` steps, cumulatively fair
+/// balancers reach `O(d·√(log n/µ))` discrepancy, and good s-balancers
+/// need an extra `O((d/s)·log²n/µ)` steps (Theorems 2.3 and 3.3).
+///
+/// # Example
+///
+/// ```
+/// use dlb_spectral::{closed_form, SpectralGap};
+///
+/// let gap = SpectralGap::from_lambda2(closed_form::lambda2_cycle(64, 2));
+/// assert!(gap.mu > 0.0 && gap.mu < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralGap {
+    /// The second eigenvalue `λ₂` of `P`.
+    pub lambda2: f64,
+    /// The gap `µ = 1 − λ₂`.
+    pub mu: f64,
+}
+
+impl SpectralGap {
+    /// Builds the gap from a known `λ₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `λ₂` is not in `[-1, 1)` (not a valid sub-principal
+    /// eigenvalue of a connected stochastic matrix).
+    pub fn from_lambda2(lambda2: f64) -> Self {
+        assert!(
+            (-1.0..1.0).contains(&lambda2),
+            "lambda2 = {lambda2} outside [-1, 1)"
+        );
+        SpectralGap {
+            lambda2,
+            mu: 1.0 - lambda2,
+        }
+    }
+
+    /// The paper's mixing yardstick `t_µ = 6·ln n / µ` (proof of
+    /// Theorem 2.3), rounded up.
+    pub fn t_mu(&self, n: usize) -> usize {
+        ((6.0 * (n as f64).ln()) / self.mu).ceil() as usize
+    }
+}
+
+/// The balancing horizon `T = ⌈c · ln(K·n)/µ⌉` after which the
+/// continuous process (and, per the paper's theorems, the discrete
+/// schemes) are measured.
+///
+/// The paper writes `T = O(log(Kn)/µ)`; the constant is an experiment
+/// knob (`multiplier`), defaulting to 1. Experiments that need "after
+/// time O(T)" sample at small integer multiples of this horizon.
+///
+/// # Example
+///
+/// ```
+/// use dlb_spectral::{closed_form, BalancingHorizon, SpectralGap};
+///
+/// let gap = SpectralGap::from_lambda2(closed_form::lambda2_cycle(32, 2));
+/// let horizon = BalancingHorizon::new(gap, 32, 1_000);
+/// assert!(horizon.steps(1.0) > 0);
+/// assert_eq!(horizon.steps(2.0), 2 * horizon.steps(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancingHorizon {
+    gap: SpectralGap,
+    n: usize,
+    initial_discrepancy: u64,
+}
+
+impl BalancingHorizon {
+    /// Creates the horizon for a system of `n` nodes whose initial load
+    /// discrepancy is `K = initial_discrepancy` (clamped to ≥ 2 so the
+    /// logarithm stays positive).
+    pub fn new(gap: SpectralGap, n: usize, initial_discrepancy: u64) -> Self {
+        BalancingHorizon {
+            gap,
+            n,
+            initial_discrepancy: initial_discrepancy.max(2),
+        }
+    }
+
+    /// The spectral gap the horizon was built from.
+    pub fn gap(&self) -> SpectralGap {
+        self.gap
+    }
+
+    /// `⌈multiplier · ln(K·n)/µ⌉`, always at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not positive.
+    pub fn steps(&self, multiplier: f64) -> usize {
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        let k = self.initial_discrepancy as f64;
+        let t = multiplier * (k * self.n as f64).ln() / self.gap.mu;
+        t.ceil().max(1.0) as usize
+    }
+
+    /// The extra steps Theorem 3.3 grants good s-balancers:
+    /// `⌈(d/s)·ln²n/µ⌉`.
+    pub fn good_balancer_extra(&self, d: usize, s: usize) -> usize {
+        assert!(s > 0, "s must be positive");
+        let ln_n = (self.n as f64).ln();
+        ((d as f64 / s as f64) * ln_n * ln_n / self.gap.mu).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_complements_lambda2() {
+        let g = SpectralGap::from_lambda2(0.75);
+        assert!((g.mu - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_lambda2_of_one() {
+        let _ = SpectralGap::from_lambda2(1.0);
+    }
+
+    #[test]
+    fn negative_lambda2_allowed() {
+        // Bipartite-ish walks can have λ₂ < 0 when d° < d.
+        let g = SpectralGap::from_lambda2(-0.5);
+        assert!((g.mu - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn horizon_grows_with_discrepancy() {
+        let gap = SpectralGap::from_lambda2(0.5);
+        let small = BalancingHorizon::new(gap, 100, 10).steps(1.0);
+        let large = BalancingHorizon::new(gap, 100, 1_000_000).steps(1.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn horizon_scales_inversely_with_gap() {
+        let tight = BalancingHorizon::new(SpectralGap::from_lambda2(0.99), 64, 100).steps(1.0);
+        let loose = BalancingHorizon::new(SpectralGap::from_lambda2(0.5), 64, 100).steps(1.0);
+        assert!(tight > 10 * loose);
+    }
+
+    #[test]
+    fn horizon_clamps_tiny_discrepancy() {
+        let gap = SpectralGap::from_lambda2(0.5);
+        // K = 0 would make ln(K·n) = −∞; the clamp keeps it sane.
+        let t = BalancingHorizon::new(gap, 64, 0).steps(1.0);
+        assert!(t >= 1);
+    }
+
+    #[test]
+    fn t_mu_matches_formula() {
+        let gap = SpectralGap::from_lambda2(0.5);
+        let expect = (6.0 * (100.0f64).ln() / 0.5).ceil() as usize;
+        assert_eq!(gap.t_mu(100), expect);
+    }
+
+    #[test]
+    fn good_balancer_extra_decreases_with_s() {
+        let gap = SpectralGap::from_lambda2(0.5);
+        let h = BalancingHorizon::new(gap, 256, 100);
+        let slow = h.good_balancer_extra(8, 1);
+        let fast = h.good_balancer_extra(8, 8);
+        assert!(slow >= 8 * fast - 8);
+    }
+}

@@ -1,0 +1,51 @@
+//! Spectral toolkit for diffusion load balancing.
+//!
+//! The analysis of Berenbrink et al. (PODC 2015) is parameterised
+//! throughout by the **spectral gap** `µ = 1 − λ₂` of the transition
+//! matrix `P` of the balancing graph `G⁺`, and by the **balancing
+//! horizon** `T = O(log(Kn)/µ)` — the time in which the continuous
+//! diffusion process balances an initial discrepancy `K` (§1, §2).
+//!
+//! This crate supplies those quantities:
+//!
+//! * [`TransitionOperator`] — the matrix `P` of `G⁺` as an implicit
+//!   matrix-vector operator (`P(u,u) = d°/d⁺`, `P(u,v) = 1/d⁺` on
+//!   edges), never materialised;
+//! * [`power`] — deflated power iteration estimating `λ₂` on arbitrary
+//!   regular graphs;
+//! * [`closed_form`] — exact `λ₂` for the families with known spectra
+//!   (cycles, tori, hypercubes, complete and circulant graphs), used by
+//!   experiments where power iteration would be slow or ill-conditioned;
+//! * [`SpectralGap`] and [`BalancingHorizon`] — the derived quantities
+//!   `µ`, `T(K, n, µ)` and the paper's mixing yardstick `t_µ = 6·ln n/µ`;
+//! * [`ContinuousDiffusion`] — the continuous reference process `x ← Px`
+//!   that every discrete scheme is compared against.
+//!
+//! # Example
+//!
+//! ```
+//! use dlb_graph::{generators, BalancingGraph};
+//! use dlb_spectral::{closed_form, power, SpectralGap};
+//!
+//! let g = generators::cycle(64)?;
+//! let gp = BalancingGraph::lazy(g);
+//! let exact = closed_form::lambda2_cycle(64, 2);
+//! let est = power::lambda2(&gp, power::PowerOptions::default());
+//! assert!((exact - est.lambda2).abs() < 1e-6);
+//! let gap = SpectralGap::from_lambda2(exact);
+//! assert!(gap.mu > 0.0);
+//! # Ok::<(), dlb_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closed_form;
+mod continuous;
+mod gap;
+mod operator;
+pub mod power;
+
+pub use continuous::ContinuousDiffusion;
+pub use gap::{BalancingHorizon, SpectralGap};
+pub use operator::TransitionOperator;

@@ -1,0 +1,183 @@
+use dlb_graph::BalancingGraph;
+
+/// The transition matrix `P` of the balancing graph `G⁺`, exposed as an
+/// implicit matrix-vector operator.
+///
+/// Following §1.3 of the paper: `P(u, v) = 1/d⁺` for every original edge
+/// `(u, v) ∈ E`, `P(u, u) = d°/d⁺` (the self-loops), and `0` otherwise.
+/// `P` is symmetric and doubly stochastic because `G` is regular, so its
+/// stationary distribution is uniform and `P^∞ x₁ = (x̄, …, x̄)`.
+///
+/// The operator is never materialised; one application costs
+/// `O(n·d)` and borrows the graph, so it can be applied to million-node
+/// instances.
+///
+/// # Example
+///
+/// ```
+/// use dlb_graph::{generators, BalancingGraph};
+/// use dlb_spectral::TransitionOperator;
+///
+/// let gp = BalancingGraph::lazy(generators::cycle(4)?);
+/// let p = TransitionOperator::new(&gp);
+/// // One step from a point mass: stay with d°/d⁺ = 1/2, spread 1/4 each.
+/// let out = p.apply_vec(&[1.0, 0.0, 0.0, 0.0]);
+/// assert_eq!(out, vec![0.5, 0.25, 0.0, 0.25]);
+/// # Ok::<(), dlb_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TransitionOperator<'g> {
+    gp: &'g BalancingGraph,
+}
+
+impl<'g> TransitionOperator<'g> {
+    /// Wraps the balancing graph.
+    pub fn new(gp: &'g BalancingGraph) -> Self {
+        TransitionOperator { gp }
+    }
+
+    /// The balancing graph this operator acts on.
+    pub fn graph(&self) -> &'g BalancingGraph {
+        self.gp
+    }
+
+    /// Dimension of the operator (number of nodes).
+    pub fn dim(&self) -> usize {
+        self.gp.num_nodes()
+    }
+
+    /// Computes `out = P·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` do not have length `n`.
+    pub fn apply(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.gp.num_nodes();
+        assert_eq!(x.len(), n, "input length must be n");
+        assert_eq!(out.len(), n, "output length must be n");
+        let d_plus = self.gp.degree_plus() as f64;
+        let self_weight = self.gp.num_self_loops() as f64 / d_plus;
+        let edge_weight = 1.0 / d_plus;
+        let graph = self.gp.graph();
+        for u in 0..n {
+            let mut acc = self_weight * x[u];
+            for &v in graph.neighbors(u) {
+                acc += edge_weight * x[v as usize];
+            }
+            out[u] = acc;
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; x.len()];
+        self.apply(x, &mut out);
+        out
+    }
+
+    /// Computes `P^k · x` using two ping-pong buffers.
+    pub fn apply_power(&self, x: &[f64], k: usize) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let mut next = vec![0.0; x.len()];
+        for _ in 0..k {
+            self.apply(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// The entry `P(u, v)` (mostly for tests; prefer [`apply`]).
+    ///
+    /// [`apply`]: TransitionOperator::apply
+    pub fn entry(&self, u: usize, v: usize) -> f64 {
+        let d_plus = self.gp.degree_plus() as f64;
+        if u == v {
+            self.gp.num_self_loops() as f64 / d_plus
+        } else if self.gp.graph().has_edge(u, v) {
+            1.0 / d_plus
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graph::generators;
+
+    fn lazy(n: usize) -> BalancingGraph {
+        BalancingGraph::lazy(generators::cycle(n).unwrap())
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let gp = lazy(6);
+        let p = TransitionOperator::new(&gp);
+        let ones = vec![1.0; 6];
+        let out = p.apply_vec(&ones);
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preserves_total_mass() {
+        let gp = lazy(8);
+        let p = TransitionOperator::new(&gp);
+        let x = vec![5.0, 0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 0.0];
+        let out = p.apply_vec(&x);
+        let sum: f64 = out.iter().sum();
+        assert!((sum - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_entries() {
+        let gp = BalancingGraph::lazy(generators::petersen());
+        let p = TransitionOperator::new(&gp);
+        for u in 0..10 {
+            for v in 0..10 {
+                assert!((p.entry(u, v) - p.entry(v, u)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn entry_values_match_definition() {
+        let gp = lazy(5);
+        let p = TransitionOperator::new(&gp);
+        assert!((p.entry(0, 0) - 0.5).abs() < 1e-15);
+        assert!((p.entry(0, 1) - 0.25).abs() < 1e-15);
+        assert!((p.entry(0, 2) - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn apply_power_composes() {
+        let gp = lazy(6);
+        let p = TransitionOperator::new(&gp);
+        let x = vec![6.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let two_steps = p.apply_vec(&p.apply_vec(&x));
+        assert_eq!(p.apply_power(&x, 2), two_steps);
+        assert_eq!(p.apply_power(&x, 0), x);
+    }
+
+    #[test]
+    fn bare_graph_has_zero_self_weight() {
+        let gp = BalancingGraph::bare(generators::cycle(4).unwrap());
+        let p = TransitionOperator::new(&gp);
+        let out = p.apply_vec(&[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(out, vec![0.0, 0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn converges_toward_uniform() {
+        let gp = lazy(8);
+        let p = TransitionOperator::new(&gp);
+        let mut x = vec![0.0; 8];
+        x[0] = 8.0;
+        let out = p.apply_power(&x, 2000);
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-9, "should converge to mean 1.0, got {v}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the spectral toolkit: operator algebra, spectrum
+//! bounds, and agreement between closed forms and power iteration.
+
+use dlb_graph::{generators, BalancingGraph};
+use dlb_spectral::{closed_form, power, BalancingHorizon, ContinuousDiffusion, SpectralGap, TransitionOperator};
+use proptest::prelude::*;
+
+proptest! {
+    /// P is symmetric: <y, Px> = <x, Py> for arbitrary vectors.
+    #[test]
+    fn operator_is_self_adjoint(
+        n in 6usize..32,
+        seed in 0u64..20,
+        xs in proptest::collection::vec(-10.0f64..10.0, 4..32),
+        ys in proptest::collection::vec(-10.0f64..10.0, 4..32),
+    ) {
+        let g = generators::random_regular(n, 4, seed).unwrap();
+        let gp = BalancingGraph::lazy(g);
+        let op = TransitionOperator::new(&gp);
+        let x: Vec<f64> = xs.iter().cycle().take(n).copied().collect();
+        let y: Vec<f64> = ys.iter().cycle().take(n).copied().collect();
+        let px = op.apply_vec(&x);
+        let py = op.apply_vec(&y);
+        let ypx: f64 = y.iter().zip(&px).map(|(a, b)| a * b).sum();
+        let xpy: f64 = x.iter().zip(&py).map(|(a, b)| a * b).sum();
+        prop_assert!((ypx - xpy).abs() < 1e-9 * (1.0 + ypx.abs()));
+    }
+
+    /// P is doubly stochastic: both row sums (apply to 1) and the mass
+    /// of any vector are preserved.
+    #[test]
+    fn operator_preserves_mass_and_uniformity(
+        n in 6usize..32,
+        seed in 0u64..20,
+        xs in proptest::collection::vec(0.0f64..100.0, 4..32),
+    ) {
+        let g = generators::random_regular(n, 4, seed).unwrap();
+        let gp = BalancingGraph::lazy(g);
+        let op = TransitionOperator::new(&gp);
+        let ones = vec![1.0; n];
+        for v in op.apply_vec(&ones) {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        }
+        let x: Vec<f64> = xs.iter().cycle().take(n).copied().collect();
+        let sum_before: f64 = x.iter().sum();
+        let sum_after: f64 = op.apply_vec(&x).iter().sum();
+        prop_assert!((sum_before - sum_after).abs() < 1e-9 * (1.0 + sum_before.abs()));
+    }
+
+    /// Lazy walks have λ₂ ∈ [0, 1) on connected graphs.
+    #[test]
+    fn lazy_lambda2_in_unit_interval(n in 8usize..64, seed in 0u64..30) {
+        let g = generators::random_regular(n, 4, seed).unwrap();
+        prop_assume!(dlb_graph::traversal::is_connected(&g));
+        let gp = BalancingGraph::lazy(g);
+        let est = power::lambda2(&gp, power::PowerOptions::default());
+        prop_assert!(est.lambda2 >= -1e-9, "lambda2 = {}", est.lambda2);
+        prop_assert!(est.lambda2 < 1.0 - 1e-6, "lambda2 = {}", est.lambda2);
+    }
+
+    /// Power iteration matches the cycle closed form across sizes and
+    /// laziness levels.
+    #[test]
+    fn power_matches_closed_form_cycles(n in 4usize..48, d_self in 2usize..6) {
+        let gp = BalancingGraph::with_self_loops(
+            generators::cycle(n).unwrap(),
+            d_self,
+        ).unwrap();
+        let exact = closed_form::lambda2_cycle(n, d_self);
+        let est = power::lambda2(&gp, power::PowerOptions::default()).lambda2;
+        prop_assert!((exact - est).abs() < 1e-6, "n={} d_self={}: {} vs {}", n, d_self, exact, est);
+    }
+
+    /// The balancing horizon is monotone in the multiplier and in K.
+    #[test]
+    fn horizon_monotonicity(
+        lambda_milli in 0i32..990,
+        n in 4usize..10_000,
+        k in 2u64..1_000_000,
+    ) {
+        let gap = SpectralGap::from_lambda2(f64::from(lambda_milli) / 1000.0);
+        let h = BalancingHorizon::new(gap, n, k);
+        prop_assert!(h.steps(1.0) <= h.steps(2.0));
+        let h_bigger_k = BalancingHorizon::new(gap, n, k.saturating_mul(8));
+        prop_assert!(h.steps(1.0) <= h_bigger_k.steps(1.0));
+    }
+
+    /// Continuous diffusion: deviation from the mean is non-increasing
+    /// and mass is conserved, from arbitrary non-negative starts.
+    #[test]
+    fn continuous_diffusion_contracts(
+        n in 6usize..24,
+        seed in 0u64..20,
+        xs in proptest::collection::vec(0.0f64..50.0, 4..24),
+        steps in 1usize..60,
+    ) {
+        let g = generators::random_regular(n, 4, seed).unwrap();
+        let gp = BalancingGraph::lazy(g);
+        let x: Vec<f64> = xs.iter().cycle().take(n).copied().collect();
+        let total: f64 = x.iter().sum();
+        let mut proc = ContinuousDiffusion::new(gp, x);
+        let mut prev = proc.max_deviation();
+        for _ in 0..steps {
+            proc.step();
+            let cur = proc.max_deviation();
+            prop_assert!(cur <= prev + 1e-9);
+            prev = cur;
+        }
+        let after: f64 = proc.loads().iter().sum();
+        prop_assert!((after - total).abs() < 1e-6 * (1.0 + total));
+    }
+}
+
+/// `t_mu` matches the paper's 6·ln n/µ at assorted points.
+#[test]
+fn t_mu_spot_checks() {
+    for (lambda2, n) in [(0.5f64, 64usize), (0.9, 256), (0.99, 1024)] {
+        let gap = SpectralGap::from_lambda2(lambda2);
+        let expect = (6.0 * (n as f64).ln() / (1.0 - lambda2)).ceil() as usize;
+        assert_eq!(gap.t_mu(n), expect);
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 1 as executable advice: which scheme should you deploy?
+//!
+//! Runs every scheme in the library on the same workload and prints
+//! the paper's property columns (verified at runtime by the fairness
+//! monitor) next to the measured discrepancy — the trade-off table a
+//! practitioner would actually consult.
+//!
+//! ```text
+//! cargo run --release --example choose_your_balancer
+//! ```
+
+use dlb::graph::BalancingGraph;
+use dlb::harness::{init, GraphSpec, Runner, SchemeSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = GraphSpec::Torus2D { side: 8 };
+    let graph = spec.build()?;
+    let n = graph.num_nodes();
+    let d = graph.degree();
+    let gp = BalancingGraph::lazy(graph);
+    let mean = 50i64;
+    let runner = Runner::default();
+    let steps = runner.horizon_steps(&spec, d, n, (mean * n as i64) as u64)?;
+    let initial = init::point_mass(n, mean * n as i64);
+
+    println!(
+        "workload: {} (d = {d}, d° = {d}), {} tokens on node 0, {steps} steps (4T)\n",
+        spec.label(),
+        mean * n as i64
+    );
+    println!("scheme               det  stateless  no-neg-load  no-comm  disc  neg-steps  δ");
+    println!("-------------------  ---  ---------  -----------  -------  ----  ---------  ---");
+
+    let schemes = [
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+        SchemeSpec::RotorRouterStar,
+        SchemeSpec::Good { s: 2 },
+        SchemeSpec::RoundFairFirstPorts,
+        SchemeSpec::Quasirandom,
+        SchemeSpec::ContinuousMimic,
+        SchemeSpec::RandomizedExtra { seed: 1 },
+        SchemeSpec::RandomizedRounding { seed: 1 },
+    ];
+    for scheme in schemes {
+        let (det, sl, nl, nc) = scheme.table1_flags();
+        let out = runner.run_for(&gp, &scheme, &initial, steps)?;
+        let yn = |b: bool| if b { "yes" } else { "no " };
+        println!(
+            "{:<19}  {}  {:<9}  {:<11}  {:<7}  {:<4}  {:<9}  {}",
+            out.scheme,
+            yn(det),
+            yn(sl),
+            yn(nl),
+            yn(nc),
+            out.final_discrepancy,
+            out.negative_node_steps,
+            out.witnessed_delta,
+        );
+    }
+
+    println!(
+        "\nHow to read this (the paper's Table 1, measured):\n\
+         · want simplicity and zero state?            SEND(floor / round)\n\
+         · want the best deterministic discrepancy\n\
+           without extra communication?               ROTOR-ROUTER / ROTOR-ROUTER*\n\
+         · can afford to simulate the continuous\n\
+           flow and tolerate negative load?           continuous-mimic [4] reaches Θ(d) fastest\n\
+         · the δ column is the *witnessed* cumulative unfairness: the paper's\n\
+           Theorem 2.3 applies exactly to the schemes where it stays O(1)."
+    );
+    Ok(())
+}

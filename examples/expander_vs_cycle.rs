@@ -1,0 +1,66 @@
+//! Good expansion vs bad expansion: the two claims of Theorem 2.3 side
+//! by side, in miniature.
+//!
+//! Claim (i): on well-expanding graphs, cumulatively fair balancers
+//! reach `O(d·√(log n/µ))` after `O(T)` — for expanders that is
+//! `O(√log n)`, beating the `Θ(log n)` of the general [17] class.
+//! Claim (ii): on poorly-expanding graphs (cycles), the same schemes
+//! reach `O(d·√n)`.
+//!
+//! ```text
+//! cargo run --release --example expander_vs_cycle
+//! ```
+
+use dlb::harness::{init, GraphSpec, Runner, SchemeSpec};
+use dlb::graph::BalancingGraph;
+use dlb::spectral::SpectralGap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runner = Runner::default(); // 4T horizon
+    let mean_load = 50i64;
+
+    println!("graph                 µ          4T-steps  rotor  send-floor  adversary  bound");
+    println!("--------------------  ---------  --------  -----  ----------  ---------  -----");
+
+    type BoundFn = fn(usize, f64) -> f64;
+    let cases: [(GraphSpec, BoundFn); 2] = [
+        (
+            GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 },
+            |n, mu| 4.0 * ((n as f64).ln() / mu).sqrt(),
+        ),
+        (GraphSpec::Cycle { n: 256 }, |n, _mu| 2.0 * (n as f64).sqrt()),
+    ];
+    for (spec, bound_of) in cases {
+        let graph = spec.build()?;
+        let n = graph.num_nodes();
+        let d = graph.degree();
+        let gp = BalancingGraph::lazy(graph);
+        let gap = SpectralGap::from_lambda2(spec.lambda2(d)?);
+        let k = (mean_load * n as i64) as u64;
+        let steps = runner.horizon_steps(&spec, d, n, k)?;
+        let initial = init::point_mass(n, mean_load * n as i64);
+
+        let rotor = runner.run_for(&gp, &SchemeSpec::RotorRouter, &initial, steps)?;
+        let send = runner.run_for(&gp, &SchemeSpec::SendFloor, &initial, steps)?;
+        let adv = runner.run_for(&gp, &SchemeSpec::RoundFairFirstPorts, &initial, steps)?;
+
+        println!(
+            "{:<20}  {:<9.3e}  {:<8}  {:<5}  {:<10}  {:<9}  {:.0}",
+            spec.label(),
+            gap.mu,
+            steps,
+            rotor.final_discrepancy,
+            send.final_discrepancy,
+            adv.final_discrepancy,
+            bound_of(n, gap.mu),
+        );
+    }
+
+    println!(
+        "\nReading: the cumulatively fair schemes (rotor, send-floor) sit well\n\
+         under the Theorem 2.3 bound on both graphs; the cumulatively unfair\n\
+         in-class adversary (round-fair, surplus always to the first ports)\n\
+         is consistently worse — the separation the paper proves."
+    );
+    Ok(())
+}

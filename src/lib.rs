@@ -1,0 +1,56 @@
+//! # dlb — deterministic load-balancing schemes on regular graphs
+//!
+//! A faithful, executable reproduction of Berenbrink, Klasing,
+//! Kosowski, Mallmann-Trenn, Uznański, *Improved Analysis of
+//! Deterministic Load-Balancing Schemes* (PODC 2015): the paper's
+//! algorithm classes (cumulatively fair balancers, good s-balancers),
+//! the rotor-router and SEND-family schemes, every baseline its Table 1
+//! compares against, the Section 4 lower-bound constructions, and an
+//! experiment harness regenerating the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — d-regular graphs, generators, the balancing graph
+//!   `G⁺` with self-loops and ports;
+//! * [`spectral`] — transition operators, spectral gaps, balancing
+//!   horizons, continuous diffusion;
+//! * [`core`] — the balancer framework, schemes, fairness
+//!   instrumentation and potential functions;
+//! * [`bounds`] — the Theorem 4.1/4.2/4.3 lower-bound instances;
+//! * [`matching`] — the dimension-exchange models (random matching,
+//!   balancing circuit) the paper contrasts with diffusion in §1.2;
+//! * [`harness`] — experiment drivers (Table 1, scaling laws,
+//!   ablations) with text/CSV reporting.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dlb::graph::{generators, BalancingGraph, PortOrder};
+//! use dlb::core::{Engine, LoadVector};
+//! use dlb::core::schemes::RotorRouter;
+//!
+//! // 64 nodes in a ring, 6400 tokens piled on node 0.
+//! let gp = BalancingGraph::lazy(generators::cycle(64)?);
+//! let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential)?;
+//! let mut engine = Engine::new(gp, LoadVector::point_mass(64, 6400));
+//! engine.attach_monitor();
+//! engine.run(&mut rotor, 20_000)?;
+//!
+//! // Balanced to a handful of tokens, cumulatively 1-fair throughout.
+//! assert!(engine.loads().discrepancy() <= 8);
+//! assert!(engine.ledger().original_edge_spread() <= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `EXPERIMENTS.md` for
+//! the paper-versus-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dlb_bounds as bounds;
+pub use dlb_core as core;
+pub use dlb_graph as graph;
+pub use dlb_harness as harness;
+pub use dlb_matching as matching;
+pub use dlb_spectral as spectral;

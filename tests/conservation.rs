@@ -1,0 +1,130 @@
+//! Cross-crate property tests: token conservation under every scheme.
+//!
+//! The single most fundamental invariant of the model (§1.3: "the total
+//! load summed over all nodes does not change over time"), checked by
+//! proptest across random graphs, random initial loads, random
+//! self-loop counts and every scheme in the library.
+
+use dlb::core::{Engine, LoadVector};
+use dlb::graph::{generators, BalancingGraph};
+use dlb::harness::SchemeSpec;
+use proptest::prelude::*;
+
+/// Strategy: a connected-ish random regular graph spec (n, d, seed).
+fn graph_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (4usize..32, 2usize..5, 0u64..1000).prop_filter("n*d must be even and d < n", |(n, d, _)| {
+        n * d % 2 == 0 && d < n
+    })
+}
+
+fn all_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+        SchemeSpec::RotorRouterStar,
+        SchemeSpec::Good { s: 1 },
+        SchemeSpec::RoundFairFirstPorts,
+        SchemeSpec::RoundFairRandom { seed: 5 },
+        SchemeSpec::RoundFairLagged { period: 3 },
+        SchemeSpec::Quasirandom,
+        SchemeSpec::ContinuousMimic,
+        SchemeSpec::RandomizedExtra { seed: 5 },
+        SchemeSpec::RandomizedRounding { seed: 5 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_scheme_conserves_tokens(
+        (n, d, seed) in graph_params(),
+        loads in proptest::collection::vec(0i64..200, 4..32),
+        steps in 1usize..40,
+    ) {
+        let graph = generators::random_regular(n, d, seed).unwrap();
+        let gp = BalancingGraph::lazy(graph);
+        let mut initial = vec![0i64; n];
+        for (slot, &value) in initial.iter_mut().zip(loads.iter().cycle().take(n)) {
+            *slot = value;
+        }
+        let initial = LoadVector::new(initial);
+        let total = initial.total();
+        for scheme in all_schemes() {
+            let mut bal = scheme.build(&gp).unwrap();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run(bal.as_mut(), steps).unwrap();
+            prop_assert_eq!(
+                engine.loads().total(), total,
+                "{} lost tokens on n={} d={} seed={}", scheme.label(), n, d, seed
+            );
+        }
+    }
+
+    #[test]
+    fn non_overdrawing_schemes_never_go_negative(
+        (n, d, seed) in graph_params(),
+        steps in 1usize..40,
+    ) {
+        let graph = generators::random_regular(n, d, seed).unwrap();
+        let gp = BalancingGraph::lazy(graph);
+        let initial = LoadVector::point_mass(n, 50 * n as i64);
+        for scheme in all_schemes() {
+            let mut bal = scheme.build(&gp).unwrap();
+            if bal.may_overdraw() {
+                continue;
+            }
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run(bal.as_mut(), steps).unwrap();
+            prop_assert_eq!(
+                engine.negative_node_steps(), 0,
+                "{} went negative", scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn discrepancy_never_increases_above_initial_by_much(
+        (n, d, seed) in graph_params(),
+        steps in 1usize..60,
+    ) {
+        // Not a theorem — but a strong smoke invariant: from a point
+        // mass, no scheme should ever *worsen* the discrepancy.
+        let graph = generators::random_regular(n, d, seed).unwrap();
+        let gp = BalancingGraph::lazy(graph);
+        let k = 50 * n as i64;
+        let initial = LoadVector::point_mass(n, k);
+        for scheme in all_schemes() {
+            let mut bal = scheme.build(&gp).unwrap();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run(bal.as_mut(), steps).unwrap();
+            prop_assert!(
+                engine.loads().discrepancy() <= k,
+                "{} worsened the discrepancy", scheme.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn conservation_on_structured_graphs() {
+    // Deterministic spot-checks on the named families.
+    for graph in [
+        generators::cycle(12).unwrap(),
+        generators::hypercube(4).unwrap(),
+        generators::torus(2, 4).unwrap(),
+        generators::complete(8).unwrap(),
+        generators::petersen(),
+    ] {
+        let n = graph.num_nodes();
+        let gp = BalancingGraph::lazy(graph);
+        let initial = LoadVector::point_mass(n, 997);
+        for scheme in all_schemes() {
+            let mut bal = scheme.build(&gp).unwrap();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run(bal.as_mut(), 50).unwrap();
+            assert_eq!(engine.loads().total(), 997, "{}", scheme.label());
+        }
+    }
+}
