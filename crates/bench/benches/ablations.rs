@@ -18,7 +18,13 @@ fn bench_tables(c: &mut Criterion) {
         });
     });
     group.bench_function("delta_quick", |b| {
-        b.iter(|| black_box(experiments::ablation_delta(true).expect("a2 runs").num_rows()));
+        b.iter(|| {
+            black_box(
+                experiments::ablation_delta(true)
+                    .expect("a2 runs")
+                    .num_rows(),
+            )
+        });
     });
     group.finish();
 }
@@ -26,7 +32,11 @@ fn bench_tables(c: &mut Criterion) {
 fn bench_laziness_cost(c: &mut Criterion) {
     // How much does laziness (more self-loops, hence more ports) cost
     // per step? Fixed 500 steps of rotor-router at increasing d°.
-    let spec = GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 };
+    let spec = GraphSpec::RandomRegular {
+        n: 256,
+        d: 4,
+        seed: 42,
+    };
     let graph = spec.build().expect("graph builds");
     let n = graph.num_nodes();
     let initial = init::point_mass(n, 50 * n as i64);

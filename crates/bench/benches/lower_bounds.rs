@@ -18,10 +18,22 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| black_box(experiments::thm41_lower(true).expect("e5 runs").num_rows()));
     });
     group.bench_function("thm42_quick", |b| {
-        b.iter(|| black_box(experiments::thm42_stateless(true).expect("e6 runs").num_rows()));
+        b.iter(|| {
+            black_box(
+                experiments::thm42_stateless(true)
+                    .expect("e6 runs")
+                    .num_rows(),
+            )
+        });
     });
     group.bench_function("thm43_quick", |b| {
-        b.iter(|| black_box(experiments::thm43_rotor_cycle(true).expect("e7 runs").num_rows()));
+        b.iter(|| {
+            black_box(
+                experiments::thm43_rotor_cycle(true)
+                    .expect("e7 runs")
+                    .num_rows(),
+            )
+        });
     });
     group.finish();
 }

@@ -23,7 +23,11 @@ fn bench_table1(c: &mut Criterion) {
 }
 
 fn bench_rows(c: &mut Criterion) {
-    let spec = GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 };
+    let spec = GraphSpec::RandomRegular {
+        n: 64,
+        d: 4,
+        seed: 42,
+    };
     let graph = spec.build().expect("graph builds");
     let n = graph.num_nodes();
     let gp = BalancingGraph::lazy(graph);

@@ -13,7 +13,13 @@ fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm23_tables");
     group.sample_size(10);
     group.bench_function("expander_quick", |b| {
-        b.iter(|| black_box(experiments::thm23_expander(true).expect("e2 runs").num_rows()));
+        b.iter(|| {
+            black_box(
+                experiments::thm23_expander(true)
+                    .expect("e2 runs")
+                    .num_rows(),
+            )
+        });
     });
     group.bench_function("cycle_quick", |b| {
         b.iter(|| black_box(experiments::thm23_cycle(true).expect("e3 runs").num_rows()));

@@ -13,13 +13,23 @@ fn bench_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm33");
     group.sample_size(10);
     group.bench_function("full_quick_table", |b| {
-        b.iter(|| black_box(experiments::thm33_time_to_d(true).expect("e4 runs").num_rows()));
+        b.iter(|| {
+            black_box(
+                experiments::thm33_time_to_d(true)
+                    .expect("e4 runs")
+                    .num_rows(),
+            )
+        });
     });
     group.finish();
 }
 
 fn bench_s_sweep(c: &mut Criterion) {
-    let spec = GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 };
+    let spec = GraphSpec::RandomRegular {
+        n: 64,
+        d: 4,
+        seed: 42,
+    };
     let graph = spec.build().expect("graph builds");
     let n = graph.num_nodes();
     let initial = init::point_mass(n, 50 * n as i64);
@@ -34,13 +44,7 @@ fn bench_s_sweep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("s", s), &s, |b, &s| {
             b.iter(|| {
                 let out = runner
-                    .run_to_discrepancy(
-                        &gp,
-                        &SchemeSpec::Good { s },
-                        &initial,
-                        target,
-                        200_000,
-                    )
+                    .run_to_discrepancy(&gp, &SchemeSpec::Good { s }, &initial, target, 200_000)
                     .expect("run succeeds");
                 black_box(out.time_to_target)
             });

@@ -91,5 +91,10 @@ fn bench_spectral(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schemes, bench_monitor_overhead, bench_spectral);
+criterion_group!(
+    benches,
+    bench_schemes,
+    bench_monitor_overhead,
+    bench_spectral
+);
 criterion_main!(benches);

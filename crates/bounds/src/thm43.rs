@@ -146,8 +146,7 @@ pub fn instance(
     }
 
     let gp = BalancingGraph::bare(graph);
-    let balancer =
-        RotorRouter::with_initial_rotors(&gp, PortOrder::PerNode(orders), vec![0; n])?;
+    let balancer = RotorRouter::with_initial_rotors(&gp, PortOrder::PerNode(orders), vec![0; n])?;
     Ok(Theorem43Instance {
         graph: gp,
         initial: LoadVector::new(loads),

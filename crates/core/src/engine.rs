@@ -278,7 +278,9 @@ mod tests {
         let gp = lazy_cycle(8);
         let mut bal = SendFloor::new();
         let mut engine = Engine::new(gp, LoadVector::point_mass(8, 80));
-        let hit = engine.run_until(&mut bal, 3, |s| s.discrepancy == -1).unwrap();
+        let hit = engine
+            .run_until(&mut bal, 3, |s| s.discrepancy == -1)
+            .unwrap();
         assert_eq!(hit, None);
         assert_eq!(engine.step_count(), 3);
     }

@@ -128,8 +128,7 @@ mod tests {
         let mut engine = Engine::new(gp, LoadVector::point_mass(8, 797));
         engine.run(&mut bal, 300).unwrap();
         for idx in 0..bal.cumulative_continuous.len() {
-            let gap =
-                (bal.cumulative_continuous[idx] - bal.cumulative_discrete[idx] as f64).abs();
+            let gap = (bal.cumulative_continuous[idx] - bal.cumulative_discrete[idx] as f64).abs();
             assert!(gap <= 0.5 + 1e-9, "edge {idx} drifted by {gap}");
         }
     }

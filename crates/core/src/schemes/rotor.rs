@@ -212,8 +212,7 @@ mod tests {
     fn reset_restores_initial_rotors() {
         let gp = lazy_cycle(4);
         let mut rr =
-            RotorRouter::with_initial_rotors(&gp, PortOrder::Sequential, vec![1, 2, 3, 0])
-                .unwrap();
+            RotorRouter::with_initial_rotors(&gp, PortOrder::Sequential, vec![1, 2, 3, 0]).unwrap();
         let loads = LoadVector::uniform(4, 3);
         let mut plan = FlowPlan::for_graph(&gp);
         rr.plan(&gp, &loads, &mut plan);
@@ -225,12 +224,8 @@ mod tests {
     #[test]
     fn rejects_invalid_initial_rotors() {
         let gp = lazy_cycle(4);
-        assert!(
-            RotorRouter::with_initial_rotors(&gp, PortOrder::Sequential, vec![0; 3]).is_err()
-        );
-        assert!(
-            RotorRouter::with_initial_rotors(&gp, PortOrder::Sequential, vec![9; 4]).is_err()
-        );
+        assert!(RotorRouter::with_initial_rotors(&gp, PortOrder::Sequential, vec![0; 3]).is_err());
+        assert!(RotorRouter::with_initial_rotors(&gp, PortOrder::Sequential, vec![9; 4]).is_err());
     }
 
     #[test]

@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn send_round_rounds_half_up() {
         let gp = lazy_cycle(4); // d = 2, d⁺ = 4
-        // x = 10: base 2, e 2, 2e = 4 >= 4 ⇒ originals get 3.
+                                // x = 10: base 2, e 2, 2e = 4 >= 4 ⇒ originals get 3.
         let loads = LoadVector::uniform(4, 10);
         let mut plan = FlowPlan::for_graph(&gp);
         SendRound::new().plan(&gp, &loads, &mut plan);
@@ -229,8 +229,7 @@ mod tests {
     #[test]
     fn send_round_is_self_preferring_with_extra_laziness() {
         // d = 2, d° = 4 > d ⇒ d⁺ = 6 > 2d: good s-balancer regime.
-        let gp =
-            BalancingGraph::with_self_loops(generators::cycle(8).unwrap(), 4).unwrap();
+        let gp = BalancingGraph::with_self_loops(generators::cycle(8).unwrap(), 4).unwrap();
         let mut engine = Engine::new(gp, LoadVector::point_mass(8, 1009));
         engine.attach_monitor();
         engine.run(&mut SendRound::new(), 300).unwrap();
@@ -246,8 +245,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires d°")]
     fn send_round_rejects_insufficient_self_loops() {
-        let gp =
-            BalancingGraph::with_self_loops(generators::cycle(4).unwrap(), 1).unwrap();
+        let gp = BalancingGraph::with_self_loops(generators::cycle(4).unwrap(), 1).unwrap();
         let loads = LoadVector::uniform(4, 5);
         let mut plan = FlowPlan::for_graph(&gp);
         SendRound::new().plan(&gp, &loads, &mut plan);

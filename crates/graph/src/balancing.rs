@@ -217,13 +217,12 @@ impl PortOrder {
                 seq
             }
             PortOrder::Uniform(seq) => seq.clone(),
-            PortOrder::PerNode(orders) => orders
-                .get(u)
-                .cloned()
-                .ok_or(GraphError::NodeOutOfRange {
+            PortOrder::PerNode(orders) => {
+                orders.get(u).cloned().ok_or(GraphError::NodeOutOfRange {
                     node: u,
                     n: orders.len(),
-                })?,
+                })?
+            }
             PortOrder::Shuffled { seed } => {
                 let mut seq: Vec<u16> = (0..d_plus as u16).collect();
                 // Fisher–Yates driven by a splitmix64 stream keyed on
@@ -252,7 +251,10 @@ impl PortOrder {
 fn validate_permutation(seq: &[u16], d_plus: usize) -> Result<(), GraphError> {
     if seq.len() != d_plus {
         return Err(GraphError::InvalidParameters {
-            reason: format!("port order has {} entries, expected d+ = {d_plus}", seq.len()),
+            reason: format!(
+                "port order has {} entries, expected d+ = {d_plus}",
+                seq.len()
+            ),
         });
     }
     let mut seen = vec![false; d_plus];
@@ -368,11 +370,7 @@ mod tests {
     #[test]
     fn per_node_order_selects_by_node() {
         let gp = lazy_cycle(3);
-        let order = PortOrder::PerNode(vec![
-            vec![0, 1, 2, 3],
-            vec![3, 2, 1, 0],
-            vec![1, 0, 3, 2],
-        ]);
+        let order = PortOrder::PerNode(vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 0, 3, 2]]);
         assert_eq!(order.sequence_for(&gp, 1).unwrap(), vec![3, 2, 1, 0]);
         assert!(order.sequence_for(&gp, 5).is_err());
     }

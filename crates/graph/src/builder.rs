@@ -138,13 +138,19 @@ mod tests {
     fn rejects_duplicate_edges() {
         let mut b = GraphBuilder::new(3, 2);
         b.add_edge(0, 1).unwrap();
-        assert_eq!(b.add_edge(1, 0), Err(GraphError::NotSimple { from: 1, to: 0 }));
+        assert_eq!(
+            b.add_edge(1, 0),
+            Err(GraphError::NotSimple { from: 1, to: 0 })
+        );
     }
 
     #[test]
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(3, 2);
-        assert_eq!(b.add_edge(1, 1), Err(GraphError::NotSimple { from: 1, to: 1 }));
+        assert_eq!(
+            b.add_edge(1, 1),
+            Err(GraphError::NotSimple { from: 1, to: 1 })
+        );
     }
 
     #[test]

@@ -79,10 +79,9 @@ impl fmt::Display for GraphError {
                 f,
                 "directed edge ({from}, {to}) has no reverse edge ({to}, {from})"
             ),
-            GraphError::NotSimple { from, to } => write!(
-                f,
-                "edge ({from}, {to}) makes the original graph non-simple"
-            ),
+            GraphError::NotSimple { from, to } => {
+                write!(f, "edge ({from}, {to}) makes the original graph non-simple")
+            }
             GraphError::InvalidParameters { reason } => {
                 write!(f, "invalid graph parameters: {reason}")
             }
@@ -145,7 +144,10 @@ mod tests {
                 "message {msg:?} should contain {needle:?}"
             );
             let first = msg.chars().next().unwrap();
-            assert!(first.is_lowercase(), "message should start lowercase: {msg}");
+            assert!(
+                first.is_lowercase(),
+                "message should start lowercase: {msg}"
+            );
             assert!(!msg.ends_with('.'), "message should not end with a period");
         }
     }

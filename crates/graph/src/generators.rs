@@ -356,14 +356,17 @@ fn pairing_with_repair(n: usize, d: usize, rng: &mut StdRng) -> Option<RegularGr
                     continue;
                 }
                 let (k1, k2) = (edge_key(u, x), edge_key(v, y));
-                if k1 == k2 || count.get(&k1).copied().unwrap_or(0) > 0
+                if k1 == k2
+                    || count.get(&k1).copied().unwrap_or(0) > 0
                     || count.get(&k2).copied().unwrap_or(0) > 0
                 {
                     continue;
                 }
                 // Commit the swap.
                 *count.get_mut(&edge_key(u, v)).expect("tracked") -= 1;
-                *count.get_mut(&edge_key(pairs[j].0, pairs[j].1)).expect("tracked") -= 1;
+                *count
+                    .get_mut(&edge_key(pairs[j].0, pairs[j].1))
+                    .expect("tracked") -= 1;
                 *count.entry(k1).or_insert(0) += 1;
                 *count.entry(k2).or_insert(0) += 1;
                 pairs[i] = (u, x);

@@ -20,7 +20,9 @@ struct Args {
     csv_dir: Option<PathBuf>,
 }
 
-const ALL_IDS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3"];
+const ALL_IDS: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3",
+];
 
 fn parse_args() -> Result<Args, String> {
     let mut experiments = Vec::new();
@@ -98,7 +100,10 @@ fn main() -> ExitCode {
         }
     };
     let mode = if args.quick { "quick" } else { "full" };
-    println!("dlb-experiments ({mode} mode): {}", args.experiments.join(", "));
+    println!(
+        "dlb-experiments ({mode} mode): {}",
+        args.experiments.join(", ")
+    );
     for id in &args.experiments {
         let started = std::time::Instant::now();
         match run_one(id, args.quick) {

@@ -42,10 +42,7 @@ impl DeviationTrace {
     /// The largest deviation observed anywhere in the run — the
     /// quantity Theorem 2.3 bounds by `O((δ+1)·d·√(log n/µ))`.
     pub fn max_deviation(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.deviation)
-            .fold(0.0, f64::max)
+        self.samples.iter().map(|s| s.deviation).fold(0.0, f64::max)
     }
 
     /// The final sample.
@@ -134,7 +131,12 @@ mod tests {
         let gp = lazy_cycle(32);
         let probe = DeviationProbe { sample_every: 10 };
         let trace = probe
-            .run(&gp, &SchemeSpec::RotorRouter, &init::point_mass(32, 3200), 2000)
+            .run(
+                &gp,
+                &SchemeSpec::RotorRouter,
+                &init::point_mass(32, 3200),
+                2000,
+            )
             .unwrap();
         // Theorem 2.3's mechanism: deviation O(d·√n) on the cycle; the
         // measured value is far below d·√n = 11.3.
@@ -151,7 +153,12 @@ mod tests {
         let gp = lazy_cycle(16);
         let probe = DeviationProbe::default();
         let trace = probe
-            .run(&gp, &SchemeSpec::SendFloor, &init::point_mass(16, 1600), 300)
+            .run(
+                &gp,
+                &SchemeSpec::SendFloor,
+                &init::point_mass(16, 1600),
+                300,
+            )
             .unwrap();
         for pair in trace.samples.windows(2) {
             assert!(pair[1].continuous_discrepancy <= pair[0].continuous_discrepancy + 1e-9);

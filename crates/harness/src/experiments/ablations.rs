@@ -27,19 +27,35 @@ pub fn ablation_self_loops(quick: bool) -> Result<Table, RunError> {
     let specs: Vec<GraphSpec> = if quick {
         vec![
             GraphSpec::Cycle { n: 33 },
-            GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 64,
+                d: 4,
+                seed: 42,
+            },
         ]
     } else {
         vec![
             GraphSpec::Cycle { n: 65 },
             GraphSpec::Cycle { n: 64 },
-            GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 256,
+                d: 4,
+                seed: 42,
+            },
         ]
     };
     let runner = Runner::default();
     let mut table = Table::new(
         "A1: rotor-router discrepancy after 4T (lazy horizon) vs self-loop count d°",
-        &["graph", "d°=0", "d°=1", "d°=⌈d/2⌉", "d°=d", "d°=2d", "d°=3d"],
+        &[
+            "graph",
+            "d°=0",
+            "d°=1",
+            "d°=⌈d/2⌉",
+            "d°=d",
+            "d°=2d",
+            "d°=3d",
+        ],
     );
     for spec in &specs {
         let graph = spec.build()?;
@@ -92,7 +108,11 @@ pub fn ablation_delta(quick: bool) -> Result<Table, RunError> {
         ),
         &["rule", "period", "witnessed δ", "discrepancy"],
     );
-    let periods: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8, 16, 32] };
+    let periods: &[usize] = if quick {
+        &[1, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     for &period in periods {
         let out = runner.run_for(
             &gp,
@@ -136,20 +156,39 @@ pub fn ablation_port_order(quick: bool) -> Result<Table, RunError> {
     let specs: Vec<GraphSpec> = if quick {
         vec![
             GraphSpec::Cycle { n: 32 },
-            GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 64,
+                d: 4,
+                seed: 42,
+            },
         ]
     } else {
         vec![
             GraphSpec::Cycle { n: 128 },
             GraphSpec::Torus2D { side: 16 },
-            GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 },
-            GraphSpec::RandomRegular { n: 256, d: 8, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 256,
+                d: 4,
+                seed: 42,
+            },
+            GraphSpec::RandomRegular {
+                n: 256,
+                d: 8,
+                seed: 42,
+            },
         ]
     };
     let runner = Runner::default();
     let mut table = Table::new(
         "A3: rotor-router discrepancy after 4T vs port order",
-        &["graph", "sequential", "interleaved", "shuffled#1", "shuffled#2", "max witnessed δ"],
+        &[
+            "graph",
+            "sequential",
+            "interleaved",
+            "shuffled#1",
+            "shuffled#2",
+            "max witnessed δ",
+        ],
     );
     for spec in &specs {
         let graph = spec.build()?;

@@ -27,9 +27,17 @@ const MEAN_LOAD: i64 = 50;
 /// Propagates instance-construction and engine errors.
 pub fn deviation_trace(quick: bool) -> Result<Table, RunError> {
     let spec = if quick {
-        GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 }
+        GraphSpec::RandomRegular {
+            n: 64,
+            d: 4,
+            seed: 42,
+        }
     } else {
-        GraphSpec::RandomRegular { n: 512, d: 4, seed: 42 }
+        GraphSpec::RandomRegular {
+            n: 512,
+            d: 4,
+            seed: 42,
+        }
     };
     let graph = spec.build()?;
     let n = graph.num_nodes();

@@ -58,9 +58,11 @@ pub fn dimension_exchange(quick: bool) -> Result<Table, RunError> {
         let mut dimex = MatchingEngine::new(initial.clone());
         dimex
             .run(&mut random_sched, PairRule::CoinFlip { seed: 3 }, steps)
-            .map_err(|e| RunError::Graph(dlb_graph::GraphError::InvalidParameters {
-                reason: format!("matching engine failed: {e}"),
-            }))?;
+            .map_err(|e| {
+                RunError::Graph(dlb_graph::GraphError::InvalidParameters {
+                    reason: format!("matching engine failed: {e}"),
+                })
+            })?;
         let random_disc = dimex.loads().discrepancy();
 
         // Balancing-circuit (periodic) model:
@@ -72,9 +74,11 @@ pub fn dimension_exchange(quick: bool) -> Result<Table, RunError> {
         let mut periodic = MatchingEngine::new(initial.clone());
         periodic
             .run(&mut circuit, PairRule::ExtraToLarger, steps)
-            .map_err(|e| RunError::Graph(dlb_graph::GraphError::InvalidParameters {
-                reason: format!("matching engine failed: {e}"),
-            }))?;
+            .map_err(|e| {
+                RunError::Graph(dlb_graph::GraphError::InvalidParameters {
+                    reason: format!("matching engine failed: {e}"),
+                })
+            })?;
         let circuit_disc = periodic.loads().discrepancy();
 
         assert!(

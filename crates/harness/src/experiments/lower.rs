@@ -22,9 +22,20 @@ use dlb_graph::generators;
 pub fn thm41_lower(quick: bool) -> Result<Table, RunError> {
     let mut table = Table::new(
         "E5: Thm 4.1 — round-fair steady states stuck at Ω(d·diam)",
-        &["graph", "d", "diam", "discrepancy", "guarantee d·(diam−1)", "fixed point"],
+        &[
+            "graph",
+            "d",
+            "diam",
+            "discrepancy",
+            "guarantee d·(diam−1)",
+            "fixed point",
+        ],
     );
-    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     for &n in sizes {
         for (label, graph) in [
             (format!("cycle(n={n})"), generators::cycle(n)?),
@@ -62,7 +73,14 @@ pub fn thm41_lower(quick: bool) -> Result<Table, RunError> {
 pub fn thm42_stateless(quick: bool) -> Result<Table, RunError> {
     let mut table = Table::new(
         "E6: Thm 4.2 — the stateless trap (discrepancy after 500 steps)",
-        &["d", "trap ℓ=⌊d/2⌋−1", "SEND(floor)", "SEND(round)", "ROTOR-ROUTER", "rand. extra [5]"],
+        &[
+            "d",
+            "trap ℓ=⌊d/2⌋−1",
+            "SEND(floor)",
+            "SEND(round)",
+            "ROTOR-ROUTER",
+            "rand. extra [5]",
+        ],
     );
     let degrees: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
     let runner = Runner::default();
@@ -79,10 +97,8 @@ pub fn thm42_stateless(quick: bool) -> Result<Table, RunError> {
         ] {
             let out = runner.run_for(&gp, &scheme, &inst.initial, steps)?;
             row.push(out.final_discrepancy.to_string());
-            let is_deterministic_stateless = matches!(
-                scheme,
-                SchemeSpec::SendFloor | SchemeSpec::SendRound
-            );
+            let is_deterministic_stateless =
+                matches!(scheme, SchemeSpec::SendFloor | SchemeSpec::SendRound);
             if is_deterministic_stateless {
                 assert_eq!(
                     out.final_discrepancy,
@@ -138,14 +154,16 @@ pub fn thm43_rotor_cycle(quick: bool) -> Result<Table, RunError> {
 
         // Contrast: identical initial loads, but d° = d self-loops.
         let lazy = dlb_graph::BalancingGraph::lazy(inst.graph.graph().clone());
-        let mut rotor = dlb_core::schemes::RotorRouter::new(
-            &lazy,
-            dlb_graph::PortOrder::Sequential,
-        )?;
+        let mut rotor =
+            dlb_core::schemes::RotorRouter::new(&lazy, dlb_graph::PortOrder::Sequential)?;
         let mut contrast = Engine::new(lazy, x0.clone());
         // Give the lazy walk the same wall-clock budget scaled by the
         // cycle's mixing time so large cycles get a fair chance.
-        let contrast_steps = if quick { 20 * n * n / 4 } else { 40 * n * n / 4 };
+        let contrast_steps = if quick {
+            20 * n * n / 4
+        } else {
+            40 * n * n / 4
+        };
         contrast.run(&mut rotor, contrast_steps)?;
 
         table.push_row(vec![

@@ -6,10 +6,10 @@
 //! printed but *verified*: the run is instrumented, and a scheme whose
 //! monitor contradicts its declared flags fails the experiment.
 
+use crate::init;
 use crate::report::{fmt_flag, Table};
 use crate::runner::{RunError, Runner};
 use crate::suite::{GraphSpec, SchemeSpec};
-use crate::init;
 use dlb_graph::BalancingGraph;
 
 /// Per-node average load used across the Table 1 runs.
@@ -21,14 +21,22 @@ fn graph_suite(quick: bool) -> Vec<GraphSpec> {
             GraphSpec::Cycle { n: 32 },
             GraphSpec::Torus2D { side: 6 },
             GraphSpec::Hypercube { dim: 5 },
-            GraphSpec::RandomRegular { n: 64, d: 4, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 64,
+                d: 4,
+                seed: 42,
+            },
         ]
     } else {
         vec![
             GraphSpec::Cycle { n: 64 },
             GraphSpec::Torus2D { side: 16 },
             GraphSpec::Hypercube { dim: 8 },
-            GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 256,
+                d: 4,
+                seed: 42,
+            },
         ]
     }
 }
@@ -98,7 +106,8 @@ pub fn table1(quick: bool) -> Result<Table, RunError> {
             // never-negative-load must witness zero negative node-steps.
             if no_neg {
                 assert_eq!(
-                    out.negative_node_steps, 0,
+                    out.negative_node_steps,
+                    0,
                     "{} claims NL but went negative on {}",
                     scheme.label(),
                     spec.label()
@@ -134,9 +143,8 @@ mod tests {
         // class lands below the cumulatively unfair in-class adversary.
         let t = table1(true).unwrap();
         let csv = t.to_csv();
-        let col = |line: &str, idx: usize| -> i64 {
-            line.split(',').nth(idx).unwrap().parse().unwrap()
-        };
+        let col =
+            |line: &str, idx: usize| -> i64 { line.split(',').nth(idx).unwrap().parse().unwrap() };
         // Last column = random regular graph discrepancy.
         let ncols = csv.lines().next().unwrap().split(',').count();
         let mut adv = None;

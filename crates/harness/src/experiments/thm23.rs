@@ -56,11 +56,7 @@ fn run_sizes(
         let steps = runner.horizon_steps(spec, d, n, k)?;
         let initial = init::point_mass(n, MEAN_LOAD * n as i64);
 
-        let mut row = vec![
-            spec.label(),
-            format!("{:.3e}", gap.mu),
-            steps.to_string(),
-        ];
+        let mut row = vec![spec.label(), format!("{:.3e}", gap.mu), steps.to_string()];
         let theorem_bound = bound(n, d, gap.mu);
         for scheme in fair_schemes() {
             let out = runner.run_for(&gp, &scheme, &initial, steps)?;

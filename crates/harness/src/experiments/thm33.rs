@@ -55,7 +55,11 @@ pub fn thm33_time_to_d(quick: bool) -> Result<Table, RunError> {
 
     // Generic good s-balancer on d° = 3d, sweeping s.
     let d_self = 3 * d;
-    let s_values: &[usize] = if quick { &[1, 4, 12] } else { &[1, 2, 4, 8, 12] };
+    let s_values: &[usize] = if quick {
+        &[1, 4, 12]
+    } else {
+        &[1, 2, 4, 8, 12]
+    };
     for &s in s_values {
         let gp = BalancingGraph::with_self_loops(graph.clone(), d_self)?;
         run_case(
@@ -172,9 +176,6 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("good-s-balancer,12,1,"))
             .expect("s = 1 row");
-        assert!(
-            !line.ends_with("plateau"),
-            "s = 1 should reach d+: {line}"
-        );
+        assert!(!line.ends_with("plateau"), "s = 1 should reach d+: {line}");
     }
 }

@@ -210,7 +210,12 @@ mod tests {
             ..Runner::default()
         };
         let out = runner
-            .run_for(&gp, &SchemeSpec::RotorRouter, &init::point_mass(16, 1600), 300)
+            .run_for(
+                &gp,
+                &SchemeSpec::RotorRouter,
+                &init::point_mass(16, 1600),
+                300,
+            )
             .unwrap();
         assert_eq!(out.steps, 300);
         assert!(out.final_discrepancy < 1600);

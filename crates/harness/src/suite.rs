@@ -199,15 +199,14 @@ impl SchemeSpec {
             SchemeSpec::RoundFairRandom { seed } => {
                 Box::new(RoundFairDiffusion::new(gp, RoundingRule::Random { seed }))
             }
-            SchemeSpec::RoundFairLagged { period } => {
-                Box::new(RoundFairDiffusion::new(gp, RoundingRule::LaggedRotor { period }))
-            }
+            SchemeSpec::RoundFairLagged { period } => Box::new(RoundFairDiffusion::new(
+                gp,
+                RoundingRule::LaggedRotor { period },
+            )),
             SchemeSpec::Quasirandom => Box::new(QuasirandomDiffusion::new(gp)),
             SchemeSpec::ContinuousMimic => Box::new(ContinuousMimic::new(gp)),
             SchemeSpec::RandomizedExtra { seed } => Box::new(RandomizedExtraTokens::new(seed)),
-            SchemeSpec::RandomizedRounding { seed } => {
-                Box::new(RandomizedEdgeRounding::new(seed))
-            }
+            SchemeSpec::RandomizedRounding { seed } => Box::new(RandomizedEdgeRounding::new(seed)),
         })
     }
 
@@ -262,7 +261,11 @@ mod tests {
             GraphSpec::Cycle { n: 12 },
             GraphSpec::Torus2D { side: 4 },
             GraphSpec::Hypercube { dim: 3 },
-            GraphSpec::RandomRegular { n: 16, d: 4, seed: 1 },
+            GraphSpec::RandomRegular {
+                n: 16,
+                d: 4,
+                seed: 1,
+            },
             GraphSpec::CliqueCirculant { n: 20, d: 4 },
         ];
         for spec in &specs {

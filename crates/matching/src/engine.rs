@@ -269,7 +269,9 @@ mod tests {
             fn reset(&mut self) {}
         }
         let mut engine = MatchingEngine::new(LoadVector::uniform(4, 1));
-        let err = engine.step(&mut Bogus, PairRule::ExtraToLarger).unwrap_err();
+        let err = engine
+            .step(&mut Bogus, PairRule::ExtraToLarger)
+            .unwrap_err();
         assert!(matches!(err, MatchingError::NodeOutOfRange { .. }));
     }
 }

@@ -36,10 +36,7 @@ pub struct RandomMatchings {
 impl RandomMatchings {
     /// Creates the schedule for `graph` with a fixed seed.
     pub fn new(graph: &RegularGraph, seed: u64) -> Self {
-        let mut edges: Vec<(u32, u32)> = graph
-            .edges()
-            .map(|(u, v)| (u as u32, v as u32))
-            .collect();
+        let mut edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u as u32, v as u32)).collect();
         // Canonical base order, so that reset() replays exactly.
         edges.sort_unstable();
         RandomMatchings {

@@ -3,8 +3,8 @@
 use dlb_core::LoadVector;
 use dlb_graph::generators;
 use dlb_matching::{
-    greedy_edge_coloring, BalancingCircuit, Matching, MatchingEngine, MatchingSchedule,
-    PairRule, RandomMatchings,
+    greedy_edge_coloring, BalancingCircuit, Matching, MatchingEngine, MatchingSchedule, PairRule,
+    RandomMatchings,
 };
 use proptest::prelude::*;
 

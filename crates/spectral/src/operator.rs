@@ -177,7 +177,10 @@ mod tests {
         x[0] = 8.0;
         let out = p.apply_power(&x, 2000);
         for v in out {
-            assert!((v - 1.0).abs() < 1e-9, "should converge to mean 1.0, got {v}");
+            assert!(
+                (v - 1.0).abs() < 1e-9,
+                "should converge to mean 1.0, got {v}"
+            );
         }
     }
 }

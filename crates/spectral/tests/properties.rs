@@ -2,7 +2,9 @@
 //! bounds, and agreement between closed forms and power iteration.
 
 use dlb_graph::{generators, BalancingGraph};
-use dlb_spectral::{closed_form, power, BalancingHorizon, ContinuousDiffusion, SpectralGap, TransitionOperator};
+use dlb_spectral::{
+    closed_form, power, BalancingHorizon, ContinuousDiffusion, SpectralGap, TransitionOperator,
+};
 use proptest::prelude::*;
 
 proptest! {

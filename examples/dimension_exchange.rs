@@ -7,10 +7,10 @@
 //! cargo run --release --example dimension_exchange
 //! ```
 
-use dlb::core::LoadVector;
-use dlb::graph::{generators, BalancingGraph, PortOrder};
 use dlb::core::schemes::RotorRouter;
 use dlb::core::Engine;
+use dlb::core::LoadVector;
+use dlb::graph::{generators, BalancingGraph, PortOrder};
 use dlb::matching::{BalancingCircuit, MatchingEngine, PairRule, RandomMatchings};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,9 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = generators::random_regular(n, d, seed)?;
     let total = 50 * n as i64;
     let rounds = 600;
-    println!(
-        "random {d}-regular graph, n = {n}, {total} tokens on node 0, {rounds} rounds\n"
-    );
+    println!("random {d}-regular graph, n = {n}, {total} tokens on node 0, {rounds} rounds\n");
 
     // Diffusive: the rotor-router (best deterministic no-communication
     // scheme in the paper's Table 1).

@@ -11,8 +11,8 @@
 //! cargo run --release --example expander_vs_cycle
 //! ```
 
-use dlb::harness::{init, GraphSpec, Runner, SchemeSpec};
 use dlb::graph::BalancingGraph;
+use dlb::harness::{init, GraphSpec, Runner, SchemeSpec};
 use dlb::spectral::SpectralGap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,10 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     type BoundFn = fn(usize, f64) -> f64;
     let cases: [(GraphSpec, BoundFn); 2] = [
         (
-            GraphSpec::RandomRegular { n: 256, d: 4, seed: 42 },
+            GraphSpec::RandomRegular {
+                n: 256,
+                d: 4,
+                seed: 42,
+            },
             |n, mu| 4.0 * ((n as f64).ln() / mu).sqrt(),
         ),
-        (GraphSpec::Cycle { n: 256 }, |n, _mu| 2.0 * (n as f64).sqrt()),
+        (GraphSpec::Cycle { n: 256 }, |n, _mu| {
+            2.0 * (n as f64).sqrt()
+        }),
     ];
     for (spec, bound_of) in cases {
         let graph = spec.build()?;

@@ -29,7 +29,12 @@ fn full_pipeline_graph_to_report() {
     };
     let gp = BalancingGraph::lazy(graph);
     let out = runner
-        .run_for(&gp, &SchemeSpec::RotorRouter, &init::point_mass(32, 3200), horizon)
+        .run_for(
+            &gp,
+            &SchemeSpec::RotorRouter,
+            &init::point_mass(32, 3200),
+            horizon,
+        )
         .unwrap();
     assert!(out.final_discrepancy <= 10);
     assert!(!out.series.is_empty());

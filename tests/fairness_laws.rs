@@ -9,9 +9,8 @@ use dlb::harness::SchemeSpec;
 use proptest::prelude::*;
 
 fn graph_params() -> impl Strategy<Value = (usize, usize, u64)> {
-    (6usize..28, 2usize..5, 0u64..500).prop_filter("n*d even, d < n", |(n, d, _)| {
-        n * d % 2 == 0 && d < n
-    })
+    (6usize..28, 2usize..5, 0u64..500)
+        .prop_filter("n*d even, d < n", |(n, d, _)| n * d % 2 == 0 && d < n)
 }
 
 proptest! {

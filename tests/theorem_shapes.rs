@@ -20,7 +20,11 @@ fn horizon_for(spec: &GraphSpec, d_self: usize, n: usize) -> usize {
 /// `(δ+1)·d·√(ln n/µ)` after `O(T)` on an expander.
 #[test]
 fn thm23_claim_i_bound_holds_on_expander() {
-    let spec = GraphSpec::RandomRegular { n: 128, d: 4, seed: 7 };
+    let spec = GraphSpec::RandomRegular {
+        n: 128,
+        d: 4,
+        seed: 7,
+    };
     let graph = spec.build().unwrap();
     let (n, d) = (graph.num_nodes(), graph.degree());
     let gp = BalancingGraph::lazy(graph);
@@ -73,7 +77,11 @@ fn thm23_claim_ii_bound_holds_on_cycles() {
 /// theorem's time budget, for every s.
 #[test]
 fn thm33_bound_holds_within_budget() {
-    let spec = GraphSpec::RandomRegular { n: 64, d: 4, seed: 11 };
+    let spec = GraphSpec::RandomRegular {
+        n: 64,
+        d: 4,
+        seed: 11,
+    };
     let graph = spec.build().unwrap();
     let n = graph.num_nodes();
     let d = graph.degree();
@@ -188,8 +196,24 @@ fn horizon_scaling_shapes() {
         "cycle horizon should scale ~n²: ratio {ratio:.2}"
     );
 
-    let t_exp_128 = horizon_for(&GraphSpec::RandomRegular { n: 128, d: 4, seed: 1 }, 4, 128);
-    let t_exp_256 = horizon_for(&GraphSpec::RandomRegular { n: 256, d: 4, seed: 1 }, 4, 256);
+    let t_exp_128 = horizon_for(
+        &GraphSpec::RandomRegular {
+            n: 128,
+            d: 4,
+            seed: 1,
+        },
+        4,
+        128,
+    );
+    let t_exp_256 = horizon_for(
+        &GraphSpec::RandomRegular {
+            n: 256,
+            d: 4,
+            seed: 1,
+        },
+        4,
+        256,
+    );
     let ratio = t_exp_256 as f64 / t_exp_128 as f64;
     assert!(
         ratio < 2.0,

@@ -1,0 +1,267 @@
+//! A minimal, **offline** stand-in for the `criterion` benchmarking
+//! crate, exposing the API subset this workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! There is no statistical analysis, warm-up, or HTML report: each
+//! benchmark runs a handful of timed iterations (capped so `cargo
+//! bench` terminates quickly) and prints a median per-iteration time.
+//! The point of the shim is that every bench target **compiles and
+//! runs** without network access; swap in the real crates.io package
+//! for publication-quality numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations measured per benchmark (the shim's "sample count" is
+/// intentionally tiny; override with `CRITERION_SHIM_ITERS`).
+fn shim_iters() -> u32 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), None, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed (see [`Criterion`] docs).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.throughput.as_ref(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), self.throughput.as_ref(), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<&Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+    };
+    for _ in 0..shim_iters() {
+        f(&mut bencher);
+    }
+    let mut per_iter: Vec<Duration> = bencher.samples;
+    per_iter.sort_unstable();
+    let median = per_iter
+        .get(per_iter.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if !median.is_zero() => {
+            let rate = *n as f64 / median.as_secs_f64();
+            println!("bench {label:<48} {median:>12.2?}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if !median.is_zero() => {
+            let rate = *n as f64 / median.as_secs_f64();
+            println!("bench {label:<48} {median:>12.2?}/iter  {rate:>14.0} B/s");
+        }
+        _ => println!("bench {label:<48} {median:>12.2?}/iter"),
+    }
+}
+
+/// Times closures on behalf of a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once, recording its wall-clock duration as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id keyed by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function.is_empty(), &self.parameter) {
+            (false, Some(p)) => write!(f, "{}/{}", self.function, p),
+            (false, None) => write!(f, "{}", self.function),
+            (true, Some(p)) => write!(f, "{p}"),
+            (true, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Units for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn groups_run_and_record() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(100))
+            .bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use std::ops::Range;
+
+use crate::strategy::{Strategy, VecStrategy};
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and
+/// whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "vec strategy needs a non-empty size range"
+    );
+    VecStrategy { element, size }
+}

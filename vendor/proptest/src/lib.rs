@@ -1,0 +1,185 @@
+//! A minimal, deterministic, **offline** stand-in for the `proptest`
+//! crate, exposing the API subset this workspace's property suites use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose
+//!   arguments are drawn from strategies (`arg in strategy`);
+//! * range strategies over primitive numeric types (`3usize..200`,
+//!   `-10.0f64..10.0`, …) and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Unlike the real proptest there is **no shrinking** and no failure
+//! persistence: each test runs a fixed number of cases (default 32,
+//! override with `PROPTEST_CASES`) from a PRNG seeded by a stable hash
+//! of the test name — runs are fully deterministic in CI by
+//! construction, which is the property the workspace relies on.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+/// The RNG driving strategy sampling.
+pub type TestRng = StdRng;
+
+/// Number of cases per property, from `PROPTEST_CASES` or 32.
+pub fn num_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(32)
+}
+
+/// Per-block configuration, set with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` as the first
+/// line of a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A configuration running exactly `cases` cases (the
+    /// `PROPTEST_CASES` environment variable is then ignored, matching
+    /// the real proptest's explicit-config precedence).
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: num_cases() }
+    }
+}
+
+/// A deterministic RNG for the named test: the seed is a stable FNV-1a
+/// hash of the test name, so every run (and every machine) replays the
+/// same cases.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Wraps property-style test functions. Each function's arguments are
+/// sampled from the given strategies for [`num_cases`] cases.
+///
+/// As with the real proptest, `#[test]` (and `#[ignore]`, doc
+/// comments, …) are written by the caller inside the block and passed
+/// through to the generated zero-argument function — the macro does
+/// not add `#[test]` itself.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @impl ($config) $($rest)* }
+    };
+    (@impl ($config:expr)) => {};
+    (@impl ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __dlb_cases = ($config).cases;
+            let mut __dlb_rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __dlb_case in 0..__dlb_cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __dlb_rng);)+
+                // `prop_assume!` skips the case by returning from this
+                // closure; `?`-free bodies always evaluate to ().
+                let mut __dlb_body = || $body;
+                __dlb_body();
+                let _ = __dlb_case;
+            }
+        }
+        $crate::proptest! { @impl ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// `assert!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ProptestConfig;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Doc comments and attributes pass through the macro.
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..200, x in -10.0f64..10.0) {
+            prop_assert!((3..200).contains(&n));
+            prop_assert!((-10.0..10.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_shape(v in crate::collection::vec(0i64..100, 6..40)) {
+            prop_assert!((6..40).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn test_rng_is_stable_per_name() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("some::test");
+        let mut b = crate::test_rng("some::test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("other::test");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,66 @@
+//! Distribution types (subset of `rand::distributions`).
+
+use std::ops::Range;
+
+use crate::{RngCore, SampleRange};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a half-open range, pre-validated at
+/// construction like the real `rand::distributions::Uniform`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy + PartialOrd> From<Range<T>> for Uniform<T> {
+    fn from(range: Range<T>) -> Self {
+        assert!(
+            range.start < range.end,
+            "Uniform requires a non-empty range"
+        );
+        Uniform {
+            low: range.start,
+            high: range.end,
+        }
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<Output = T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.low..self.high).sample_one(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_usize_in_bounds_and_covering() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let u = Uniform::from(0usize..5);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[u.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn uniform_rejects_empty_range() {
+        let _ = Uniform::from(3usize..3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Sequence-related helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// In-place random permutation of slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // i + 1 never overflows: i < len <= isize::MAX.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+impl<T> SliceRandom for Vec<T> {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        self.as_mut_slice().shuffle(rng);
+    }
+}
+
+/// Index sampling without replacement (subset of `rand::seq::index`).
+pub mod index {
+    use crate::{Rng, RngCore};
+
+    /// The sampled indices, iterable by value like the real `IndexVec`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// The indices as a vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, in random
+    /// order, via a partial Fisher–Yates shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} indices from 0..{length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::SliceRandom;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        // 50! permutations: the identity is (astronomically) unlikely.
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_yields_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for amount in [0usize, 1, 7, 20] {
+            let s = sample(&mut rng, 20, amount).into_vec();
+            assert_eq!(s.len(), amount);
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), amount, "indices must be distinct");
+            assert!(s.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_rejects_oversized_amount() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = sample(&mut rng, 3, 4);
+    }
+}
