@@ -2,9 +2,13 @@
 //!
 //! Measures steps/second of the bare engine (no monitor) and the
 //! instrumented engine (monitor attached) per scheme on a 4096-node
-//! expander, plus the spectral substrate's operator application.
+//! expander, plus the spectral substrate's operator application, plus
+//! the fused execution paths (instrumented step loop vs `run` vs
+//! `run_fast` vs `run_parallel`) on the PR's reference workload, a
+//! 65536-node cycle under SEND(⌊x/d⁺⌋).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dlb_core::schemes::SendFloor;
 use dlb_core::{Engine, LoadVector};
 use dlb_graph::{generators, BalancingGraph};
 use dlb_harness::SchemeSpec;
@@ -73,6 +77,63 @@ fn bench_monitor_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fused_paths(c: &mut Criterion) {
+    const N_CYCLE: usize = 65_536;
+    const CYCLE_STEPS: usize = 8;
+    let graph = generators::cycle(N_CYCLE).expect("graph builds");
+    let gp = BalancingGraph::lazy(graph);
+    // Bimodal loads keep every node splitting tokens each round.
+    let initial = {
+        let mut loads = vec![0i64; N_CYCLE];
+        for load in loads.iter_mut().take(N_CYCLE / 2) {
+            *load = 128;
+        }
+        LoadVector::new(loads)
+    };
+
+    let mut group = c.benchmark_group("throughput_paths");
+    group.throughput(Throughput::Elements((N_CYCLE * CYCLE_STEPS) as u64));
+    group.sample_size(20);
+    group.bench_function("step_loop_instrumented", |b| {
+        b.iter(|| {
+            let mut bal = SendFloor::new();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            for _ in 0..CYCLE_STEPS {
+                engine.step(&mut bal).expect("step runs");
+            }
+            black_box(engine.loads().total())
+        });
+    });
+    group.bench_function("run", |b| {
+        b.iter(|| {
+            let mut bal = SendFloor::new();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run(&mut bal, CYCLE_STEPS).expect("run runs");
+            black_box(engine.loads().total())
+        });
+    });
+    group.bench_function("run_fast", |b| {
+        b.iter(|| {
+            let mut bal = SendFloor::new();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run_fast(&mut bal, CYCLE_STEPS).expect("run runs");
+            black_box(engine.loads().total())
+        });
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("run_parallel", threads), |b| {
+            b.iter(|| {
+                let mut engine = Engine::new(gp.clone(), initial.clone());
+                engine
+                    .run_parallel(&SendFloor::new(), CYCLE_STEPS, threads)
+                    .expect("run runs");
+                black_box(engine.loads().total())
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_spectral(c: &mut Criterion) {
     let graph = generators::random_regular(N, 4, 42).expect("graph builds");
     let gp = BalancingGraph::lazy(graph);
@@ -95,6 +156,7 @@ criterion_group!(
     benches,
     bench_schemes,
     bench_monitor_overhead,
+    bench_fused_paths,
     bench_spectral
 );
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 use dlb_graph::BalancingGraph;
 
 use crate::fairness::FairnessMonitor;
+use crate::parallel::{self, ShardedBalancer};
 use crate::{Balancer, CumulativeLedger, EngineError, FlowPlan, LoadVector};
 
 /// Outcome of a single engine step.
@@ -19,14 +20,26 @@ pub struct StepSummary {
 /// The engine owns the balancing graph `G⁺` and the load vector `x_t`,
 /// and drives any [`Balancer`] through the paper's round structure:
 ///
-/// 1. the balancer fills a [`FlowPlan`] from the current loads;
-/// 2. the engine validates it (token conservation; overdraw only for
-///    schemes that declare it);
-/// 3. the optional [`FairnessMonitor`] observes the pre-step state;
-/// 4. flows are routed — original-port tokens to the neighbour behind
-///    the port, self-loop tokens back to the sender, un-planned tokens
-///    retained (the remainder `r_t(u)` of §2);
-/// 5. the cumulative ledger `F_t` is updated.
+/// 1. the engine rejects negative loads for schemes that forbid them;
+/// 2. the balancer fills a [`FlowPlan`] from the current loads;
+/// 3. the engine validates it in a single pass over the plan's touched
+///    nodes (each node's sent total is computed exactly once);
+/// 4. the optional [`FairnessMonitor`] observes the pre-step state;
+/// 5. flows are routed in place — original-port tokens to the
+///    neighbour behind the port, self-loop tokens back to the sender,
+///    un-planned tokens retained (the remainder `r_t(u)` of §2);
+/// 6. the cumulative ledger `F_t` is updated.
+///
+/// # Fast paths
+///
+/// [`step`](Engine::step) returns a [`StepSummary`] whose discrepancy
+/// costs an `O(n)` scan; [`run`](Engine::run) keeps the ledger and
+/// monitor but skips all per-step statistics, and
+/// [`run_fast`](Engine::run_fast) additionally skips the ledger and
+/// monitor. [`run_parallel`](Engine::run_parallel) shards the fast path
+/// across threads for [`ShardedBalancer`] schemes, with bit-identical
+/// results. The count of negative nodes is maintained incrementally at
+/// every load write, so no path ever scans for it.
 ///
 /// # Example
 ///
@@ -45,12 +58,16 @@ pub struct StepSummary {
 pub struct Engine {
     gp: BalancingGraph,
     loads: LoadVector,
-    scratch: Vec<i64>,
+    /// Per-touched-node outflow over original edges, parallel to the
+    /// plan's touched list (scratch reused across steps).
+    outflow: Vec<u64>,
     plan: FlowPlan,
     ledger: CumulativeLedger,
     monitor: Option<FairnessMonitor>,
     step: usize,
     negative_node_steps: u64,
+    /// Nodes currently holding negative load, maintained incrementally.
+    negative_count: usize,
 }
 
 impl Engine {
@@ -67,16 +84,17 @@ impl Engine {
         );
         let plan = FlowPlan::for_graph(&gp);
         let ledger = CumulativeLedger::for_graph(&gp);
-        let scratch = vec![0; gp.num_nodes()];
+        let negative_count = initial.negative_nodes();
         Engine {
             gp,
             loads: initial,
-            scratch,
+            outflow: Vec::new(),
             plan,
             ledger,
             monitor: None,
             step: 0,
             negative_node_steps: 0,
+            negative_count,
         }
     }
 
@@ -116,30 +134,52 @@ impl Engine {
         self.negative_node_steps
     }
 
-    /// Runs one synchronous round of `balancer`.
-    ///
-    /// # Errors
-    ///
-    /// [`EngineError::Overdraw`] if a non-overdrawing balancer plans to
-    /// send more than a node holds; [`EngineError::NegativeLoad`] if a
-    /// non-overdrawing balancer is asked to plan from negative loads.
-    pub fn step(&mut self, balancer: &mut dyn Balancer) -> Result<StepSummary, EngineError> {
-        let n = self.gp.num_nodes();
-        self.plan.clear();
-        balancer.plan(&self.gp, &self.loads, &mut self.plan);
+    /// First node with negative load; callers guarantee one exists.
+    fn first_negative(&self) -> usize {
+        self.loads
+            .as_slice()
+            .iter()
+            .position(|&x| x < 0)
+            .expect("negative_count > 0 implies a negative node")
+    }
 
-        // Validation.
-        if !balancer.may_overdraw() {
-            for u in 0..n {
+    /// The pre-plan class check: a non-overdrawing balancer must never
+    /// be asked to plan from negative loads (its `plan` is entitled to
+    /// assume `x ≥ 0`). `O(1)` thanks to the incremental count; the
+    /// offending node is only searched for on the error path.
+    fn check_negative_preplan(&self, check: bool) -> Result<(), EngineError> {
+        if check && self.negative_count > 0 {
+            let node = self.first_negative();
+            return Err(EngineError::NegativeLoad {
+                node,
+                load: self.loads.get(node),
+                step: self.step + 1,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and routes the freshly filled plan, then updates the
+    /// step counters — the fused second half of every step variant.
+    ///
+    /// A single pass over the plan's touched nodes computes each node's
+    /// sent total exactly once (validation reads it; routing reuses the
+    /// original-edge part). Routing is in place: no `O(n)` scratch copy,
+    /// and the negative-node count is maintained at each write.
+    fn finish_step(&mut self, check: bool, instrumented: bool) -> Result<(), EngineError> {
+        let d = self.gp.degree();
+
+        // Pass 1 — sent totals + validation, over touched nodes only.
+        // Untouched nodes send nothing and were proven non-negative by
+        // the pre-plan check, so they need no inspection.
+        self.outflow.clear();
+        for u in self.plan.touched() {
+            let flows = self.plan.node(u);
+            let orig: u64 = flows[..d].iter().sum();
+            let lazy: u64 = flows[d..].iter().sum();
+            if check {
                 let x = self.loads.get(u);
-                if x < 0 {
-                    return Err(EngineError::NegativeLoad {
-                        node: u,
-                        load: x,
-                        step: self.step + 1,
-                    });
-                }
-                let sent = self.plan.node_total(u);
+                let sent = orig + lazy;
                 if sent > x as u64 {
                     return Err(EngineError::Overdraw {
                         node: u,
@@ -149,60 +189,179 @@ impl Engine {
                     });
                 }
             }
+            self.outflow.push(orig);
         }
 
-        if let Some(monitor) = &mut self.monitor {
-            monitor.observe(&self.gp, &self.loads, &self.plan);
+        if instrumented {
+            if let Some(monitor) = &mut self.monitor {
+                monitor.observe(&self.gp, &self.loads, &self.plan);
+            }
         }
 
-        // Routing: retained tokens stay, port flows move (self-loop
-        // ports "move" back to the sender).
-        let d = self.gp.degree();
+        // Pass 2 — route in place. Only tokens crossing an original
+        // edge move; self-loop and retained tokens never leave home.
         let graph = self.gp.graph();
-        for u in 0..n {
-            let flows = self.plan.node(u);
-            let sent: u64 = flows.iter().sum();
-            self.scratch[u] = self.loads.get(u) - sent as i64;
-        }
-        for u in 0..n {
-            let flows = self.plan.node(u);
-            let mut self_total = 0u64;
-            for (p, &f) in flows.iter().enumerate() {
+        let plan = &self.plan;
+        let loads = self.loads.as_mut_slice();
+        let mut negative = self.negative_count;
+        for (u, &moved) in plan.touched().zip(&self.outflow) {
+            for (p, &f) in plan.node(u)[..d].iter().enumerate() {
                 if f == 0 {
                     continue;
                 }
-                if p < d {
-                    self.scratch[graph.neighbor(u, p)] += f as i64;
-                } else {
-                    self_total += f;
-                }
+                let v = graph.neighbor(u, p);
+                let old = loads[v];
+                let new = old + f as i64;
+                negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                loads[v] = new;
             }
-            self.scratch[u] += self_total as i64;
+            if moved != 0 {
+                let old = loads[u];
+                let new = old - moved as i64;
+                negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                loads[u] = new;
+            }
         }
+        self.negative_count = negative;
 
-        self.ledger.record(&self.plan);
-        self.loads.as_mut_slice().copy_from_slice(&self.scratch);
+        if instrumented {
+            self.ledger.record(&self.plan);
+        }
         self.step += 1;
+        self.negative_node_steps += self.negative_count as u64;
+        Ok(())
+    }
 
-        let negative_nodes = self.loads.negative_nodes();
-        self.negative_node_steps += negative_nodes as u64;
+    /// One fused round: clear, pre-plan check, plan, validate + route.
+    fn step_inner(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        instrumented: bool,
+    ) -> Result<(), EngineError> {
+        self.plan.clear();
+        let check = !balancer.may_overdraw();
+        self.check_negative_preplan(check)?;
+        balancer.plan(&self.gp, &self.loads, &mut self.plan);
+        self.finish_step(check, instrumented)
+    }
+
+    /// Runs one synchronous round of `balancer` and reports statistics
+    /// (the post-step discrepancy costs an `O(n)` scan — use
+    /// [`run`](Engine::run) or [`run_fast`](Engine::run_fast) when
+    /// nobody reads the summaries).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Overdraw`] if a non-overdrawing balancer plans to
+    /// send more than a node holds; [`EngineError::NegativeLoad`] if a
+    /// non-overdrawing balancer would be asked to plan from negative
+    /// loads (checked *before* planning — the balancer never sees the
+    /// invalid state).
+    pub fn step(&mut self, balancer: &mut dyn Balancer) -> Result<StepSummary, EngineError> {
+        self.step_inner(balancer, true)?;
         Ok(StepSummary {
             step: self.step,
             discrepancy: self.loads.discrepancy(),
-            negative_nodes,
+            negative_nodes: self.negative_count,
         })
     }
 
-    /// Runs `steps` rounds.
+    /// Runs `steps` rounds, keeping the ledger and any attached monitor
+    /// up to date but skipping all per-step statistics (no discrepancy
+    /// or negative-node scans).
     ///
     /// # Errors
     ///
     /// Propagates the first [`EngineError`] encountered.
     pub fn run(&mut self, balancer: &mut dyn Balancer, steps: usize) -> Result<(), EngineError> {
         for _ in 0..steps {
-            self.step(balancer)?;
+            self.step_inner(balancer, true)?;
         }
         Ok(())
+    }
+
+    /// Runs `steps` rounds on the uninstrumented fast path: like
+    /// [`run`](Engine::run) but the [ledger](Engine::ledger) is not
+    /// recorded and an attached monitor does not observe, trading all
+    /// instrumentation for step throughput. Loads, step count and
+    /// negative-load accounting are bit-identical to [`run`](Engine::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_fast(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
+    ) -> Result<(), EngineError> {
+        for _ in 0..steps {
+            self.step_inner(balancer, false)?;
+        }
+        Ok(())
+    }
+
+    /// Runs `steps` rounds of a [`ShardedBalancer`] with the node set
+    /// split across `threads` worker threads (clamped to `1..=n`).
+    ///
+    /// The final loads are **bit-identical** to driving the same scheme
+    /// through [`step`](Engine::step)/[`run`](Engine::run)/
+    /// [`run_fast`](Engine::run_fast), for any thread count: planning
+    /// is per-node, routing is integer addition, and shard contributions
+    /// commute. Like [`run_fast`](Engine::run_fast) this path skips the
+    /// ledger and monitor. On error the loads are those after the last
+    /// fully completed round and the error is the same one the serial
+    /// engine would report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_parallel(
+        &mut self,
+        balancer: &dyn ShardedBalancer,
+        steps: usize,
+        threads: usize,
+    ) -> Result<(), EngineError> {
+        let n = self.gp.num_nodes();
+        let threads = threads.max(1).min(n);
+        if steps == 0 {
+            return Ok(());
+        }
+        let check = !balancer.may_overdraw();
+        self.check_negative_preplan(check)?;
+        if threads == 1 {
+            // Degenerate sharding: the serial fused fast path, planned
+            // through the same per-node entry point.
+            for _ in 0..steps {
+                self.plan.clear();
+                self.check_negative_preplan(check)?;
+                for u in 0..n {
+                    let x = self.loads.get(u);
+                    if x == 0 {
+                        continue;
+                    }
+                    balancer.plan_node(&self.gp, u, x, self.plan.node_mut(u));
+                }
+                self.finish_step(check, false)?;
+            }
+            return Ok(());
+        }
+
+        let base_step = self.step;
+        let (stats, err) = parallel::run_sharded(
+            &self.gp,
+            self.loads.as_mut_slice(),
+            balancer,
+            steps,
+            threads,
+            base_step,
+        );
+        self.step += stats.steps_done;
+        self.negative_node_steps += stats.negative_node_steps;
+        self.negative_count = stats.negative_count;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Runs until `stop(summary)` returns true, for at most `max_steps`
@@ -328,5 +487,129 @@ mod tests {
     fn rejects_wrong_initial_length() {
         let gp = lazy_cycle(4);
         let _ = Engine::new(gp, LoadVector::uniform(3, 1));
+    }
+
+    /// Regression: `plan()` used to run *before* the negative-load
+    /// check, so a non-overdrawing scheme's `split_load` hit its
+    /// debug assertion (a debug-build panic) instead of the documented
+    /// error. The check now precedes planning.
+    #[test]
+    fn negative_initial_load_is_an_error_not_a_panic() {
+        let gp = lazy_cycle(4);
+        let mut engine = Engine::new(gp, LoadVector::new(vec![5, -1, 3, 3]));
+        let err = engine.step(&mut SendFloor::new()).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NegativeLoad {
+                node: 1,
+                load: -1,
+                step: 1
+            }
+        );
+        // The failed step must not have advanced or mutated anything.
+        assert_eq!(engine.step_count(), 0);
+        assert_eq!(engine.loads().as_slice(), &[5, -1, 3, 3]);
+    }
+
+    #[test]
+    fn negative_initial_load_rejected_on_every_path() {
+        let initial = LoadVector::new(vec![-2, 10, 0, 0]);
+        let mut bal = SendFloor::new();
+
+        let mut engine = Engine::new(lazy_cycle(4), initial.clone());
+        assert!(matches!(
+            engine.run(&mut bal, 5),
+            Err(EngineError::NegativeLoad { node: 0, .. })
+        ));
+        let mut engine = Engine::new(lazy_cycle(4), initial.clone());
+        assert!(matches!(
+            engine.run_fast(&mut bal, 5),
+            Err(EngineError::NegativeLoad { node: 0, .. })
+        ));
+        for threads in [1, 2, 4] {
+            let mut engine = Engine::new(lazy_cycle(4), initial.clone());
+            assert!(matches!(
+                engine.run_parallel(&SendFloor::new(), 5, threads),
+                Err(EngineError::NegativeLoad { node: 0, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn run_fast_matches_instrumented_stepping() {
+        let mut slow = Engine::new(lazy_cycle(16), LoadVector::point_mass(16, 1601));
+        let mut fast = Engine::new(lazy_cycle(16), LoadVector::point_mass(16, 1601));
+        let mut bal = SendFloor::new();
+        for _ in 0..97 {
+            slow.step(&mut bal).unwrap();
+        }
+        fast.run_fast(&mut bal, 97).unwrap();
+        assert_eq!(slow.loads(), fast.loads());
+        assert_eq!(slow.step_count(), fast.step_count());
+        assert_eq!(slow.negative_node_steps(), fast.negative_node_steps());
+        // The fast path skips the ledger by design.
+        assert_eq!(fast.ledger().steps(), 0);
+        assert_eq!(slow.ledger().steps(), 97);
+    }
+
+    #[test]
+    fn run_parallel_is_bit_identical_for_any_thread_count() {
+        let n = 37; // deliberately not divisible by the thread counts
+        let reference = {
+            let mut engine = Engine::new(lazy_cycle(n), LoadVector::point_mass(n, 7411));
+            engine.run(&mut SendFloor::new(), 150).unwrap();
+            engine.loads().clone()
+        };
+        for threads in [1, 2, 3, 4, 5, 8] {
+            let mut engine = Engine::new(lazy_cycle(n), LoadVector::point_mass(n, 7411));
+            engine
+                .run_parallel(&SendFloor::new(), 150, threads)
+                .unwrap();
+            assert_eq!(
+                engine.loads(),
+                &reference,
+                "loads diverged at {threads} threads"
+            );
+            assert_eq!(engine.step_count(), 150);
+            assert_eq!(engine.loads().total(), 7411);
+        }
+    }
+
+    #[test]
+    fn run_parallel_reports_overdraw_like_serial() {
+        // SEND([x/d+]) on a lazy graph is fine; on a graph with too few
+        // self-loops its plan over-sends, which the engine must turn
+        // into the same Overdraw error on every path (the parallel path
+        // must not panic or hang).
+        use crate::schemes::SendRound;
+        // Bare graph (d° = 0 < d): with odd loads, SEND([x/d+]) rounds
+        // up on both originals and over-sends by one — and e = 1 < d
+        // exercises the saturating `loop_extras` arithmetic.
+        let make = || BalancingGraph::bare(generators::cycle(6).unwrap());
+        let initial = LoadVector::uniform(6, 11);
+        let mut serial = Engine::new(make(), initial.clone());
+        // Plans via plan_node (threads = 1) to avoid the serial plan()'s
+        // intentionally loud assert.
+        let serial_err = serial.run_parallel(&SendRound::new(), 3, 1).unwrap_err();
+        for threads in [2, 3] {
+            let mut engine = Engine::new(make(), initial.clone());
+            let err = engine
+                .run_parallel(&SendRound::new(), 3, threads)
+                .unwrap_err();
+            assert_eq!(err, serial_err, "error diverged at {threads} threads");
+            assert_eq!(engine.loads(), serial.loads());
+        }
+    }
+
+    #[test]
+    fn step_summary_negative_nodes_matches_scan() {
+        use crate::schemes::SendRound;
+        let gp = lazy_cycle(8);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 803));
+        let mut bal = SendRound::new();
+        for _ in 0..20 {
+            let s = engine.step(&mut bal).unwrap();
+            assert_eq!(s.negative_nodes, engine.loads().negative_nodes());
+        }
     }
 }

@@ -10,21 +10,50 @@ use dlb_graph::BalancingGraph;
 /// which is how the negative-load behaviour of the \[4\]/\[18\] baselines
 /// arises.
 ///
+/// The plan remembers which nodes were written this round (the
+/// *touched* set), so [`clear`](FlowPlan::clear) and the engine's
+/// validation/routing passes cost `O(touched · d⁺)` rather than
+/// `O(n · d⁺)` — the difference between a point mass that has spread to
+/// a handful of nodes and a full sweep of a million-node graph. A node
+/// never written holds all-zero flows by construction.
+///
 /// [`Balancer::plan`]: crate::Balancer::plan
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct FlowPlan {
     n: usize,
     d_plus: usize,
     flows: Vec<u64>,
+    /// Nodes written this round, in first-touch order.
+    touched: Vec<u32>,
+    /// Per-node membership flag for `touched`.
+    dirty: Vec<bool>,
+}
+
+/// Equality is over the flow assignment only: two plans with the same
+/// flows are equal regardless of the order (or over-approximation) of
+/// their touched sets.
+impl PartialEq for FlowPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.d_plus == other.d_plus && self.flows == other.flows
+    }
 }
 
 impl FlowPlan {
     /// An all-zero plan shaped for `gp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gp` has more than `u32::MAX` nodes (the touched set
+    /// stores node ids as `u32`).
     pub fn for_graph(gp: &BalancingGraph) -> Self {
+        let n = gp.num_nodes();
+        assert!(n <= u32::MAX as usize, "n = {n} exceeds the node id space");
         FlowPlan {
-            n: gp.num_nodes(),
+            n,
             d_plus: gp.degree_plus(),
-            flows: vec![0; gp.num_nodes() * gp.degree_plus()],
+            flows: vec![0; n * gp.degree_plus()],
+            touched: Vec::new(),
+            dirty: vec![false; n],
         }
     }
 
@@ -40,9 +69,43 @@ impl FlowPlan {
         self.d_plus
     }
 
+    #[inline]
+    fn mark(&mut self, u: usize) {
+        if !self.dirty[u] {
+            self.dirty[u] = true;
+            self.touched.push(u as u32);
+        }
+    }
+
+    /// The nodes written since the last [`clear`](FlowPlan::clear), in
+    /// first-touch order. Nodes outside this set hold all-zero flows.
+    #[inline]
+    pub fn touched(&self) -> impl Iterator<Item = usize> + '_ {
+        self.touched.iter().map(|&u| u as usize)
+    }
+
+    /// Number of touched nodes.
+    #[inline]
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Whether node `u` was written since the last clear.
+    #[inline]
+    pub fn is_touched(&self, u: usize) -> bool {
+        self.dirty[u]
+    }
+
     /// Resets all flows to zero (reusing the allocation between steps).
+    /// Costs `O(touched · d⁺)`, not `O(n · d⁺)`.
     pub fn clear(&mut self) {
-        self.flows.fill(0);
+        let d_plus = self.d_plus;
+        for &u in &self.touched {
+            let u = u as usize;
+            self.flows[u * d_plus..(u + 1) * d_plus].fill(0);
+            self.dirty[u] = false;
+        }
+        self.touched.clear();
     }
 
     /// Tokens node `u` sends through port `p`.
@@ -59,6 +122,7 @@ impl FlowPlan {
     #[inline]
     pub fn set(&mut self, u: usize, p: usize, tokens: u64) {
         assert!(p < self.d_plus, "port {p} out of range");
+        self.mark(u);
         self.flows[u * self.d_plus + p] = tokens;
     }
 
@@ -66,6 +130,7 @@ impl FlowPlan {
     #[inline]
     pub fn add(&mut self, u: usize, p: usize, tokens: u64) {
         assert!(p < self.d_plus, "port {p} out of range");
+        self.mark(u);
         self.flows[u * self.d_plus + p] += tokens;
     }
 
@@ -76,8 +141,11 @@ impl FlowPlan {
     }
 
     /// Mutable flows of node `u`, indexed by port.
+    ///
+    /// Marks `u` as touched (the caller is assumed to write).
     #[inline]
     pub fn node_mut(&mut self, u: usize) -> &mut [u64] {
+        self.mark(u);
         &mut self.flows[u * self.d_plus..(u + 1) * self.d_plus]
     }
 
@@ -123,14 +191,24 @@ impl CumulativeLedger {
 
     /// Accumulates one step's flows.
     ///
+    /// Only the plan's touched nodes are visited (untouched nodes carry
+    /// zero flow), so recording costs `O(touched · d⁺)`.
+    ///
     /// # Panics
     ///
     /// Panics if the plan's shape differs from the ledger's.
     pub fn record(&mut self, plan: &FlowPlan) {
         assert_eq!(plan.num_nodes(), self.n, "plan shape mismatch");
         assert_eq!(plan.degree_plus(), self.d_plus, "plan shape mismatch");
-        for (total, flow) in self.totals.iter_mut().zip(&plan.flows) {
-            *total += flow;
+        let d_plus = self.d_plus;
+        for u in plan.touched() {
+            let range = u * d_plus..(u + 1) * d_plus;
+            for (total, flow) in self.totals[range.clone()]
+                .iter_mut()
+                .zip(&plan.flows[range])
+            {
+                *total += flow;
+            }
         }
         self.steps += 1;
     }
@@ -231,6 +309,55 @@ mod tests {
         plan.set(0, 2, 1000);
         ledger.record(&plan);
         assert_eq!(ledger.original_edge_spread(), 2);
+    }
+
+    #[test]
+    fn touched_tracks_written_nodes_and_clear_resets() {
+        let gp = lazy_cycle(5);
+        let mut plan = FlowPlan::for_graph(&gp);
+        assert_eq!(plan.touched_len(), 0);
+        plan.set(3, 0, 7);
+        plan.add(1, 1, 2);
+        plan.set(3, 2, 1); // re-touching does not duplicate
+        let touched: Vec<usize> = plan.touched().collect();
+        assert_eq!(touched, vec![3, 1], "first-touch order");
+        assert!(plan.is_touched(3) && plan.is_touched(1));
+        assert!(!plan.is_touched(0));
+        plan.clear();
+        assert_eq!(plan.touched_len(), 0);
+        assert!(!plan.is_touched(3));
+        assert_eq!(plan.node_total(3), 0);
+        assert_eq!(plan.node_total(1), 0);
+    }
+
+    #[test]
+    fn equality_ignores_touch_bookkeeping() {
+        let gp = lazy_cycle(4);
+        let mut a = FlowPlan::for_graph(&gp);
+        let mut b = FlowPlan::for_graph(&gp);
+        // b touches a node with zeros only; flows stay equal.
+        b.node_mut(2);
+        assert_eq!(a, b);
+        a.set(1, 1, 4);
+        assert_ne!(a, b);
+        b.set(1, 1, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ledger_record_covers_touched_nodes_only_but_exactly() {
+        let gp = lazy_cycle(4);
+        let mut ledger = CumulativeLedger::for_graph(&gp);
+        let mut plan = FlowPlan::for_graph(&gp);
+        plan.set(2, 1, 9);
+        ledger.record(&plan);
+        plan.clear();
+        plan.set(0, 3, 4);
+        ledger.record(&plan);
+        assert_eq!(ledger.get(2, 1), 9);
+        assert_eq!(ledger.get(0, 3), 4);
+        assert_eq!(ledger.steps(), 2);
+        assert_eq!(ledger.node_total(1), 0);
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod error;
 pub mod fairness;
 mod flow;
 mod load;
+pub mod parallel;
 pub mod potential;
 pub mod schemes;
 
@@ -73,3 +74,4 @@ pub use engine::{Engine, StepSummary};
 pub use error::EngineError;
 pub use flow::{CumulativeLedger, FlowPlan};
 pub use load::LoadVector;
+pub use parallel::ShardedBalancer;

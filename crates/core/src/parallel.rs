@@ -1,0 +1,447 @@
+//! Deterministic sharded stepping: the engine's multi-core fast path.
+//!
+//! Every scheme in the paper is a *local* rule — the flows of node `u`
+//! at step `t` are a function of `u`'s own state — so a synchronous
+//! round parallelises by splitting the node set into contiguous shards:
+//! each worker plans, validates and routes its own shard, and only the
+//! scatter of tokens into neighbouring shards crosses a thread
+//! boundary, via per-(sender, receiver) accumulation buffers. Because
+//! token counts are integers, the final loads are **bit-identical** to
+//! the serial engine no matter the thread count or scheduling: integer
+//! addition is associative and commutative, and every shard applies the
+//! same per-node arithmetic as [`Engine::step`](crate::Engine::step).
+//!
+//! The entry point is
+//! [`Engine::run_parallel`](crate::Engine::run_parallel); schemes opt
+//! in by implementing [`ShardedBalancer`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Barrier, Mutex};
+
+use dlb_graph::BalancingGraph;
+
+use crate::{Balancer, EngineError};
+
+/// A balancer whose plan can be computed one node at a time from that
+/// node's current load alone — the paper's *stateless* schemes (§1.1),
+/// which is exactly the class that shards across threads without
+/// synchronising any per-scheme state.
+///
+/// Implementations must write **every** port of `flows` (the buffer is
+/// reused across steps and arrives dirty), must be deterministic in
+/// `(u, load)`, and must not panic for non-negative loads — a worker
+/// thread that panics mid-round would strand its peers at the round
+/// barrier. Structural class violations (e.g. SEND(\[x/d⁺\]) on a graph
+/// with `d° < d`) must therefore surface as over-planned flows, which
+/// the engine turns into a clean [`EngineError::Overdraw`], never as a
+/// panic.
+pub trait ShardedBalancer: Balancer + Sync {
+    /// Writes node `u`'s complete `d⁺`-port flow assignment for load
+    /// `load` into `flows` (`flows.len() == d⁺`).
+    fn plan_node(&self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]);
+}
+
+/// Counters a sharded run hands back to the engine.
+pub(crate) struct ShardRunStats {
+    /// Full rounds completed (a round that errors is not counted and
+    /// does not mutate loads).
+    pub steps_done: usize,
+    /// Node-steps that ended with negative load, summed over the run.
+    pub negative_node_steps: u64,
+    /// Negative nodes after the final completed round.
+    pub negative_count: usize,
+}
+
+/// What each worker reports when its loop ends.
+struct ShardOutcome {
+    steps_done: usize,
+    negative_node_steps: u64,
+    final_negative: usize,
+}
+
+/// The shard index owning node `w` for the split produced by
+/// [`shard_bounds`]: the first `rem` shards have `base + 1` nodes.
+#[inline]
+fn shard_of(w: usize, base: usize, rem: usize) -> usize {
+    let big = rem * (base + 1);
+    if w < big {
+        w / (base + 1)
+    } else {
+        rem + (w - big) / base
+    }
+}
+
+/// Splits `0..n` into `t` contiguous, maximally even ranges.
+fn shard_bounds(n: usize, t: usize) -> Vec<usize> {
+    let (base, rem) = (n / t, n % t);
+    let mut bounds = Vec::with_capacity(t + 1);
+    bounds.push(0);
+    for i in 0..t {
+        bounds.push(bounds[i] + base + usize::from(i < rem));
+    }
+    bounds
+}
+
+/// Runs `steps` synchronous rounds of `balancer` over `loads`, sharded
+/// across `threads` worker threads (callers guarantee `threads >= 2`
+/// and `threads <= n`).
+///
+/// On error, `loads` is left exactly as it was after the last fully
+/// completed round, and the returned stats cover only completed rounds.
+/// The ledger and fairness monitor are *not* maintained — this is the
+/// uninstrumented fast path.
+pub(crate) fn run_sharded(
+    gp: &BalancingGraph,
+    loads: &mut [i64],
+    balancer: &dyn ShardedBalancer,
+    steps: usize,
+    threads: usize,
+    base_step: usize,
+) -> (ShardRunStats, Option<EngineError>) {
+    let n = loads.len();
+    let nthreads = threads;
+    let check = !balancer.may_overdraw();
+    let bounds = shard_bounds(n, nthreads);
+    let (base, rem) = (n / nthreads, n % nthreads);
+    let d = gp.degree();
+    let d_plus = gp.degree_plus();
+    let graph = gp.graph();
+
+    // Disjoint mutable views of the load vector, one per shard; no
+    // worker ever reads or writes another shard's loads directly.
+    let mut shard_loads: Vec<&mut [i64]> = Vec::with_capacity(nthreads);
+    let mut rest = &mut *loads;
+    for me in 0..nthreads {
+        let (head, tail) = rest.split_at_mut(bounds[me + 1] - bounds[me]);
+        shard_loads.push(head);
+        rest = tail;
+    }
+
+    // Cross-shard token contributions travel over per-receiver
+    // channels as (sender, buffer) pairs; receivers zero the buffers
+    // while applying them and send them home over the per-sender
+    // recycle channels, so the whole run allocates only
+    // t·(t−1) buffers total.
+    type Contribution = (usize, Vec<i64>);
+    let mut contrib_txs: Vec<Sender<Contribution>> = Vec::with_capacity(nthreads);
+    let mut contrib_rxs: Vec<Receiver<Contribution>> = Vec::with_capacity(nthreads);
+    let mut recycle_txs: Vec<Sender<Contribution>> = Vec::with_capacity(nthreads);
+    let mut recycle_rxs: Vec<Receiver<Contribution>> = Vec::with_capacity(nthreads);
+    for _ in 0..nthreads {
+        let (tx, rx) = channel();
+        contrib_txs.push(tx);
+        contrib_rxs.push(rx);
+        let (tx, rx) = channel();
+        recycle_txs.push(tx);
+        recycle_rxs.push(rx);
+    }
+
+    let barrier = Barrier::new(nthreads);
+    let failed = AtomicBool::new(false);
+    // The lowest-shard error wins, so the reported error is independent
+    // of thread scheduling.
+    let error: Mutex<Option<(usize, EngineError)>> = Mutex::new(None);
+
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nthreads);
+        let worker_rxs = contrib_rxs.into_iter().zip(recycle_rxs);
+        for ((me, my_loads), (contrib_rx, recycle_rx)) in
+            shard_loads.into_iter().enumerate().zip(worker_rxs)
+        {
+            let contrib_txs = contrib_txs.clone();
+            let recycle_txs = recycle_txs.clone();
+            let bounds = &bounds;
+            let barrier = &barrier;
+            let failed = &failed;
+            let error = &error;
+            handles.push(scope.spawn(move || {
+                let ctx = ShardCtx {
+                    gp,
+                    balancer,
+                    me,
+                    lo: bounds[me],
+                    hi: bounds[me + 1],
+                    nthreads,
+                    base,
+                    rem,
+                    bounds,
+                    d,
+                    d_plus,
+                    graph,
+                    check,
+                    steps,
+                    base_step,
+                    contrib_txs,
+                    recycle_txs,
+                    barrier,
+                    failed,
+                    error,
+                };
+                shard_worker(&ctx, my_loads, &contrib_rx, &recycle_rx)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker must not panic"))
+            .collect()
+    });
+
+    let steps_done = outcomes.iter().map(|o| o.steps_done).min().unwrap_or(0);
+    let stats = ShardRunStats {
+        steps_done,
+        negative_node_steps: outcomes.iter().map(|o| o.negative_node_steps).sum(),
+        negative_count: outcomes.iter().map(|o| o.final_negative).sum(),
+    };
+    let err = error
+        .into_inner()
+        .expect("error mutex not poisoned")
+        .map(|(_, e)| e);
+    (stats, err)
+}
+
+/// The shared, read-only context of one worker thread; bundled to keep
+/// the spawn site readable.
+struct ShardCtx<'a> {
+    gp: &'a BalancingGraph,
+    balancer: &'a dyn ShardedBalancer,
+    me: usize,
+    lo: usize,
+    hi: usize,
+    nthreads: usize,
+    base: usize,
+    rem: usize,
+    bounds: &'a [usize],
+    d: usize,
+    d_plus: usize,
+    graph: &'a dlb_graph::RegularGraph,
+    check: bool,
+    steps: usize,
+    base_step: usize,
+    contrib_txs: Vec<Sender<(usize, Vec<i64>)>>,
+    recycle_txs: Vec<Sender<(usize, Vec<i64>)>>,
+    barrier: &'a Barrier,
+    failed: &'a AtomicBool,
+    error: &'a Mutex<Option<(usize, EngineError)>>,
+}
+
+impl ShardCtx<'_> {
+    fn record_error(&self, e: EngineError) {
+        self.failed.store(true, Ordering::SeqCst);
+        let mut slot = self.error.lock().expect("error mutex not poisoned");
+        let replace = match slot.as_ref() {
+            None => true,
+            Some((shard, _)) => self.me < *shard,
+        };
+        if replace {
+            *slot = Some((self.me, e));
+        }
+    }
+}
+
+fn shard_worker(
+    w: &ShardCtx<'_>,
+    my_loads: &mut [i64],
+    contrib_rx: &Receiver<(usize, Vec<i64>)>,
+    recycle_rx: &Receiver<(usize, Vec<i64>)>,
+) -> ShardOutcome {
+    let len = w.hi - w.lo;
+    let mut flows = vec![0u64; len * w.d_plus];
+    // Outflow over original edges per node — everything that actually
+    // leaves the node (self-loop and retained tokens stay put).
+    let mut moved = vec![0u64; len];
+    // Reusable cross-shard buffers, stacked per destination. Buffers
+    // always return zeroed (receivers clear while applying).
+    let mut pool: Vec<Vec<Vec<i64>>> = vec![Vec::new(); w.nthreads];
+    for (dest, slot) in pool.iter_mut().enumerate() {
+        if dest != w.me {
+            slot.push(vec![0i64; w.bounds[dest + 1] - w.bounds[dest]]);
+        }
+    }
+    let mut negative = my_loads.iter().filter(|&&x| x < 0).count();
+    let mut negative_node_steps = 0u64;
+
+    for iter in 0..w.steps {
+        // Phase A — plan + validate this shard. Loads are only read.
+        'plan: for v in 0..len {
+            let x = my_loads[v];
+            let fl = &mut flows[v * w.d_plus..(v + 1) * w.d_plus];
+            if x == 0 {
+                fl.fill(0);
+                moved[v] = 0;
+                continue;
+            }
+            if w.check && x < 0 {
+                w.record_error(EngineError::NegativeLoad {
+                    node: w.lo + v,
+                    load: x,
+                    step: w.base_step + iter + 1,
+                });
+                break 'plan;
+            }
+            w.balancer.plan_node(w.gp, w.lo + v, x, fl);
+            let mut orig = 0u64;
+            let mut lazy = 0u64;
+            for (p, &f) in fl.iter().enumerate() {
+                if p < w.d {
+                    orig += f;
+                } else {
+                    lazy += f;
+                }
+            }
+            if w.check {
+                let sent = orig + lazy;
+                if sent > x as u64 {
+                    w.record_error(EngineError::Overdraw {
+                        node: w.lo + v,
+                        load: x,
+                        planned: sent,
+                        step: w.base_step + iter + 1,
+                    });
+                    break 'plan;
+                }
+            }
+            moved[v] = orig;
+        }
+
+        // Round barrier: no shard mutates loads until every shard has
+        // validated, so an error leaves the loads at the previous
+        // round's values — the same guarantee the serial engine gives.
+        w.barrier.wait();
+        if w.failed.load(Ordering::SeqCst) {
+            return ShardOutcome {
+                steps_done: iter,
+                negative_node_steps,
+                final_negative: negative,
+            };
+        }
+
+        // Phase B — route. In-shard tokens apply directly; cross-shard
+        // tokens accumulate into a per-destination buffer.
+        let mut out: Vec<Option<Vec<i64>>> = (0..w.nthreads).map(|_| None).collect();
+        for (dest, slot) in out.iter_mut().enumerate() {
+            if dest != w.me {
+                let dest_len = w.bounds[dest + 1] - w.bounds[dest];
+                *slot = Some(acquire(&mut pool, recycle_rx, dest, dest_len));
+            }
+        }
+        for v in 0..len {
+            let m = moved[v];
+            if m != 0 {
+                let old = my_loads[v];
+                let new = old - m as i64;
+                negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                my_loads[v] = new;
+            }
+            for (p, &f) in flows[v * w.d_plus..v * w.d_plus + w.d].iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                let t = w.graph.neighbor(w.lo + v, p);
+                if (w.lo..w.hi).contains(&t) {
+                    let old = my_loads[t - w.lo];
+                    let new = old + f as i64;
+                    negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                    my_loads[t - w.lo] = new;
+                } else {
+                    let dest = shard_of(t, w.base, w.rem);
+                    let buf = out[dest].as_mut().expect("buffer acquired above");
+                    buf[t - w.bounds[dest]] += f as i64;
+                }
+            }
+        }
+        for (dest, slot) in out.iter_mut().enumerate() {
+            if let Some(buf) = slot.take() {
+                // A dropped receiver means that worker already exited;
+                // then `failed` is set and we exit at the next barrier.
+                let _ = w.contrib_txs[dest].send((w.me, buf));
+            }
+        }
+
+        // Phase C — fold in the other shards' contributions. Integer
+        // addition commutes, so arrival order cannot change the result.
+        let mut pending = w.nthreads - 1;
+        while pending > 0 {
+            // recv cannot disconnect while workers run (`run_sharded`
+            // holds original senders for the whole scope); bail rather
+            // than panic anyway — a worker must never strand its peers.
+            let Ok((from, mut buf)) = contrib_rx.recv() else {
+                break;
+            };
+            for (slot, load) in buf.iter_mut().zip(my_loads.iter_mut()) {
+                let c = *slot;
+                if c != 0 {
+                    let old = *load;
+                    let new = old + c;
+                    negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                    *load = new;
+                    *slot = 0;
+                }
+            }
+            let _ = w.recycle_txs[from].send((w.me, buf));
+            pending -= 1;
+        }
+        negative_node_steps += negative as u64;
+    }
+
+    ShardOutcome {
+        steps_done: w.steps,
+        negative_node_steps,
+        final_negative: negative,
+    }
+}
+
+/// Pops a buffer destined for `dest`, blocking on the recycle channel
+/// until one comes home if the pool is empty. Buffer conservation (this
+/// worker always owns `t − 1` buffers across the system) guarantees
+/// progress.
+fn acquire(
+    pool: &mut [Vec<Vec<i64>>],
+    recycle_rx: &Receiver<(usize, Vec<i64>)>,
+    dest: usize,
+    dest_len: usize,
+) -> Vec<i64> {
+    loop {
+        if let Some(buf) = pool[dest].pop() {
+            return buf;
+        }
+        match recycle_rx.recv() {
+            Ok((from, buf)) => pool[from].push(buf),
+            Err(_) => {
+                // Unreachable while workers run (`run_sharded` keeps
+                // original senders alive for the whole scope); kept as
+                // a panic-free fallback — synthesise a zeroed buffer so
+                // this worker can never strand its peers.
+                return vec![0i64; dest_len];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_bounds_cover_everything_evenly() {
+        let b = shard_bounds(10, 3);
+        assert_eq!(b, vec![0, 4, 7, 10]);
+        let b = shard_bounds(8, 4);
+        assert_eq!(b, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn shard_of_matches_bounds() {
+        for (n, t) in [(10usize, 3usize), (8, 4), (1_000, 7), (5, 5)] {
+            let bounds = shard_bounds(n, t);
+            let (base, rem) = (n / t, n % t);
+            for w in 0..n {
+                let s = shard_of(w, base, rem);
+                assert!(
+                    bounds[s] <= w && w < bounds[s + 1],
+                    "node {w} mapped to shard {s} of {bounds:?}"
+                );
+            }
+        }
+    }
+}

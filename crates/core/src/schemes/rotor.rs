@@ -119,7 +119,13 @@ impl Balancer for RotorRouter {
     fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
         let d_plus = gp.degree_plus();
         for u in 0..gp.num_nodes() {
-            let (base, e) = split_load(loads.get(u), d_plus);
+            let x = loads.get(u);
+            if x == 0 {
+                // No tokens: no flow, and the rotor does not advance.
+                // Leaving the node untouched keeps the plan sparse.
+                continue;
+            }
+            let (base, e) = split_load(x, d_plus);
             let seq = &self.sequences[u];
             let flows = plan.node_mut(u);
             for f in flows.iter_mut() {

@@ -1,7 +1,7 @@
 use dlb_graph::BalancingGraph;
 
 use crate::balancer::split_load;
-use crate::{Balancer, FlowPlan, LoadVector};
+use crate::{Balancer, FlowPlan, LoadVector, ShardedBalancer};
 
 /// SEND(⌊x/d⁺⌋): every original edge receives exactly `⌊x/d⁺⌋` tokens;
 /// the rest goes to the self-loops (§1.1).
@@ -53,26 +53,37 @@ impl Balancer for SendFloor {
     }
 
     fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+        for u in 0..gp.num_nodes() {
+            let x = loads.get(u);
+            if x == 0 {
+                // Nothing to split: leaving the node untouched keeps the
+                // plan's touched set — and every engine pass — small.
+                continue;
+            }
+            self.plan_node(gp, u, x, plan.node_mut(u));
+        }
+    }
+}
+
+impl ShardedBalancer for SendFloor {
+    fn plan_node(&self, gp: &BalancingGraph, _u: usize, load: i64, flows: &mut [u64]) {
         let d = gp.degree();
         let d_plus = gp.degree_plus();
         let d_self = gp.num_self_loops();
-        for u in 0..gp.num_nodes() {
-            let (base, e) = split_load(loads.get(u), d_plus);
-            let flows = plan.node_mut(u);
-            for f in flows.iter_mut() {
-                *f = base;
-            }
-            // Spread the e surplus tokens over self-loops: each gets
-            // e/d° plus the first e mod d° one extra. (checked_div is
-            // None exactly when there are no self-loops.)
-            if let Some(per_loop) = e.checked_div(d_self) {
-                let extra = e % d_self;
-                for (i, f) in flows[d..].iter_mut().enumerate() {
-                    *f += per_loop as u64 + u64::from(i < extra);
-                }
-            }
-            // d° = 0: surplus is retained implicitly by the engine.
+        let (base, e) = split_load(load, d_plus);
+        for f in flows.iter_mut() {
+            *f = base;
         }
+        // Spread the e surplus tokens over self-loops: each gets
+        // e/d° plus the first e mod d° one extra. (checked_div is
+        // None exactly when there are no self-loops.)
+        if let Some(per_loop) = e.checked_div(d_self) {
+            let extra = e % d_self;
+            for (i, f) in flows[d..].iter_mut().enumerate() {
+                *f += per_loop as u64 + u64::from(i < extra);
+            }
+        }
+        // d° = 0: surplus is retained implicitly by the engine.
     }
 }
 
@@ -118,29 +129,48 @@ impl Balancer for SendRound {
 
     fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
         let d = gp.degree();
-        let d_plus = gp.degree_plus();
         let d_self = gp.num_self_loops();
         assert!(
             d_self >= d,
             "SEND([x/d+]) requires d° >= d self-loops (got d° = {d_self}, d = {d})"
         );
         for u in 0..gp.num_nodes() {
-            let (base, e) = split_load(loads.get(u), d_plus);
-            // Round half up: [x/d⁺] = base + 1 iff 2e >= d⁺.
-            let round_up = 2 * e >= d_plus;
-            let original_flow = base + u64::from(round_up);
-            let flows = plan.node_mut(u);
-            for f in flows[..d].iter_mut() {
-                *f = original_flow;
+            let x = loads.get(u);
+            if x == 0 {
+                continue;
             }
-            // Surplus for self-loops: e extras minus the d consumed by
-            // originals when rounding up. Each self-loop gets base or
-            // base+1 (round-fair), extras first.
-            let loop_extras = if round_up { e - d } else { e };
-            debug_assert!(loop_extras <= d_self);
-            for (i, f) in flows[d..].iter_mut().enumerate() {
-                *f = base + u64::from(i < loop_extras);
-            }
+            self.plan_node(gp, u, x, plan.node_mut(u));
+        }
+    }
+}
+
+impl ShardedBalancer for SendRound {
+    fn plan_node(&self, gp: &BalancingGraph, _u: usize, load: i64, flows: &mut [u64]) {
+        let d = gp.degree();
+        let d_plus = gp.degree_plus();
+        let (base, e) = split_load(load, d_plus);
+        // Round half up: [x/d⁺] = base + 1 iff 2e >= d⁺.
+        let round_up = 2 * e >= d_plus;
+        let original_flow = base + u64::from(round_up);
+        for f in flows[..d].iter_mut() {
+            *f = original_flow;
+        }
+        // Surplus for self-loops: e extras minus the d consumed by
+        // originals when rounding up. Each self-loop gets base or
+        // base+1 (round-fair), extras first.
+        //
+        // round_up ⇒ 2e ≥ d⁺ = d + d°, and `plan` enforces d° ≥ d, so
+        // e ≥ d and the subtraction cannot underflow there. This entry
+        // point skips that loud class check (a panicking worker would
+        // strand its peers at the engine's round barrier), so saturate:
+        // on a d° < d graph the plan then over-sends on the originals
+        // and the engine reports a clean `Overdraw` instead of a u64
+        // wrap-around conjuring ~2⁶⁴ surplus tokens.
+        // With d° ≥ d, loop_extras ≤ d° always holds; on smaller d° the
+        // placement loop below is bounded by the port count anyway.
+        let loop_extras = if round_up { e.saturating_sub(d) } else { e };
+        for (i, f) in flows[d..].iter_mut().enumerate() {
+            *f = base + u64::from(i < loop_extras);
         }
     }
 }
@@ -249,6 +279,52 @@ mod tests {
         let loads = LoadVector::uniform(4, 5);
         let mut plan = FlowPlan::for_graph(&gp);
         SendRound::new().plan(&gp, &loads, &mut plan);
+    }
+
+    #[test]
+    fn plan_node_matches_plan_for_both_schemes() {
+        let gp = lazy_cycle(4);
+        for load in [0i64, 1, 3, 7, 10, 11, 999] {
+            let loads = LoadVector::uniform(4, load);
+
+            let mut plan = FlowPlan::for_graph(&gp);
+            SendFloor::new().plan(&gp, &loads, &mut plan);
+            let mut flows = vec![u64::MAX; gp.degree_plus()];
+            SendFloor::new().plan_node(&gp, 2, load, &mut flows);
+            assert_eq!(plan.node(2), flows.as_slice(), "floor, load {load}");
+
+            let mut plan = FlowPlan::for_graph(&gp);
+            SendRound::new().plan(&gp, &loads, &mut plan);
+            let mut flows = vec![u64::MAX; gp.degree_plus()];
+            SendRound::new().plan_node(&gp, 2, load, &mut flows);
+            assert_eq!(plan.node(2), flows.as_slice(), "round, load {load}");
+        }
+    }
+
+    #[test]
+    fn send_round_plan_node_saturates_instead_of_underflowing() {
+        // d° = 0 < d: e = 1 < d = 2 with round-up — exactly the
+        // combination where `e - d` would wrap. The plan must stay
+        // finite (merely over-sending by one, which the engine rejects
+        // as a clean overdraw), not conjure ~2^64 tokens.
+        let gp = BalancingGraph::bare(generators::cycle(4).unwrap()); // d⁺ = 2
+        let mut flows = vec![0u64; 2];
+        SendRound::new().plan_node(&gp, 0, 11, &mut flows); // base 5, e 1
+        assert_eq!(flows, vec![6, 6], "round-up on both originals");
+        let sent: u64 = flows.iter().sum();
+        assert!(sent < 1 << 32, "no underflow-inflated flow");
+    }
+
+    #[test]
+    fn zero_load_nodes_are_left_untouched() {
+        let gp = lazy_cycle(4);
+        let loads = LoadVector::new(vec![0, 9, 0, 4]);
+        let mut plan = FlowPlan::for_graph(&gp);
+        SendFloor::new().plan(&gp, &loads, &mut plan);
+        let touched: Vec<usize> = plan.touched().collect();
+        assert_eq!(touched, vec![1, 3]);
+        assert_eq!(plan.node_total(0), 0);
+        assert_eq!(plan.node_total(2), 0);
     }
 
     #[test]

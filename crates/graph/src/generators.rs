@@ -390,10 +390,32 @@ fn pairing_with_repair(n: usize, d: usize, rng: &mut StdRng) -> Option<RegularGr
 /// giving a 4-regular non-bipartite graph whose odd girth is controlled
 /// by `n` and `k`. Used to exercise Theorem 4.3 beyond plain cycles.
 ///
+/// `n` must be odd: an even `n` with odd `k` yields a *bipartite*
+/// circulant (every offset-1 and offset-`k` edge flips node parity),
+/// the opposite of what this generator documents, and even `k` merely
+/// hides the problem behind a different girth. Odd `n` makes the
+/// offset-1 cycle itself an odd cycle, so non-bipartiteness holds for
+/// every valid `k`.
+///
 /// # Errors
 ///
-/// Returns an error under the same conditions as [`circulant`].
+/// Returns an error if `n` is even, or under the same conditions as
+/// [`circulant`].
 pub fn chorded_cycle(n: usize, k: usize) -> Result<RegularGraph, GraphError> {
+    if n.is_multiple_of(2) {
+        let detail = if k % 2 == 1 {
+            "the graph would even be bipartite"
+        } else {
+            "the offset-1 cycle would be even"
+        };
+        return Err(GraphError::InvalidParameters {
+            reason: format!(
+                "chorded_cycle requires odd n (got n = {n}, k = {k}): the generator's \
+                 odd-cycle non-bipartite contract for the Theorem 4.3 experiments \
+                 needs odd n — here {detail}"
+            ),
+        });
+    }
     circulant(n, &[1, k])
 }
 
@@ -562,5 +584,29 @@ mod tests {
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(0, 3));
         assert!(chorded_cycle(11, 1).is_err(), "duplicate offset");
+    }
+
+    #[test]
+    fn chorded_cycle_rejects_even_n() {
+        // Even n with odd k is bipartite — the exact opposite of the
+        // documented contract — and must be refused with a clear reason.
+        for (n, k) in [(12usize, 3usize), (12, 4), (100, 7)] {
+            let err = chorded_cycle(n, k).unwrap_err();
+            assert!(
+                err.to_string().contains("odd n"),
+                "({n}, {k}) error should name the odd-n requirement, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn chorded_cycle_odd_n_is_non_bipartite_for_all_valid_k() {
+        for (n, k) in [(9usize, 3usize), (11, 3), (11, 4), (15, 6), (21, 8)] {
+            let g = chorded_cycle(n, k).unwrap();
+            assert!(
+                !crate::properties::is_bipartite(&g),
+                "chorded_cycle({n}, {k}) must be non-bipartite"
+            );
+        }
     }
 }

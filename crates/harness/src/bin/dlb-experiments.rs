@@ -21,7 +21,7 @@ struct Args {
 }
 
 const ALL_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "t1",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -53,7 +53,8 @@ fn parse_args() -> Result<Args, String> {
                      e9  deviation to the continuous process (Thm 2.3 mechanism)\n\
                      a1  ablation: self-loop count\n\
                      a2  ablation: cumulative-δ sensitivity\n\
-                     a3  ablation: rotor-router port-order sensitivity"
+                     a3  ablation: rotor-router port-order sensitivity\n\
+                     t1  throughput: step rates per engine path (writes BENCH_PR2.json)"
                 );
                 std::process::exit(0);
             }
@@ -87,6 +88,7 @@ fn run_one(id: &str, quick: bool) -> Result<Table, RunError> {
         "a1" => experiments::ablation_self_loops(quick),
         "a2" => experiments::ablation_delta(quick),
         "a3" => experiments::ablation_port_order(quick),
+        "t1" => experiments::throughput(quick),
         other => unreachable!("unvalidated experiment id {other}"),
     }
 }

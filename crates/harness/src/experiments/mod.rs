@@ -12,6 +12,7 @@ mod lower;
 mod table1;
 mod thm23;
 mod thm33;
+mod throughput;
 
 pub use ablations::{ablation_delta, ablation_port_order, ablation_self_loops};
 pub use deviation_trace::deviation_trace;
@@ -20,3 +21,4 @@ pub use lower::{thm41_lower, thm42_stateless, thm43_rotor_cycle};
 pub use table1::table1;
 pub use thm23::{thm23_cycle, thm23_expander};
 pub use thm33::thm33_time_to_d;
+pub use throughput::throughput;

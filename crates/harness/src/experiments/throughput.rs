@@ -1,0 +1,315 @@
+//! T1 — step throughput of the engine's execution paths.
+//!
+//! Sweeps scheme × graph × n over the instrumented stepping loop
+//! (`Engine::step`, per-step statistics), the fused serial fast path
+//! (`Engine::run_fast`) and the sharded parallel path
+//! (`Engine::run_parallel`), cross-checking that every path produces
+//! bit-identical final loads. Besides the text/CSV table, the sweep is
+//! written as machine-readable JSON to `BENCH_PR2.json` (override the
+//! path with the `DLB_BENCH_JSON` environment variable) so CI and perf
+//! dashboards can diff runs without parsing the table.
+
+use std::time::Instant;
+
+use dlb_core::schemes::{SendFloor, SendRound};
+use dlb_core::{Engine, LoadVector, ShardedBalancer};
+use dlb_graph::BalancingGraph;
+
+use crate::init;
+use crate::report::Table;
+use crate::runner::RunError;
+use crate::suite::{GraphSpec, SchemeSpec};
+
+/// Tokens per node in the benchmark's bimodal initial distribution —
+/// enough that every node splits a non-trivial load each round.
+const TOKENS_PER_NODE: i64 = 64;
+
+struct Measurement {
+    scheme: String,
+    graph: String,
+    n: usize,
+    path: String,
+    threads: usize,
+    steps: usize,
+    tokens: i64,
+    elapsed_sec: f64,
+    bit_identical: bool,
+}
+
+impl Measurement {
+    fn node_steps_per_sec(&self) -> f64 {
+        (self.n * self.steps) as f64 / self.elapsed_sec
+    }
+
+    fn token_steps_per_sec(&self) -> f64 {
+        (self.tokens as f64 * self.steps as f64) / self.elapsed_sec
+    }
+}
+
+/// The sharded-planning instance behind a [`SchemeSpec`], for schemes
+/// that have one (the stateless SEND family).
+fn sharded_instance(scheme: &SchemeSpec) -> Option<Box<dyn ShardedBalancer>> {
+    match scheme {
+        SchemeSpec::SendFloor => Some(Box::new(SendFloor::new())),
+        SchemeSpec::SendRound => Some(Box::new(SendRound::new())),
+        _ => None,
+    }
+}
+
+fn run_instrumented(
+    gp: &BalancingGraph,
+    scheme: &SchemeSpec,
+    initial: &LoadVector,
+    steps: usize,
+) -> Result<(f64, LoadVector), RunError> {
+    let mut bal = scheme.build(gp)?;
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let started = Instant::now();
+    for _ in 0..steps {
+        engine.step(bal.as_mut())?;
+    }
+    Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
+}
+
+fn run_fast(
+    gp: &BalancingGraph,
+    scheme: &SchemeSpec,
+    initial: &LoadVector,
+    steps: usize,
+) -> Result<(f64, LoadVector), RunError> {
+    let mut bal = scheme.build(gp)?;
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let started = Instant::now();
+    engine.run_fast(bal.as_mut(), steps)?;
+    Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
+}
+
+fn run_parallel(
+    gp: &BalancingGraph,
+    balancer: &dyn ShardedBalancer,
+    initial: &LoadVector,
+    steps: usize,
+    threads: usize,
+) -> Result<(f64, LoadVector), RunError> {
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let started = Instant::now();
+    engine.run_parallel(balancer, steps, threads)?;
+    Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
+}
+
+/// Runs the throughput sweep and writes `BENCH_PR2.json` (path
+/// overridable with the `DLB_BENCH_JSON` environment variable).
+///
+/// # Errors
+///
+/// Propagates instance-construction and engine errors.
+pub fn throughput(quick: bool) -> Result<Table, RunError> {
+    let json_path = std::env::var("DLB_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR2.json".into());
+    throughput_to(quick, std::path::Path::new(&json_path))
+}
+
+/// [`throughput`] with an explicit JSON output path (the environment is
+/// only consulted at the public entry point, keeping tests free of
+/// process-global state).
+fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunError> {
+    let graphs: Vec<GraphSpec> = if quick {
+        vec![
+            GraphSpec::Cycle { n: 4096 },
+            GraphSpec::Torus2D { side: 64 },
+            GraphSpec::RandomRegular {
+                n: 4096,
+                d: 4,
+                seed: 42,
+            },
+        ]
+    } else {
+        vec![
+            GraphSpec::Cycle { n: 65_536 },
+            GraphSpec::Cycle { n: 1_048_576 },
+            GraphSpec::Torus2D { side: 256 },
+            GraphSpec::Torus2D { side: 1024 },
+            GraphSpec::RandomRegular {
+                n: 65_536,
+                d: 4,
+                seed: 42,
+            },
+            GraphSpec::RandomRegular {
+                n: 262_144,
+                d: 4,
+                seed: 42,
+            },
+        ]
+    };
+    let schemes = [
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+    ];
+    let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for spec in &graphs {
+        let graph = spec.build()?;
+        let n = graph.num_nodes();
+        let gp = BalancingGraph::lazy(graph);
+        let initial = init::bimodal(n, TOKENS_PER_NODE);
+        let tokens = initial.total();
+        // Fewer steps on bigger graphs keeps every measurement in the
+        // same wall-clock ballpark.
+        let budget = if quick { 2_000_000 } else { 16_000_000 };
+        let steps = (budget / n).clamp(2, 64);
+
+        for scheme in &schemes {
+            let (instr_sec, instr_loads) = run_instrumented(&gp, scheme, &initial, steps)?;
+            results.push(Measurement {
+                scheme: scheme.label(),
+                graph: spec.label(),
+                n,
+                path: "step-loop".into(),
+                threads: 1,
+                steps,
+                tokens,
+                elapsed_sec: instr_sec,
+                bit_identical: true,
+            });
+
+            let (fast_sec, fast_loads) = run_fast(&gp, scheme, &initial, steps)?;
+            results.push(Measurement {
+                scheme: scheme.label(),
+                graph: spec.label(),
+                n,
+                path: "run_fast".into(),
+                threads: 1,
+                steps,
+                tokens,
+                elapsed_sec: fast_sec,
+                bit_identical: fast_loads == instr_loads,
+            });
+
+            if let Some(sharded) = sharded_instance(scheme) {
+                for &threads in thread_counts {
+                    let (par_sec, par_loads) =
+                        run_parallel(&gp, sharded.as_ref(), &initial, steps, threads)?;
+                    results.push(Measurement {
+                        scheme: scheme.label(),
+                        graph: spec.label(),
+                        n,
+                        path: format!("parallel({threads})"),
+                        threads,
+                        steps,
+                        tokens,
+                        elapsed_sec: par_sec,
+                        bit_identical: par_loads == instr_loads,
+                    });
+                }
+            }
+        }
+    }
+
+    write_json(json_path, &results, quick);
+
+    let mut table = Table::new(
+        "T1: engine step throughput (per path; speedup vs the instrumented step loop)",
+        &[
+            "scheme",
+            "graph",
+            "n",
+            "path",
+            "steps",
+            "Mnode-steps/s",
+            "Mtoken-steps/s",
+            "speedup",
+            "identical",
+        ],
+    );
+    // Speedups are relative to the instrumented measurement of the same
+    // (scheme, graph) — the first of each group by construction.
+    let mut instr_sec = 0.0f64;
+    for m in &results {
+        if m.path == "step-loop" {
+            instr_sec = m.elapsed_sec;
+        }
+        table.push_row(vec![
+            m.scheme.clone(),
+            m.graph.clone(),
+            m.n.to_string(),
+            m.path.clone(),
+            m.steps.to_string(),
+            format!("{:.2}", m.node_steps_per_sec() / 1e6),
+            format!("{:.2}", m.token_steps_per_sec() / 1e6),
+            format!("{:.2}x", instr_sec / m.elapsed_sec),
+            if m.bit_identical { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes the machine-readable sweep. Failures to write are reported on
+/// stderr but do not fail the experiment (the table already carries the
+/// numbers).
+fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dlb-throughput/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"tokens_per_node\": {TOKENS_PER_NODE},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"path\": \"{}\", \
+             \"threads\": {}, \"steps\": {}, \"tokens\": {}, \"elapsed_sec\": {:.6}, \
+             \"node_steps_per_sec\": {:.1}, \"token_steps_per_sec\": {:.1}, \
+             \"bit_identical\": {}}}{}\n",
+            json_escape(&m.scheme),
+            json_escape(&m.graph),
+            m.n,
+            json_escape(&m.path),
+            m.threads,
+            m.steps,
+            m.tokens,
+            m.elapsed_sec,
+            m.node_steps_per_sec(),
+            m.token_steps_per_sec(),
+            m.bit_identical,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: failed writing {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_consistent_rows_and_json() {
+        let dir = std::env::temp_dir().join("dlb-throughput-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let json_path = dir.join("BENCH_PR2.json");
+        let table = throughput_to(true, &json_path).expect("quick sweep runs");
+
+        // 3 graphs × (3 instrumented + 3 fast + 2 parallel) rows.
+        assert_eq!(table.num_rows(), 3 * 8);
+        // Every path must have reproduced the instrumented loads.
+        assert!(
+            !table.render().contains("NO"),
+            "a path diverged from the instrumented engine:\n{}",
+            table.render()
+        );
+
+        let json = std::fs::read_to_string(&json_path).expect("json written");
+        assert!(json.contains("\"schema\": \"dlb-throughput/v1\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(!json.contains("\"bit_identical\": false"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

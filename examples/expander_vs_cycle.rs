@@ -10,14 +10,29 @@
 //! ```text
 //! cargo run --release --example expander_vs_cycle
 //! ```
+//!
+//! Set `DLB_SMOKE_STEPS=<n>` to cap the per-graph horizon (the cycle's
+//! 4T horizon is ~400k steps): CI smoke runs finish in milliseconds,
+//! at the cost of not reaching the theorem's asymptotic regime.
 
 use dlb::graph::BalancingGraph;
 use dlb::harness::{init, GraphSpec, Runner, SchemeSpec};
 use dlb::spectral::SpectralGap;
 
+/// The `DLB_SMOKE_STEPS` cap, if set and parseable.
+fn smoke_step_cap() -> Option<usize> {
+    std::env::var("DLB_SMOKE_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = Runner::default(); // 4T horizon
     let mean_load = 50i64;
+    let cap = smoke_step_cap();
+    if let Some(c) = cap {
+        println!("[smoke mode: horizons capped at {c} steps via DLB_SMOKE_STEPS]\n");
+    }
 
     println!("graph                 µ          4T-steps  rotor  send-floor  adversary  bound");
     println!("--------------------  ---------  --------  -----  ----------  ---------  -----");
@@ -43,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let gp = BalancingGraph::lazy(graph);
         let gap = SpectralGap::from_lambda2(spec.lambda2(d)?);
         let k = (mean_load * n as i64) as u64;
-        let steps = runner.horizon_steps(&spec, d, n, k)?;
+        let steps = {
+            let full = runner.horizon_steps(&spec, d, n, k)?;
+            cap.map_or(full, |c| full.min(c))
+        };
         let initial = init::point_mass(n, mean_load * n as i64);
 
         let rotor = runner.run_for(&gp, &SchemeSpec::RotorRouter, &initial, steps)?;

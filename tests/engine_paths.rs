@@ -1,0 +1,196 @@
+//! Cross-path property tests: the engine's fused fast paths must be
+//! indistinguishable from the instrumented stepping loop.
+//!
+//! Three guarantees, checked by proptest across every structured
+//! generator family (cycle, torus, hypercube, clique-circulant,
+//! random-regular):
+//!
+//! 1. every non-overdrawing scheme conserves tokens and never produces
+//!    a negative load, on every execution path;
+//! 2. `run_fast` produces bit-identical load vectors to the `step()`
+//!    loop for every scheme;
+//! 3. `run_parallel` produces bit-identical load vectors for every
+//!    thread count, for the sharded (stateless) schemes.
+
+use dlb::core::schemes::{SendFloor, SendRound};
+use dlb::core::{Engine, EngineError, LoadVector, ShardedBalancer};
+use dlb::graph::{generators, BalancingGraph, RegularGraph};
+use dlb::harness::SchemeSpec;
+use proptest::prelude::*;
+
+/// The structured generator families the fast paths are validated on.
+fn graph_family() -> Vec<(&'static str, RegularGraph)> {
+    vec![
+        ("cycle", generators::cycle(24).unwrap()),
+        ("torus", generators::torus(2, 5).unwrap()),
+        ("hypercube", generators::hypercube(5).unwrap()),
+        (
+            "clique-circulant",
+            generators::clique_circulant(24, 4).unwrap(),
+        ),
+        (
+            "random-regular",
+            generators::random_regular(30, 3, 7).unwrap(),
+        ),
+    ]
+}
+
+/// Cycles `pattern` into a load vector of length `n`.
+fn loads_for(n: usize, pattern: &[i64]) -> LoadVector {
+    let mut loads = vec![0i64; n];
+    for (slot, &value) in loads.iter_mut().zip(pattern.iter().cycle()) {
+        *slot = value;
+    }
+    LoadVector::new(loads)
+}
+
+fn non_overdrawing_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::SendFloor,
+        SchemeSpec::SendRound,
+        SchemeSpec::RotorRouter,
+        SchemeSpec::RotorRouterStar,
+        SchemeSpec::Good { s: 1 },
+        SchemeSpec::RoundFairFirstPorts,
+        SchemeSpec::RoundFairLagged { period: 3 },
+        SchemeSpec::RandomizedExtra { seed: 11 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Guarantee 1: conservation + non-negativity on both serial paths.
+    #[test]
+    fn non_overdrawing_schemes_conserve_and_stay_non_negative(
+        pattern in proptest::collection::vec(0i64..300, 4..12),
+        steps in 1usize..30,
+    ) {
+        for (name, graph) in graph_family() {
+            let n = graph.num_nodes();
+            let gp = BalancingGraph::lazy(graph);
+            let initial = loads_for(n, &pattern);
+            let total = initial.total();
+            for scheme in non_overdrawing_schemes() {
+                let mut bal = scheme.build(&gp).unwrap();
+                prop_assert!(!bal.may_overdraw());
+                let mut engine = Engine::new(gp.clone(), initial.clone());
+                engine.run_fast(bal.as_mut(), steps).unwrap();
+                prop_assert_eq!(
+                    engine.loads().total(), total,
+                    "{} lost tokens on {}", scheme.label(), name
+                );
+                prop_assert_eq!(
+                    engine.negative_node_steps(), 0,
+                    "{} went negative on {}", scheme.label(), name
+                );
+                prop_assert_eq!(engine.loads().negative_nodes(), 0);
+            }
+        }
+    }
+
+    /// Guarantees 2 and 3: the fast and parallel paths are bit-identical
+    /// to the instrumented stepping loop.
+    #[test]
+    fn fast_and_parallel_paths_match_instrumented_stepping(
+        pattern in proptest::collection::vec(0i64..400, 4..12),
+        steps in 1usize..25,
+        threads in 2usize..6,
+    ) {
+        for (name, graph) in graph_family() {
+            let n = graph.num_nodes();
+            let gp = BalancingGraph::lazy(graph);
+            let initial = loads_for(n, &pattern);
+            for scheme in [SchemeSpec::SendFloor, SchemeSpec::SendRound] {
+                // Reference: the instrumented step() loop.
+                let mut bal = scheme.build(&gp).unwrap();
+                let mut reference = Engine::new(gp.clone(), initial.clone());
+                for _ in 0..steps {
+                    reference.step(bal.as_mut()).unwrap();
+                }
+
+                let mut bal = scheme.build(&gp).unwrap();
+                let mut fast = Engine::new(gp.clone(), initial.clone());
+                fast.run_fast(bal.as_mut(), steps).unwrap();
+                prop_assert_eq!(
+                    fast.loads(), reference.loads(),
+                    "run_fast diverged: {} on {}", scheme.label(), name
+                );
+
+                let sharded: Box<dyn ShardedBalancer> = match scheme {
+                    SchemeSpec::SendFloor => Box::new(SendFloor::new()),
+                    _ => Box::new(SendRound::new()),
+                };
+                for t in [1, threads] {
+                    let mut par = Engine::new(gp.clone(), initial.clone());
+                    par.run_parallel(sharded.as_ref(), steps, t).unwrap();
+                    prop_assert_eq!(
+                        par.loads(), reference.loads(),
+                        "run_parallel({}) diverged: {} on {}", t, scheme.label(), name
+                    );
+                    prop_assert_eq!(par.step_count(), reference.step_count());
+                    prop_assert_eq!(
+                        par.negative_node_steps(),
+                        reference.negative_node_steps()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The rotor-router (stateful, not sharded) must still agree between
+    /// its two serial paths.
+    #[test]
+    fn rotor_router_fast_path_matches_stepping(
+        pattern in proptest::collection::vec(0i64..300, 4..12),
+        steps in 1usize..30,
+    ) {
+        for (name, graph) in graph_family() {
+            let n = graph.num_nodes();
+            let gp = BalancingGraph::lazy(graph);
+            let initial = loads_for(n, &pattern);
+            let mut bal = SchemeSpec::RotorRouter.build(&gp).unwrap();
+            let mut reference = Engine::new(gp.clone(), initial.clone());
+            for _ in 0..steps {
+                reference.step(bal.as_mut()).unwrap();
+            }
+            let mut bal = SchemeSpec::RotorRouter.build(&gp).unwrap();
+            let mut fast = Engine::new(gp.clone(), initial.clone());
+            fast.run_fast(bal.as_mut(), steps).unwrap();
+            prop_assert_eq!(
+                fast.loads(), reference.loads(),
+                "rotor run_fast diverged on {}", name
+            );
+        }
+    }
+}
+
+/// The headline regression, end to end through the public facade: an
+/// engine seeded with a negative load must return the documented error
+/// — not trip a scheme's debug assertion — on every execution path.
+#[test]
+fn negative_seed_errors_cleanly_on_every_path() {
+    let build = || {
+        let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
+        Engine::new(gp, LoadVector::new(vec![10, 0, -3, 0, 0, 0, 0, 0]))
+    };
+    let expect = |r: Result<(), EngineError>| {
+        assert!(
+            matches!(
+                r,
+                Err(EngineError::NegativeLoad {
+                    node: 2,
+                    load: -3,
+                    step: 1
+                })
+            ),
+            "wrong outcome: {r:?}"
+        );
+    };
+    expect(build().run(&mut SendFloor::new(), 4));
+    expect(build().run_fast(&mut SendFloor::new(), 4));
+    for threads in [1, 2, 3] {
+        expect(build().run_parallel(&SendFloor::new(), 4, threads));
+    }
+    expect(build().step(&mut SendFloor::new()).map(|_| ()));
+}

@@ -28,8 +28,16 @@ fn quickstart_pipeline_runs_to_completion() {
 
     let gap = SpectralGap::from_lambda2(closed_form::lambda2_cycle(n, 2));
     let horizon = BalancingHorizon::new(gap, n, total as u64);
-    let t = horizon.steps(1.0);
-    assert!(t > 0, "balancing horizon must be positive");
+    let full_t = horizon.steps(1.0);
+    assert!(full_t > 0, "balancing horizon must be positive");
+
+    // `DLB_SMOKE_STEPS` caps the horizon so debug CI stays fast; the
+    // asymptotic discrepancy assertion only applies to uncapped runs.
+    let cap: Option<usize> = std::env::var("DLB_SMOKE_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let t = cap.map_or(full_t, |c| full_t.min(c.max(1)));
+    let capped = t < full_t;
 
     let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).expect("rotor builds");
     let mut engine = Engine::new(gp, LoadVector::point_mass(n, total));
@@ -49,12 +57,14 @@ fn quickstart_pipeline_runs_to_completion() {
         "rotor-router is cumulatively 1-fair (Observation 2.2)"
     );
 
-    let bound = 2.0 * (n as f64).sqrt();
-    assert!(
-        (engine.loads().discrepancy() as f64) <= bound,
-        "Theorem 2.3(ii): discrepancy {} exceeds d·sqrt(n) = {bound}",
-        engine.loads().discrepancy()
-    );
+    if !capped {
+        let bound = 2.0 * (n as f64).sqrt();
+        assert!(
+            (engine.loads().discrepancy() as f64) <= bound,
+            "Theorem 2.3(ii): discrepancy {} exceeds d·sqrt(n) = {bound}",
+            engine.loads().discrepancy()
+        );
+    }
 }
 
 /// The example files exist where the docs say they do; a rename that
