@@ -1,6 +1,7 @@
 use dlb_graph::BalancingGraph;
 
 use crate::fairness::FairnessMonitor;
+use crate::kernel::{self, KernelBalancer};
 use crate::parallel::{self, ShardedBalancer};
 use crate::{Balancer, CumulativeLedger, EngineError, FlowPlan, LoadVector};
 
@@ -36,10 +37,14 @@ pub struct StepSummary {
 /// costs an `O(n)` scan; [`run`](Engine::run) keeps the ledger and
 /// monitor but skips all per-step statistics, and
 /// [`run_fast`](Engine::run_fast) additionally skips the ledger and
-/// monitor. [`run_parallel`](Engine::run_parallel) shards the fast path
-/// across threads for [`ShardedBalancer`] schemes, with bit-identical
-/// results. The count of negative nodes is maintained incrementally at
-/// every load write, so no path ever scans for it.
+/// monitor. [`run_kernel`](Engine::run_kernel) goes further still for
+/// [`KernelBalancer`] schemes: no [`FlowPlan`] is materialised at all —
+/// flows are computed in registers and applied as signed deltas into a
+/// double-buffered load vector. [`run_parallel`](Engine::run_parallel)
+/// shards that plan-free path across threads for [`ShardedBalancer`]
+/// schemes. All paths produce bit-identical loads. The count of
+/// negative nodes is maintained incrementally at every load write, so
+/// no path ever scans for it.
 ///
 /// # Example
 ///
@@ -300,6 +305,73 @@ impl Engine {
         Ok(())
     }
 
+    /// Runs `steps` rounds on the plan-free kernel path: no
+    /// [`FlowPlan`] is materialised — each node's port flows are
+    /// computed in registers by the scheme's
+    /// [`kernel_node`](KernelBalancer::kernel_node) and applied as
+    /// signed deltas into a double-buffered load vector, streaming once
+    /// over the CSR adjacency per round. Like
+    /// [`run_fast`](Engine::run_fast) this path skips the ledger and
+    /// monitor; loads, step count and negative-load accounting are
+    /// bit-identical to [`step`](Engine::step), and so are the step and
+    /// node of any reported error.
+    ///
+    /// The inner loop is monomorphised for `d⁺ ∈ {2, 4, 6, 8}` (a
+    /// generic fallback covers every other degree), so the common
+    /// lazy-graph families run fully unrolled per-port loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered; on error the
+    /// loads are those after the last fully completed round.
+    pub fn run_kernel<K: KernelBalancer + ?Sized>(
+        &mut self,
+        balancer: &mut K,
+        steps: usize,
+    ) -> Result<(), EngineError> {
+        if steps == 0 {
+            return Ok(());
+        }
+        let check = !balancer.may_overdraw();
+        self.kernel_rounds(check, steps, |gp, u, x, fl| {
+            balancer.kernel_node(gp, u, x, fl)
+        })
+    }
+
+    /// The shared plumbing of the plan-free paths: allocates the back
+    /// buffer, streams the rounds through [`kernel::run_rounds`], and
+    /// applies the returned counters — so the kernel and the
+    /// degenerate one-thread sharded entry cannot drift apart.
+    fn kernel_rounds(
+        &mut self,
+        check: bool,
+        steps: usize,
+        mut per_node: impl FnMut(&BalancingGraph, usize, i64, &mut [u64]),
+    ) -> Result<(), EngineError> {
+        let mut back = vec![0i64; self.gp.num_nodes()];
+        let gp = &self.gp;
+        let loads = self.loads.as_mut_slice();
+        let (stats, err) = kernel::run_rounds(
+            gp,
+            loads,
+            &mut back,
+            kernel::KernelRun {
+                check,
+                steps,
+                base_step: self.step,
+                negative_count: self.negative_count,
+            },
+            |u, x, fl| per_node(gp, u, x, fl),
+        );
+        self.step += stats.steps_done;
+        self.negative_node_steps += stats.negative_node_steps;
+        self.negative_count = stats.negative_count;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Runs `steps` rounds of a [`ShardedBalancer`] with the node set
     /// split across `threads` worker threads (clamped to `1..=n`).
     ///
@@ -329,21 +401,12 @@ impl Engine {
         let check = !balancer.may_overdraw();
         self.check_negative_preplan(check)?;
         if threads == 1 {
-            // Degenerate sharding: the serial fused fast path, planned
-            // through the same per-node entry point.
-            for _ in 0..steps {
-                self.plan.clear();
-                self.check_negative_preplan(check)?;
-                for u in 0..n {
-                    let x = self.loads.get(u);
-                    if x == 0 {
-                        continue;
-                    }
-                    balancer.plan_node(&self.gp, u, x, self.plan.node_mut(u));
-                }
-                self.finish_step(check, false)?;
-            }
-            return Ok(());
+            // Degenerate sharding: the serial plan-free kernel path,
+            // planned through the same per-node entry point — one
+            // thread must never pay shard/synchronisation overhead.
+            return self.kernel_rounds(check, steps, |gp, u, x, fl| {
+                balancer.plan_node(gp, u, x, fl)
+            });
         }
 
         let base_step = self.step;

@@ -1,0 +1,407 @@
+//! Plan-free delta kernels: the engine's fastest serial path.
+//!
+//! Every scheme in the paper is a *local* rule — node `u`'s outgoing
+//! flows at step `t` are a pure function of `x_t(u)` (plus, for the
+//! rotor-router, a rotor position). The planned paths nevertheless
+//! materialise the full [`FlowPlan`](crate::FlowPlan) matrix every
+//! round: `n·d⁺` `u64` writes that the engine immediately re-reads,
+//! sums, and discards. The kernel path removes that round trip
+//! entirely: [`Engine::run_kernel`](crate::Engine::run_kernel) streams
+//! once over the CSR adjacency per round, computes each node's port
+//! flows in registers (a stack buffer the optimiser scalarises), and
+//! applies signed load deltas into a double-buffered `Vec<i64>` — no
+//! plan writes, no touched-set bookkeeping, no ledger.
+//!
+//! Loads are double-buffered per round: the kernel reads `x_t` from the
+//! front buffer and accumulates `x_{t+1}` in the back buffer, so a
+//! round that errors simply discards the back buffer and the engine
+//! keeps the exact guarantee of the planned paths — on error, loads are
+//! those after the last fully completed round, and the reported
+//! [`Overdraw`](crate::EngineError::Overdraw)/
+//! [`NegativeLoad`](crate::EngineError::NegativeLoad) carries the same
+//! step and node as [`Engine::step`](crate::Engine::step) would report.
+//!
+//! The inner loop is monomorphised per total degree: `d⁺ ∈ {2, 4, 6, 8}`
+//! (bare cycle, lazy cycle, lazy hypercube(3), lazy torus, …) run with a
+//! `[u64; DP]` flow buffer whose length the optimiser knows at compile
+//! time, so the per-port loops unroll fully; every other degree takes a
+//! generic fallback over a reused `Vec<u64>`.
+
+use dlb_graph::BalancingGraph;
+
+use crate::{Balancer, EngineError};
+
+/// A balancer whose per-node flows are a pure function of the node's
+/// current load and the scheme's own per-node state — the class the
+/// plan-free kernel path can execute.
+///
+/// This is the mutable-state sibling of
+/// [`ShardedBalancer`](crate::ShardedBalancer): sharding additionally
+/// requires statelessness (`&self` + `Sync`), while a kernel may carry
+/// per-node state (the rotor-router advances its rotors as it plans).
+/// Implementations must write **every** entry of `flows`
+/// (`flows.len() == d⁺`; the buffer is reused across nodes and arrives
+/// dirty) and must produce exactly the flows their
+/// [`Balancer::plan`] would put in a [`FlowPlan`](crate::FlowPlan) row,
+/// so the kernel path stays bit-identical to the planned paths.
+/// `kernel_node` is never called for `load == 0` (planned paths skip
+/// zero-load nodes too, and rotors must not advance for them).
+///
+/// One deliberate asymmetry on the *error* path: when a round is
+/// rejected, the planned paths have already called `plan` for every
+/// node, while the kernel stops streaming at the offending node — so
+/// for a stateful scheme that trips `Overdraw` despite claiming
+/// `may_overdraw() == false`, per-node state after the failed round is
+/// unspecified (loads and the reported error still match exactly). No
+/// in-tree kernel scheme can reach this: the rotor-router sends
+/// exactly its load, and negative loads are rejected before planning.
+pub trait KernelBalancer: Balancer {
+    /// Writes node `u`'s complete `d⁺`-port flow assignment for load
+    /// `load` into `flows`, updating any per-node scheme state exactly
+    /// as [`Balancer::plan`] would.
+    fn kernel_node(&mut self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]);
+}
+
+/// Parameters of a kernel run, bundled to keep the entry points tidy.
+pub(crate) struct KernelRun {
+    /// Whether to enforce the non-overdrawing class invariants.
+    pub check: bool,
+    /// Rounds to execute.
+    pub steps: usize,
+    /// Steps already completed by the engine (for 1-based error steps).
+    pub base_step: usize,
+    /// Negative nodes on entry (the engine's incremental count).
+    pub negative_count: usize,
+}
+
+/// Counters a kernel run hands back to the engine.
+pub(crate) struct KernelRunStats {
+    /// Full rounds completed (an erroring round is not counted and does
+    /// not mutate loads).
+    pub steps_done: usize,
+    /// Node-steps that ended with negative load, summed over the run.
+    pub negative_node_steps: u64,
+    /// Negative nodes after the final completed round.
+    pub negative_count: usize,
+}
+
+/// Sums one planned node's original-edge outflow and, when `check` is
+/// set, enforces the non-overdrawing invariant. Shared by the serial
+/// kernel rounds and the sharded workers so the two plan-free paths
+/// cannot drift apart in validation or error reporting.
+///
+/// `step` is the 1-based step the error would belong to.
+#[inline]
+pub(crate) fn validate_outflow(
+    flows: &[u64],
+    d: usize,
+    check: bool,
+    node: usize,
+    load: i64,
+    step: usize,
+) -> Result<u64, EngineError> {
+    let mut orig = 0u64;
+    for &f in &flows[..d] {
+        orig += f;
+    }
+    if check {
+        let mut lazy = 0u64;
+        for &f in &flows[d..] {
+            lazy += f;
+        }
+        let sent = orig + lazy;
+        if sent > load as u64 {
+            return Err(EngineError::Overdraw {
+                node,
+                load,
+                planned: sent,
+                step,
+            });
+        }
+    }
+    Ok(orig)
+}
+
+/// A reusable per-node flow buffer; the two implementations are how the
+/// round loop is monomorphised per degree. For `[u64; DP]` the length
+/// is a compile-time constant, so the port loops in the round body
+/// unroll fully; `Vec<u64>` is the any-degree fallback.
+trait FlowsBuf {
+    fn with_len(d_plus: usize) -> Self;
+    fn as_mut(&mut self) -> &mut [u64];
+}
+
+impl<const DP: usize> FlowsBuf for [u64; DP] {
+    #[inline]
+    fn with_len(d_plus: usize) -> Self {
+        debug_assert_eq!(d_plus, DP);
+        [0; DP]
+    }
+    #[inline]
+    fn as_mut(&mut self) -> &mut [u64] {
+        self
+    }
+}
+
+impl FlowsBuf for Vec<u64> {
+    #[inline]
+    fn with_len(d_plus: usize) -> Self {
+        vec![0; d_plus]
+    }
+    #[inline]
+    fn as_mut(&mut self) -> &mut [u64] {
+        self
+    }
+}
+
+/// Runs `steps` plan-free rounds of `kernel` over `loads`, using `back`
+/// as the second half of the double buffer (`back.len() == loads.len()`;
+/// its contents on entry are irrelevant).
+///
+/// Dispatches to a degree-monomorphised round loop. On return, `loads`
+/// holds the state after the last fully completed round.
+pub(crate) fn run_rounds<F>(
+    gp: &BalancingGraph,
+    loads: &mut [i64],
+    back: &mut [i64],
+    run: KernelRun,
+    kernel: F,
+) -> (KernelRunStats, Option<EngineError>)
+where
+    F: FnMut(usize, i64, &mut [u64]),
+{
+    match gp.degree_plus() {
+        2 => rounds_impl::<F, [u64; 2]>(gp, loads, back, run, kernel),
+        4 => rounds_impl::<F, [u64; 4]>(gp, loads, back, run, kernel),
+        6 => rounds_impl::<F, [u64; 6]>(gp, loads, back, run, kernel),
+        8 => rounds_impl::<F, [u64; 8]>(gp, loads, back, run, kernel),
+        _ => rounds_impl::<F, Vec<u64>>(gp, loads, back, run, kernel),
+    }
+}
+
+/// The round loop, monomorphised over the kernel closure and the flow
+/// buffer (and through it, for the array buffers, the total degree).
+fn rounds_impl<F, B>(
+    gp: &BalancingGraph,
+    loads: &mut [i64],
+    back: &mut [i64],
+    run: KernelRun,
+    mut kernel: F,
+) -> (KernelRunStats, Option<EngineError>)
+where
+    F: FnMut(usize, i64, &mut [u64]),
+    B: FlowsBuf,
+{
+    let KernelRun {
+        check,
+        steps,
+        base_step,
+        negative_count,
+    } = run;
+    let n = loads.len();
+    let d = gp.degree();
+    let d_plus = gp.degree_plus();
+    let graph = gp.graph();
+    let mut flows = B::with_len(d_plus);
+
+    // The double buffer: `cur` holds x_t, `next` accumulates x_{t+1}.
+    // The roles swap each completed round; an erroring round leaves
+    // `cur` untouched and discards `next`.
+    let mut cur: &mut [i64] = loads;
+    let mut next: &mut [i64] = back;
+
+    let mut negative = negative_count;
+    let mut negative_node_steps = 0u64;
+    let mut steps_done = 0usize;
+    let mut error = None;
+
+    'rounds: for iter in 0..steps {
+        // Pre-plan class check, O(1) via the maintained count; the
+        // offending node is only searched for on the error path —
+        // lowest id first, matching the serial engine.
+        if check && negative > 0 {
+            let node = cur
+                .iter()
+                .position(|&x| x < 0)
+                .expect("negative > 0 implies a negative node");
+            error = Some(EngineError::NegativeLoad {
+                node,
+                load: cur[node],
+                step: base_step + iter + 1,
+            });
+            break 'rounds;
+        }
+
+        next.copy_from_slice(cur);
+        for u in 0..n {
+            let x = cur[u];
+            if x == 0 {
+                // Zero-load nodes plan nothing and their state (rotor)
+                // must not advance — exactly as the planned paths skip
+                // them.
+                continue;
+            }
+            let fl = flows.as_mut();
+            kernel(u, x, fl);
+            // Nodes are streamed in ascending id order, which is
+            // exactly the planned paths' first-touch order for
+            // per-node schemes: same error node, same step.
+            let orig = match validate_outflow(fl, d, check, u, x, base_step + iter + 1) {
+                Ok(orig) => orig,
+                Err(e) => {
+                    error = Some(e);
+                    break 'rounds;
+                }
+            };
+            // Only tokens crossing an original edge move; self-loop and
+            // retained tokens never leave home.
+            if orig != 0 {
+                next[u] -= orig as i64;
+            }
+            let nbrs = graph.neighbors(u);
+            for (p, &f) in fl[..d].iter().enumerate() {
+                if f != 0 {
+                    next[nbrs[p] as usize] += f as i64;
+                }
+            }
+        }
+
+        std::mem::swap(&mut cur, &mut next);
+        steps_done = iter + 1;
+        if !check {
+            // Overdrawing schemes can create negative loads anywhere;
+            // recount. (Non-overdrawing schemes keep every load
+            // non-negative invariantly once the pre-plan check passes,
+            // so `negative` stays 0 without a scan.)
+            negative = cur.iter().filter(|&&x| x < 0).count();
+        }
+        negative_node_steps += negative as u64;
+    }
+
+    // `loads` must end up holding the final state: after an odd number
+    // of completed rounds `cur` aliases the scratch buffer.
+    if steps_done % 2 == 1 {
+        next.copy_from_slice(cur);
+    }
+
+    (
+        KernelRunStats {
+            steps_done,
+            negative_node_steps,
+            negative_count: negative,
+        },
+        error,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::SendFloor;
+    use crate::{Engine, LoadVector};
+    use dlb_graph::generators;
+
+    fn lazy_cycle(n: usize) -> BalancingGraph {
+        BalancingGraph::lazy(generators::cycle(n).unwrap())
+    }
+
+    #[test]
+    fn kernel_path_matches_stepping_on_odd_and_even_horizons() {
+        for steps in [0usize, 1, 2, 7, 96, 97] {
+            let mut slow = Engine::new(lazy_cycle(16), LoadVector::point_mass(16, 1601));
+            let mut fast = Engine::new(lazy_cycle(16), LoadVector::point_mass(16, 1601));
+            let mut bal = SendFloor::new();
+            for _ in 0..steps {
+                slow.step(&mut bal).unwrap();
+            }
+            fast.run_kernel(&mut SendFloor::new(), steps).unwrap();
+            assert_eq!(slow.loads(), fast.loads(), "diverged at {steps} steps");
+            assert_eq!(fast.step_count(), steps);
+        }
+    }
+
+    #[test]
+    fn generic_fallback_matches_on_unmatched_degree() {
+        // d = 2, d° = 3 ⇒ d⁺ = 5: no monomorphised kernel, Vec fallback.
+        let make = || BalancingGraph::with_self_loops(generators::cycle(12).unwrap(), 3).unwrap();
+        let mut slow = Engine::new(make(), LoadVector::point_mass(12, 997));
+        let mut fast = Engine::new(make(), LoadVector::point_mass(12, 997));
+        let mut bal = SendFloor::new();
+        for _ in 0..41 {
+            slow.step(&mut bal).unwrap();
+        }
+        fast.run_kernel(&mut SendFloor::new(), 41).unwrap();
+        assert_eq!(slow.loads(), fast.loads());
+    }
+
+    #[test]
+    fn kernel_rejects_negative_seed_like_step() {
+        let mut engine = Engine::new(lazy_cycle(4), LoadVector::new(vec![5, -1, 3, 3]));
+        let err = engine.run_kernel(&mut SendFloor::new(), 5).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NegativeLoad {
+                node: 1,
+                load: -1,
+                step: 1
+            }
+        );
+        assert_eq!(engine.step_count(), 0);
+        assert_eq!(engine.loads().as_slice(), &[5, -1, 3, 3]);
+    }
+
+    #[test]
+    fn erroring_round_discards_the_back_buffer() {
+        /// Sends 1 token over port 0 per step, but overdraws once the
+        /// node's load falls below the per-node threshold.
+        struct TripsAtStep3;
+        impl Balancer for TripsAtStep3 {
+            fn name(&self) -> &'static str {
+                "trips-at-step-3"
+            }
+            fn plan(
+                &mut self,
+                _gp: &BalancingGraph,
+                _loads: &LoadVector,
+                _plan: &mut crate::FlowPlan,
+            ) {
+                unreachable!("kernel-only test scheme")
+            }
+        }
+        impl KernelBalancer for TripsAtStep3 {
+            fn kernel_node(
+                &mut self,
+                _gp: &BalancingGraph,
+                u: usize,
+                load: i64,
+                flows: &mut [u64],
+            ) {
+                flows.fill(0);
+                // Node 0 always plans 3: from 10 its load runs 10, 7, 4,
+                // 1 — and at load 1 the plan overdraws on step 4.
+                if u == 0 {
+                    let _ = load;
+                    flows[0] = 3;
+                }
+            }
+        }
+        let mut engine = Engine::new(lazy_cycle(4), LoadVector::point_mass(4, 10));
+        let err = engine.run_kernel(&mut TripsAtStep3, 10).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::Overdraw {
+                    node: 0,
+                    load: 1,
+                    planned: 3,
+                    step: 4
+                }
+            ),
+            "unexpected error {err:?}"
+        );
+        // Three rounds completed; the fourth mutated nothing.
+        assert_eq!(engine.step_count(), 3);
+        assert_eq!(engine.loads().as_slice(), &[1, 9, 0, 0]);
+        assert_eq!(engine.loads().total(), 10);
+    }
+}

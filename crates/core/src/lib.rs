@@ -64,6 +64,7 @@ mod engine;
 mod error;
 pub mod fairness;
 mod flow;
+pub mod kernel;
 mod load;
 pub mod parallel;
 pub mod potential;
@@ -73,5 +74,6 @@ pub use balancer::Balancer;
 pub use engine::{Engine, StepSummary};
 pub use error::EngineError;
 pub use flow::{CumulativeLedger, FlowPlan};
+pub use kernel::KernelBalancer;
 pub use load::LoadVector;
 pub use parallel::ShardedBalancer;

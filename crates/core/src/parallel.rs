@@ -1,26 +1,45 @@
-//! Deterministic sharded stepping: the engine's multi-core fast path.
+//! Deterministic sharded stepping: the engine's multi-core fast path,
+//! rebuilt on the plan-free delta-kernel abstraction.
 //!
 //! Every scheme in the paper is a *local* rule — the flows of node `u`
 //! at step `t` are a function of `u`'s own state — so a synchronous
-//! round parallelises by splitting the node set into contiguous shards:
-//! each worker plans, validates and routes its own shard, and only the
-//! scatter of tokens into neighbouring shards crosses a thread
-//! boundary, via per-(sender, receiver) accumulation buffers. Because
-//! token counts are integers, the final loads are **bit-identical** to
-//! the serial engine no matter the thread count or scheduling: integer
-//! addition is associative and commutative, and every shard applies the
-//! same per-node arithmetic as [`Engine::step`](crate::Engine::step).
+//! round parallelises by splitting the node set into contiguous shards.
+//! Each worker streams once over its shard per round, computing each
+//! node's port flows in registers (no per-shard flow matrix) and
+//! accumulating signed load deltas:
+//!
+//! * **interior** contributions (the sender's own deduction and tokens
+//!   whose target lies in the same shard) go into a worker-private
+//!   delta array, and
+//! * **frontier** contributions (tokens crossing into another shard)
+//!   go into a per-(sender, receiver) delta segment.
+//!
+//! Loads are untouched until a round barrier confirms every shard
+//! validated, then each worker performs a **single merge**: its own
+//! interior deltas plus the frontier segments other workers marked
+//! dirty. Because token counts are integers and integer addition is
+//! associative and commutative, the final loads are **bit-identical**
+//! to the serial engine no matter the thread count or scheduling.
+//!
+//! The segments live in uncontended [`Mutex`]es purely to hand
+//! ownership between the accumulate and merge phases — the two round
+//! barriers guarantee no lock is ever actually contended, and dirty
+//! flags let the merge skip segments that carried no tokens (on a
+//! locality-relabeled graph most cross-shard segments stay clean, so
+//! the merge cost tracks the true frontier, not `O(n·threads)`).
 //!
 //! The entry point is
 //! [`Engine::run_parallel`](crate::Engine::run_parallel); schemes opt
-//! in by implementing [`ShardedBalancer`].
+//! in by implementing [`ShardedBalancer`]. With `threads == 1` the
+//! engine bypasses this module entirely and runs the serial kernel
+//! path — one thread never pays shard overhead.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Barrier, Mutex};
 
 use dlb_graph::BalancingGraph;
 
+use crate::kernel;
 use crate::{Balancer, EngineError};
 
 /// A balancer whose plan can be computed one node at a time from that
@@ -104,12 +123,9 @@ pub(crate) fn run_sharded(
     let check = !balancer.may_overdraw();
     let bounds = shard_bounds(n, nthreads);
     let (base, rem) = (n / nthreads, n % nthreads);
-    let d = gp.degree();
-    let d_plus = gp.degree_plus();
-    let graph = gp.graph();
 
     // Disjoint mutable views of the load vector, one per shard; no
-    // worker ever reads or writes another shard's loads directly.
+    // worker ever reads or writes another shard's loads.
     let mut shard_loads: Vec<&mut [i64]> = Vec::with_capacity(nthreads);
     let mut rest = &mut *loads;
     for me in 0..nthreads {
@@ -118,24 +134,28 @@ pub(crate) fn run_sharded(
         rest = tail;
     }
 
-    // Cross-shard token contributions travel over per-receiver
-    // channels as (sender, buffer) pairs; receivers zero the buffers
-    // while applying them and send them home over the per-sender
-    // recycle channels, so the whole run allocates only
-    // t·(t−1) buffers total.
-    type Contribution = (usize, Vec<i64>);
-    let mut contrib_txs: Vec<Sender<Contribution>> = Vec::with_capacity(nthreads);
-    let mut contrib_rxs: Vec<Receiver<Contribution>> = Vec::with_capacity(nthreads);
-    let mut recycle_txs: Vec<Sender<Contribution>> = Vec::with_capacity(nthreads);
-    let mut recycle_rxs: Vec<Receiver<Contribution>> = Vec::with_capacity(nthreads);
-    for _ in 0..nthreads {
-        let (tx, rx) = channel();
-        contrib_txs.push(tx);
-        contrib_rxs.push(rx);
-        let (tx, rx) = channel();
-        recycle_txs.push(tx);
-        recycle_rxs.push(rx);
-    }
+    // Frontier delta segments: `segments[w][r]` holds worker `w`'s
+    // contributions to shard `r`'s nodes this round (empty on the
+    // diagonal — own-shard deltas are worker-private). The mutexes hand
+    // ownership between the accumulate phase (writer `w`) and the merge
+    // phase (reader `r`); the round barriers guarantee the phases never
+    // overlap, so every lock is uncontended. Segments are zero outside
+    // the accumulate→merge window (the merger re-zeroes as it applies).
+    let segments: Vec<Vec<Mutex<Vec<i64>>>> = (0..nthreads)
+        .map(|w| {
+            (0..nthreads)
+                .map(|r| {
+                    let len = if w == r { 0 } else { bounds[r + 1] - bounds[r] };
+                    Mutex::new(vec![0i64; len])
+                })
+                .collect()
+        })
+        .collect();
+    // `dirty[w * t + r]`: worker `w` wrote tokens for shard `r` this
+    // round. Lets the merge skip segments that carried nothing.
+    let dirty: Vec<AtomicBool> = (0..nthreads * nthreads)
+        .map(|_| AtomicBool::new(false))
+        .collect();
 
     let barrier = Barrier::new(nthreads);
     let failed = AtomicBool::new(false);
@@ -145,41 +165,27 @@ pub(crate) fn run_sharded(
 
     let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nthreads);
-        let worker_rxs = contrib_rxs.into_iter().zip(recycle_rxs);
-        for ((me, my_loads), (contrib_rx, recycle_rx)) in
-            shard_loads.into_iter().enumerate().zip(worker_rxs)
-        {
-            let contrib_txs = contrib_txs.clone();
-            let recycle_txs = recycle_txs.clone();
-            let bounds = &bounds;
-            let barrier = &barrier;
-            let failed = &failed;
-            let error = &error;
-            handles.push(scope.spawn(move || {
-                let ctx = ShardCtx {
-                    gp,
-                    balancer,
-                    me,
-                    lo: bounds[me],
-                    hi: bounds[me + 1],
-                    nthreads,
-                    base,
-                    rem,
-                    bounds,
-                    d,
-                    d_plus,
-                    graph,
-                    check,
-                    steps,
-                    base_step,
-                    contrib_txs,
-                    recycle_txs,
-                    barrier,
-                    failed,
-                    error,
-                };
-                shard_worker(&ctx, my_loads, &contrib_rx, &recycle_rx)
-            }));
+        for (me, my_loads) in shard_loads.into_iter().enumerate() {
+            let ctx = ShardCtx {
+                gp,
+                balancer,
+                me,
+                lo: bounds[me],
+                hi: bounds[me + 1],
+                nthreads,
+                base,
+                rem,
+                bounds: &bounds,
+                check,
+                steps,
+                base_step,
+                segments: &segments,
+                dirty: &dirty,
+                barrier: &barrier,
+                failed: &failed,
+                error: &error,
+            };
+            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads)));
         }
         handles
             .into_iter()
@@ -212,14 +218,11 @@ struct ShardCtx<'a> {
     base: usize,
     rem: usize,
     bounds: &'a [usize],
-    d: usize,
-    d_plus: usize,
-    graph: &'a dlb_graph::RegularGraph,
     check: bool,
     steps: usize,
     base_step: usize,
-    contrib_txs: Vec<Sender<(usize, Vec<i64>)>>,
-    recycle_txs: Vec<Sender<(usize, Vec<i64>)>>,
+    segments: &'a [Vec<Mutex<Vec<i64>>>],
+    dirty: &'a [AtomicBool],
     barrier: &'a Barrier,
     failed: &'a AtomicBool,
     error: &'a Mutex<Option<(usize, EngineError)>>,
@@ -239,36 +242,32 @@ impl ShardCtx<'_> {
     }
 }
 
-fn shard_worker(
-    w: &ShardCtx<'_>,
-    my_loads: &mut [i64],
-    contrib_rx: &Receiver<(usize, Vec<i64>)>,
-    recycle_rx: &Receiver<(usize, Vec<i64>)>,
-) -> ShardOutcome {
+fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
     let len = w.hi - w.lo;
-    let mut flows = vec![0u64; len * w.d_plus];
-    // Outflow over original edges per node — everything that actually
-    // leaves the node (self-loop and retained tokens stay put).
-    let mut moved = vec![0u64; len];
-    // Reusable cross-shard buffers, stacked per destination. Buffers
-    // always return zeroed (receivers clear while applying).
-    let mut pool: Vec<Vec<Vec<i64>>> = vec![Vec::new(); w.nthreads];
-    for (dest, slot) in pool.iter_mut().enumerate() {
-        if dest != w.me {
-            slot.push(vec![0i64; w.bounds[dest + 1] - w.bounds[dest]]);
-        }
-    }
+    let d = w.gp.degree();
+    let d_plus = w.gp.degree_plus();
+    let graph = w.gp.graph();
+    let mut flows = vec![0u64; d_plus];
+    // Worker-private interior deltas: the sender's own deduction plus
+    // every token whose target stays in this shard.
+    let mut interior = vec![0i64; len];
+    // Which destination shards received frontier tokens this round.
+    let mut wrote = vec![false; w.nthreads];
     let mut negative = my_loads.iter().filter(|&&x| x < 0).count();
     let mut negative_node_steps = 0u64;
 
     for iter in 0..w.steps {
-        // Phase A — plan + validate this shard. Loads are only read.
+        // Phase A — plan, validate, accumulate deltas. Loads are only
+        // read; frontier tokens go to this worker's own segments, which
+        // no one else touches until the barrier.
+        let mut out: Vec<Option<std::sync::MutexGuard<'_, Vec<i64>>>> = (0..w.nthreads)
+            .map(|dest| {
+                (dest != w.me).then(|| w.segments[w.me][dest].lock().expect("segment not poisoned"))
+            })
+            .collect();
         'plan: for v in 0..len {
             let x = my_loads[v];
-            let fl = &mut flows[v * w.d_plus..(v + 1) * w.d_plus];
             if x == 0 {
-                fl.fill(0);
-                moved[v] = 0;
                 continue;
             }
             if w.check && x < 0 {
@@ -279,33 +278,49 @@ fn shard_worker(
                 });
                 break 'plan;
             }
-            w.balancer.plan_node(w.gp, w.lo + v, x, fl);
-            let mut orig = 0u64;
-            let mut lazy = 0u64;
-            for (p, &f) in fl.iter().enumerate() {
-                if p < w.d {
-                    orig += f;
-                } else {
-                    lazy += f;
-                }
-            }
-            if w.check {
-                let sent = orig + lazy;
-                if sent > x as u64 {
-                    w.record_error(EngineError::Overdraw {
-                        node: w.lo + v,
-                        load: x,
-                        planned: sent,
-                        step: w.base_step + iter + 1,
-                    });
+            w.balancer.plan_node(w.gp, w.lo + v, x, &mut flows);
+            let orig = match kernel::validate_outflow(
+                &flows,
+                d,
+                w.check,
+                w.lo + v,
+                x,
+                w.base_step + iter + 1,
+            ) {
+                Ok(orig) => orig,
+                Err(e) => {
+                    w.record_error(e);
                     break 'plan;
                 }
+            };
+            if orig != 0 {
+                interior[v] -= orig as i64;
             }
-            moved[v] = orig;
+            for (p, &f) in flows[..d].iter().enumerate() {
+                if f == 0 {
+                    continue;
+                }
+                let t = graph.neighbor(w.lo + v, p);
+                if (w.lo..w.hi).contains(&t) {
+                    interior[t - w.lo] += f as i64;
+                } else {
+                    let dest = shard_of(t, w.base, w.rem);
+                    let seg = out[dest].as_mut().expect("off-diagonal segment exists");
+                    seg[t - w.bounds[dest]] += f as i64;
+                    wrote[dest] = true;
+                }
+            }
         }
+        for (dest, touched) in wrote.iter_mut().enumerate() {
+            if *touched {
+                w.dirty[w.me * w.nthreads + dest].store(true, Ordering::Release);
+                *touched = false;
+            }
+        }
+        drop(out);
 
-        // Round barrier: no shard mutates loads until every shard has
-        // validated, so an error leaves the loads at the previous
+        // Round barrier #1: no shard mutates loads until every shard
+        // has validated, so an error leaves the loads at the previous
         // round's values — the same guarantee the serial engine gives.
         w.barrier.wait();
         if w.failed.load(Ordering::SeqCst) {
@@ -316,59 +331,26 @@ fn shard_worker(
             };
         }
 
-        // Phase B — route. In-shard tokens apply directly; cross-shard
-        // tokens accumulate into a per-destination buffer.
-        let mut out: Vec<Option<Vec<i64>>> = (0..w.nthreads).map(|_| None).collect();
-        for (dest, slot) in out.iter_mut().enumerate() {
-            if dest != w.me {
-                let dest_len = w.bounds[dest + 1] - w.bounds[dest];
-                *slot = Some(acquire(&mut pool, recycle_rx, dest, dest_len));
-            }
-        }
-        for v in 0..len {
-            let m = moved[v];
-            if m != 0 {
-                let old = my_loads[v];
-                let new = old - m as i64;
+        // Phase B — the single merge: interior deltas, then every
+        // frontier segment other workers marked dirty for this shard.
+        // Integer addition commutes, so the apply order cannot change
+        // the result.
+        for (delta, load) in interior.iter_mut().zip(my_loads.iter_mut()) {
+            let c = *delta;
+            if c != 0 {
+                let old = *load;
+                let new = old + c;
                 negative = negative + usize::from(new < 0) - usize::from(old < 0);
-                my_loads[v] = new;
-            }
-            for (p, &f) in flows[v * w.d_plus..v * w.d_plus + w.d].iter().enumerate() {
-                if f == 0 {
-                    continue;
-                }
-                let t = w.graph.neighbor(w.lo + v, p);
-                if (w.lo..w.hi).contains(&t) {
-                    let old = my_loads[t - w.lo];
-                    let new = old + f as i64;
-                    negative = negative + usize::from(new < 0) - usize::from(old < 0);
-                    my_loads[t - w.lo] = new;
-                } else {
-                    let dest = shard_of(t, w.base, w.rem);
-                    let buf = out[dest].as_mut().expect("buffer acquired above");
-                    buf[t - w.bounds[dest]] += f as i64;
-                }
+                *load = new;
+                *delta = 0;
             }
         }
-        for (dest, slot) in out.iter_mut().enumerate() {
-            if let Some(buf) = slot.take() {
-                // A dropped receiver means that worker already exited;
-                // then `failed` is set and we exit at the next barrier.
-                let _ = w.contrib_txs[dest].send((w.me, buf));
+        for from in 0..w.nthreads {
+            if from == w.me || !w.dirty[from * w.nthreads + w.me].swap(false, Ordering::Acquire) {
+                continue;
             }
-        }
-
-        // Phase C — fold in the other shards' contributions. Integer
-        // addition commutes, so arrival order cannot change the result.
-        let mut pending = w.nthreads - 1;
-        while pending > 0 {
-            // recv cannot disconnect while workers run (`run_sharded`
-            // holds original senders for the whole scope); bail rather
-            // than panic anyway — a worker must never strand its peers.
-            let Ok((from, mut buf)) = contrib_rx.recv() else {
-                break;
-            };
-            for (slot, load) in buf.iter_mut().zip(my_loads.iter_mut()) {
+            let mut seg = w.segments[from][w.me].lock().expect("segment not poisoned");
+            for (slot, load) in seg.iter_mut().zip(my_loads.iter_mut()) {
                 let c = *slot;
                 if c != 0 {
                     let old = *load;
@@ -378,43 +360,18 @@ fn shard_worker(
                     *slot = 0;
                 }
             }
-            let _ = w.recycle_txs[from].send((w.me, buf));
-            pending -= 1;
         }
         negative_node_steps += negative as u64;
+
+        // Round barrier #2: the next round's accumulate phase must not
+        // write a segment a neighbour is still merging.
+        w.barrier.wait();
     }
 
     ShardOutcome {
         steps_done: w.steps,
         negative_node_steps,
         final_negative: negative,
-    }
-}
-
-/// Pops a buffer destined for `dest`, blocking on the recycle channel
-/// until one comes home if the pool is empty. Buffer conservation (this
-/// worker always owns `t − 1` buffers across the system) guarantees
-/// progress.
-fn acquire(
-    pool: &mut [Vec<Vec<i64>>],
-    recycle_rx: &Receiver<(usize, Vec<i64>)>,
-    dest: usize,
-    dest_len: usize,
-) -> Vec<i64> {
-    loop {
-        if let Some(buf) = pool[dest].pop() {
-            return buf;
-        }
-        match recycle_rx.recv() {
-            Ok((from, buf)) => pool[from].push(buf),
-            Err(_) => {
-                // Unreachable while workers run (`run_sharded` keeps
-                // original senders alive for the whole scope); kept as
-                // a panic-free fallback — synthesise a zeroed buffer so
-                // this worker can never strand its peers.
-                return vec![0i64; dest_len];
-            }
-        }
     }
 }
 

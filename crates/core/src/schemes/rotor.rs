@@ -1,7 +1,7 @@
 use dlb_graph::{BalancingGraph, GraphError, PortOrder};
 
 use crate::balancer::split_load;
-use crate::{Balancer, FlowPlan, LoadVector};
+use crate::{Balancer, FlowPlan, KernelBalancer, LoadVector};
 
 /// The ROTOR-ROUTER (Propp machine) as a load balancer (§1.2).
 ///
@@ -38,8 +38,14 @@ use crate::{Balancer, FlowPlan, LoadVector};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RotorRouter {
-    /// Per-node cyclic port sequence.
-    sequences: Vec<Vec<u16>>,
+    /// All per-node cyclic port sequences, flattened into one
+    /// contiguous allocation: node `u`'s sequence is
+    /// `sequences[u * stride .. (u + 1) * stride]`. Every node has the
+    /// same sequence length (`d⁺`), so a constant stride replaces a
+    /// per-node offset table.
+    sequences: Vec<u16>,
+    /// Sequence length per node (`d⁺`).
+    stride: usize,
     /// Per-node rotor position (index into the node's sequence).
     rotors: Vec<usize>,
     /// Rotor positions to restore on [`Balancer::reset`].
@@ -55,12 +61,14 @@ impl RotorRouter {
     /// [`PortOrder::sequence_for`]).
     pub fn new(gp: &BalancingGraph, order: PortOrder) -> Result<Self, GraphError> {
         let n = gp.num_nodes();
-        let mut sequences = Vec::with_capacity(n);
+        let stride = gp.degree_plus();
+        let mut sequences = Vec::with_capacity(n * stride);
         for u in 0..n {
-            sequences.push(order.sequence_for(gp, u)?);
+            sequences.extend_from_slice(&order.sequence_for(gp, u)?);
         }
         Ok(RotorRouter {
             sequences,
+            stride,
             rotors: vec![0; n],
             initial_rotors: vec![0; n],
         })
@@ -107,7 +115,28 @@ impl RotorRouter {
 
     /// The cyclic port sequence of node `u`.
     pub fn sequence(&self, u: usize) -> &[u16] {
-        &self.sequences[u]
+        &self.sequences[u * self.stride..(u + 1) * self.stride]
+    }
+
+    /// The shared per-node rule of [`Balancer::plan`] and
+    /// [`KernelBalancer::kernel_node`]: base flow everywhere, the `e`
+    /// surplus tokens to the next `e` ports in cyclic order from the
+    /// rotor, which advances by `e`. Callers skip `x == 0` (the rotor
+    /// must not move for empty nodes).
+    #[inline]
+    fn node_flows(&mut self, u: usize, x: i64, flows: &mut [u64]) {
+        let d_plus = self.stride;
+        let (base, e) = split_load(x, d_plus);
+        let seq = &self.sequences[u * d_plus..(u + 1) * d_plus];
+        for f in flows.iter_mut() {
+            *f = base;
+        }
+        let rotor = self.rotors[u];
+        for i in 0..e {
+            let port = seq[(rotor + i) % d_plus] as usize;
+            flows[port] += 1;
+        }
+        self.rotors[u] = (rotor + e) % d_plus;
     }
 }
 
@@ -117,7 +146,6 @@ impl Balancer for RotorRouter {
     }
 
     fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
-        let d_plus = gp.degree_plus();
         for u in 0..gp.num_nodes() {
             let x = loads.get(u);
             if x == 0 {
@@ -125,23 +153,21 @@ impl Balancer for RotorRouter {
                 // Leaving the node untouched keeps the plan sparse.
                 continue;
             }
-            let (base, e) = split_load(x, d_plus);
-            let seq = &self.sequences[u];
-            let flows = plan.node_mut(u);
-            for f in flows.iter_mut() {
-                *f = base;
-            }
-            let rotor = self.rotors[u];
-            for i in 0..e {
-                let port = seq[(rotor + i) % d_plus] as usize;
-                flows[port] += 1;
-            }
-            self.rotors[u] = (rotor + e) % d_plus;
+            self.node_flows(u, x, plan.node_mut(u));
         }
     }
 
     fn reset(&mut self) {
         self.rotors.clone_from(&self.initial_rotors);
+    }
+}
+
+/// Stateful but local: the rotor advance is per-node, so the same rule
+/// drives the plan-free kernel path bit-identically.
+impl KernelBalancer for RotorRouter {
+    #[inline]
+    fn kernel_node(&mut self, _gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]) {
+        self.node_flows(u, load, flows);
     }
 }
 

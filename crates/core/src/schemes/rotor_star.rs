@@ -22,8 +22,13 @@ use crate::{Balancer, FlowPlan, LoadVector};
 /// `O(T + d·log²n/µ)` steps, which the `thm33` experiments measure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RotorRouterStar {
-    /// Per-node cyclic sequence over the `2d − 1` non-special ports.
-    sequences: Vec<Vec<u16>>,
+    /// All per-node cyclic sequences over the `2d − 1` non-special
+    /// ports, flattened into one contiguous allocation: node `u`'s
+    /// sequence is `sequences[u * stride .. (u + 1) * stride]` with the
+    /// constant stride `2d − 1`.
+    sequences: Vec<u16>,
+    /// Sequence length per node (`d⁺ − 1`).
+    stride: usize,
     rotors: Vec<usize>,
     initial_rotors: Vec<usize>,
     special_port: usize,
@@ -51,17 +56,15 @@ impl RotorRouterStar {
         }
         let special_port = gp.degree_plus() - 1;
         let n = gp.num_nodes();
-        let mut sequences = Vec::with_capacity(n);
+        let stride = gp.degree_plus() - 1;
+        let mut sequences = Vec::with_capacity(n * stride);
         for u in 0..n {
             let full = order.sequence_for(gp, u)?;
-            let inner: Vec<u16> = full
-                .into_iter()
-                .filter(|&p| p as usize != special_port)
-                .collect();
-            sequences.push(inner);
+            sequences.extend(full.into_iter().filter(|&p| p as usize != special_port));
         }
         Ok(RotorRouterStar {
             sequences,
+            stride,
             rotors: vec![0; n],
             initial_rotors: vec![0; n],
             special_port,
@@ -96,11 +99,11 @@ impl Balancer for RotorRouterStar {
             // Remaining y = x − special = inner_len·base + (e−1 if e>0):
             // plain rotor round-robin over the other ports.
             let inner_extras = e.saturating_sub(1);
-            for &p in &self.sequences[u] {
+            let seq = &self.sequences[u * self.stride..(u + 1) * self.stride];
+            for &p in seq {
                 flows[p as usize] = base;
             }
             let rotor = self.rotors[u];
-            let seq = &self.sequences[u];
             for i in 0..inner_extras {
                 let port = seq[(rotor + i) % inner_len] as usize;
                 flows[port] += 1;

@@ -1,7 +1,7 @@
 use dlb_graph::BalancingGraph;
 
 use crate::balancer::split_load;
-use crate::{Balancer, FlowPlan, LoadVector, ShardedBalancer};
+use crate::{Balancer, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer};
 
 /// SEND(⌊x/d⁺⌋): every original edge receives exactly `⌊x/d⁺⌋` tokens;
 /// the rest goes to the self-loops (§1.1).
@@ -84,6 +84,14 @@ impl ShardedBalancer for SendFloor {
             }
         }
         // d° = 0: surplus is retained implicitly by the engine.
+    }
+}
+
+/// Stateless: the kernel is exactly the sharded per-node plan.
+impl KernelBalancer for SendFloor {
+    #[inline]
+    fn kernel_node(&mut self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]) {
+        ShardedBalancer::plan_node(self, gp, u, load, flows);
     }
 }
 
@@ -172,6 +180,16 @@ impl ShardedBalancer for SendRound {
         for (i, f) in flows[d..].iter_mut().enumerate() {
             *f = base + u64::from(i < loop_extras);
         }
+    }
+}
+
+/// Stateless: the kernel is exactly the sharded per-node plan
+/// (including the saturating arithmetic — on a `d° < d` graph the
+/// kernel path reports the engine's clean `Overdraw`, never a panic).
+impl KernelBalancer for SendRound {
+    #[inline]
+    fn kernel_node(&mut self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]) {
+        ShardedBalancer::plan_node(self, gp, u, load, flows);
     }
 }
 

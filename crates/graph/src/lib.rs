@@ -16,7 +16,10 @@
 //!   clique-circulant of Theorem 4.2, …);
 //! * [`traversal`] and [`properties`] — BFS distances, diameter, odd
 //!   girth and bipartiteness, needed by the lower-bound constructions of
-//!   Section 4.
+//!   Section 4;
+//! * [`relabel`] — locality-aware node relabelings (BFS and reverse
+//!   Cuthill–McKee) with exact inverse mapping, so cache-conscious runs
+//!   report results in original ids.
 //!
 //! # Example
 //!
@@ -41,9 +44,11 @@ mod error;
 pub mod generators;
 pub mod properties;
 mod regular;
+pub mod relabel;
 pub mod traversal;
 
 pub use balancing::{BalancingGraph, PortKind, PortOrder};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use regular::{NodeId, RegularGraph};
+pub use relabel::Relabeling;

@@ -54,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
                      a1  ablation: self-loop count\n\
                      a2  ablation: cumulative-δ sensitivity\n\
                      a3  ablation: rotor-router port-order sensitivity\n\
-                     t1  throughput: step rates per engine path (writes BENCH_PR2.json)"
+                     t1  throughput: step rates per engine path (writes BENCH_PR3.json)"
                 );
                 std::process::exit(0);
             }

@@ -2,18 +2,26 @@
 //!
 //! Sweeps scheme × graph × n over the instrumented stepping loop
 //! (`Engine::step`, per-step statistics), the fused serial fast path
-//! (`Engine::run_fast`) and the sharded parallel path
+//! (`Engine::run_fast`), the plan-free delta-kernel path
+//! (`Engine::run_kernel`) and the sharded parallel path
 //! (`Engine::run_parallel`), cross-checking that every path produces
-//! bit-identical final loads. Besides the text/CSV table, the sweep is
-//! written as machine-readable JSON to `BENCH_PR2.json` (override the
-//! path with the `DLB_BENCH_JSON` environment variable) so CI and perf
-//! dashboards can diff runs without parsing the table.
+//! bit-identical final loads. Graphs with poor generator labelings
+//! (random regular) are additionally measured after a reverse
+//! Cuthill–McKee relabeling: the run happens in the relabeled id space
+//! and the final loads are mapped back through the inverse permutation
+//! before the bit-identity check, so `relabeled` rows prove the
+//! locality win *and* exactness at once. Besides the text/CSV table,
+//! the sweep is written as machine-readable JSON to `BENCH_PR3.json`
+//! (schema `dlb-throughput/v2`; override the path with the
+//! `DLB_BENCH_JSON` environment variable) so CI and perf dashboards can
+//! diff runs without parsing the table.
 
 use std::time::Instant;
 
-use dlb_core::schemes::{SendFloor, SendRound};
+use dlb_core::schemes::{RotorRouter, SendFloor, SendRound};
 use dlb_core::{Engine, LoadVector, ShardedBalancer};
-use dlb_graph::BalancingGraph;
+use dlb_graph::relabel::Relabeling;
+use dlb_graph::{BalancingGraph, PortOrder};
 
 use crate::init;
 use crate::report::Table;
@@ -30,6 +38,7 @@ struct Measurement {
     n: usize,
     path: String,
     threads: usize,
+    relabeled: bool,
     steps: usize,
     tokens: i64,
     elapsed_sec: f64,
@@ -84,6 +93,43 @@ fn run_fast(
     Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
 }
 
+/// The plan-free kernel path. `run_kernel` is generic over the concrete
+/// scheme (that is where the speed comes from), so the dispatch happens
+/// here rather than through a trait object. Returns `None` for schemes
+/// without a kernel.
+fn run_kernel(
+    gp: &BalancingGraph,
+    scheme: &SchemeSpec,
+    initial: &LoadVector,
+    steps: usize,
+) -> Result<Option<(f64, LoadVector)>, RunError> {
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    // Scheme construction stays outside the timed window, like the
+    // other paths' `scheme.build(gp)` (the rotor allocates O(n·d⁺)).
+    let elapsed = match scheme {
+        SchemeSpec::SendFloor => {
+            let mut bal = SendFloor::new();
+            let started = Instant::now();
+            engine.run_kernel(&mut bal, steps)?;
+            started.elapsed()
+        }
+        SchemeSpec::SendRound => {
+            let mut bal = SendRound::new();
+            let started = Instant::now();
+            engine.run_kernel(&mut bal, steps)?;
+            started.elapsed()
+        }
+        SchemeSpec::RotorRouter => {
+            let mut rotor = RotorRouter::new(gp, PortOrder::Sequential)?;
+            let started = Instant::now();
+            engine.run_kernel(&mut rotor, steps)?;
+            started.elapsed()
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some((elapsed.as_secs_f64(), engine.loads().clone())))
+}
+
 fn run_parallel(
     gp: &BalancingGraph,
     balancer: &dyn ShardedBalancer,
@@ -97,14 +143,14 @@ fn run_parallel(
     Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
 }
 
-/// Runs the throughput sweep and writes `BENCH_PR2.json` (path
+/// Runs the throughput sweep and writes `BENCH_PR3.json` (path
 /// overridable with the `DLB_BENCH_JSON` environment variable).
 ///
 /// # Errors
 ///
 /// Propagates instance-construction and engine errors.
 pub fn throughput(quick: bool) -> Result<Table, RunError> {
-    let json_path = std::env::var("DLB_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR2.json".into());
+    let json_path = std::env::var("DLB_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR3.json".into());
     throughput_to(quick, std::path::Path::new(&json_path))
 }
 
@@ -151,6 +197,14 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
     for spec in &graphs {
         let graph = spec.build()?;
         let n = graph.num_nodes();
+        // Random-regular generators hand out adversarially scattered
+        // ids; measure those graphs again under an RCM relabeling.
+        let relabeling = matches!(spec, GraphSpec::RandomRegular { .. })
+            .then(|| Relabeling::reverse_cuthill_mckee(&graph));
+        let relabeled_gp = relabeling
+            .as_ref()
+            .map(|r| graph.relabeled(r).map(BalancingGraph::lazy))
+            .transpose()?;
         let gp = BalancingGraph::lazy(graph);
         let initial = init::bimodal(n, TOKENS_PER_NODE);
         let tokens = initial.total();
@@ -161,46 +215,82 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
 
         for scheme in &schemes {
             let (instr_sec, instr_loads) = run_instrumented(&gp, scheme, &initial, steps)?;
-            results.push(Measurement {
-                scheme: scheme.label(),
-                graph: spec.label(),
-                n,
-                path: "step-loop".into(),
-                threads: 1,
-                steps,
-                tokens,
-                elapsed_sec: instr_sec,
-                bit_identical: true,
-            });
+            let mut push = |path: String, threads: usize, relabeled: bool, sec: f64, ok: bool| {
+                results.push(Measurement {
+                    scheme: scheme.label(),
+                    graph: spec.label(),
+                    n,
+                    path,
+                    threads,
+                    relabeled,
+                    steps,
+                    tokens,
+                    elapsed_sec: sec,
+                    bit_identical: ok,
+                });
+            };
+            push("step-loop".into(), 1, false, instr_sec, true);
 
             let (fast_sec, fast_loads) = run_fast(&gp, scheme, &initial, steps)?;
-            results.push(Measurement {
-                scheme: scheme.label(),
-                graph: spec.label(),
-                n,
-                path: "run_fast".into(),
-                threads: 1,
-                steps,
-                tokens,
-                elapsed_sec: fast_sec,
-                bit_identical: fast_loads == instr_loads,
-            });
+            push(
+                "run_fast".into(),
+                1,
+                false,
+                fast_sec,
+                fast_loads == instr_loads,
+            );
+
+            if let Some((kern_sec, kern_loads)) = run_kernel(&gp, scheme, &initial, steps)? {
+                push(
+                    "run_kernel".into(),
+                    1,
+                    false,
+                    kern_sec,
+                    kern_loads == instr_loads,
+                );
+            }
+
+            if let (Some(r), Some(rgp)) = (&relabeling, &relabeled_gp) {
+                // The relabeled run happens entirely in the new id
+                // space; mapping the final loads back through the
+                // inverse must reproduce the original run exactly.
+                let rinitial = LoadVector::new(r.permute(initial.as_slice()));
+                let restored = |loads: &LoadVector| {
+                    LoadVector::new(r.unpermute(loads.as_slice())) == instr_loads
+                };
+                let (rl_instr_sec, rl_instr_loads) =
+                    run_instrumented(rgp, scheme, &rinitial, steps)?;
+                push(
+                    "step-loop".into(),
+                    1,
+                    true,
+                    rl_instr_sec,
+                    restored(&rl_instr_loads),
+                );
+                if let Some((rl_kern_sec, rl_kern_loads)) =
+                    run_kernel(rgp, scheme, &rinitial, steps)?
+                {
+                    push(
+                        "run_kernel".into(),
+                        1,
+                        true,
+                        rl_kern_sec,
+                        restored(&rl_kern_loads),
+                    );
+                }
+            }
 
             if let Some(sharded) = sharded_instance(scheme) {
                 for &threads in thread_counts {
                     let (par_sec, par_loads) =
                         run_parallel(&gp, sharded.as_ref(), &initial, steps, threads)?;
-                    results.push(Measurement {
-                        scheme: scheme.label(),
-                        graph: spec.label(),
-                        n,
-                        path: format!("parallel({threads})"),
+                    push(
+                        format!("parallel({threads})"),
                         threads,
-                        steps,
-                        tokens,
-                        elapsed_sec: par_sec,
-                        bit_identical: par_loads == instr_loads,
-                    });
+                        false,
+                        par_sec,
+                        par_loads == instr_loads,
+                    );
                 }
             }
         }
@@ -215,6 +305,7 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
             "graph",
             "n",
             "path",
+            "relabeled",
             "steps",
             "Mnode-steps/s",
             "Mtoken-steps/s",
@@ -222,11 +313,13 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
             "identical",
         ],
     );
-    // Speedups are relative to the instrumented measurement of the same
-    // (scheme, graph) — the first of each group by construction.
+    // Speedups are relative to the *unrelabeled* instrumented
+    // measurement of the same (scheme, graph) — the first of each group
+    // by construction — so relabeled rows show the locality win
+    // directly.
     let mut instr_sec = 0.0f64;
     for m in &results {
-        if m.path == "step-loop" {
+        if m.path == "step-loop" && !m.relabeled {
             instr_sec = m.elapsed_sec;
         }
         table.push_row(vec![
@@ -234,6 +327,7 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
             m.graph.clone(),
             m.n.to_string(),
             m.path.clone(),
+            if m.relabeled { "rcm" } else { "no" }.into(),
             m.steps.to_string(),
             format!("{:.2}", m.node_steps_per_sec() / 1e6),
             format!("{:.2}", m.token_steps_per_sec() / 1e6),
@@ -253,7 +347,7 @@ fn json_escape(s: &str) -> String {
 /// numbers).
 fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"dlb-throughput/v1\",\n");
+    out.push_str("  \"schema\": \"dlb-throughput/v2\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -263,7 +357,8 @@ fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"scheme\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"path\": \"{}\", \
-             \"threads\": {}, \"steps\": {}, \"tokens\": {}, \"elapsed_sec\": {:.6}, \
+             \"threads\": {}, \"relabeled\": {}, \"steps\": {}, \"tokens\": {}, \
+             \"elapsed_sec\": {:.6}, \
              \"node_steps_per_sec\": {:.1}, \"token_steps_per_sec\": {:.1}, \
              \"bit_identical\": {}}}{}\n",
             json_escape(&m.scheme),
@@ -271,6 +366,7 @@ fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
             m.n,
             json_escape(&m.path),
             m.threads,
+            m.relabeled,
             m.steps,
             m.tokens,
             m.elapsed_sec,
@@ -294,12 +390,15 @@ mod tests {
     fn quick_sweep_produces_consistent_rows_and_json() {
         let dir = std::env::temp_dir().join("dlb-throughput-test");
         let _ = std::fs::create_dir_all(&dir);
-        let json_path = dir.join("BENCH_PR2.json");
+        let json_path = dir.join("BENCH_PR3.json");
         let table = throughput_to(true, &json_path).expect("quick sweep runs");
 
-        // 3 graphs × (3 instrumented + 3 fast + 2 parallel) rows.
-        assert_eq!(table.num_rows(), 3 * 8);
-        // Every path must have reproduced the instrumented loads.
+        // Cycle/torus: 3 × (step-loop + run_fast + run_kernel) + 2
+        // parallel rows each; random-regular additionally has 2
+        // relabeled rows per scheme.
+        assert_eq!(table.num_rows(), 2 * 11 + (11 + 3 * 2));
+        // Every path must have reproduced the instrumented loads —
+        // including the relabeled runs mapped back to original ids.
         assert!(
             !table.render().contains("NO"),
             "a path diverged from the instrumented engine:\n{}",
@@ -307,7 +406,9 @@ mod tests {
         );
 
         let json = std::fs::read_to_string(&json_path).expect("json written");
-        assert!(json.contains("\"schema\": \"dlb-throughput/v1\""));
+        assert!(json.contains("\"schema\": \"dlb-throughput/v2\""));
+        assert!(json.contains("\"path\": \"run_kernel\""));
+        assert!(json.contains("\"relabeled\": true"));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(!json.contains("\"bit_identical\": false"));
         let _ = std::fs::remove_dir_all(&dir);

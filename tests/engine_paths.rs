@@ -1,20 +1,30 @@
 //! Cross-path property tests: the engine's fused fast paths must be
 //! indistinguishable from the instrumented stepping loop.
 //!
-//! Three guarantees, checked by proptest across every structured
+//! Five guarantees, checked by proptest across every structured
 //! generator family (cycle, torus, hypercube, clique-circulant,
 //! random-regular):
 //!
 //! 1. every non-overdrawing scheme conserves tokens and never produces
 //!    a negative load, on every execution path;
-//! 2. `run_fast` produces bit-identical load vectors to the `step()`
-//!    loop for every scheme;
+//! 2. `run_fast` and the plan-free `run_kernel` produce bit-identical
+//!    load vectors to the `step()` loop for every scheme with a kernel;
 //! 3. `run_parallel` produces bit-identical load vectors for every
-//!    thread count, for the sharded (stateless) schemes.
+//!    thread count (1/2/3/4 explicitly), for the sharded (stateless)
+//!    schemes;
+//! 4. running on an RCM-relabeled graph with permuted loads and mapping
+//!    the result back through the inverse reproduces the original run
+//!    exactly (port numbering is preserved, so even the rotor-router
+//!    commutes with relabeling);
+//! 5. `run_kernel` reports the same `Overdraw`/`NegativeLoad` error —
+//!    same node, load and step — as the `step()` loop.
 
-use dlb::core::schemes::{SendFloor, SendRound};
-use dlb::core::{Engine, EngineError, LoadVector, ShardedBalancer};
-use dlb::graph::{generators, BalancingGraph, RegularGraph};
+use dlb::core::schemes::{RotorRouter, SendFloor, SendRound};
+use dlb::core::{
+    Balancer, Engine, EngineError, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer,
+};
+use dlb::graph::relabel::Relabeling;
+use dlb::graph::{generators, BalancingGraph, PortOrder, RegularGraph};
 use dlb::harness::SchemeSpec;
 use proptest::prelude::*;
 
@@ -57,10 +67,32 @@ fn non_overdrawing_schemes() -> Vec<SchemeSpec> {
     ]
 }
 
+/// Drives `steps` rounds of the kernel scheme named by `which` through
+/// `run_kernel` (the path is generic over the concrete scheme, so tests
+/// dispatch explicitly).
+fn run_kernel_by_name(
+    gp: &BalancingGraph,
+    which: &SchemeSpec,
+    initial: &LoadVector,
+    steps: usize,
+) -> Result<Engine, EngineError> {
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    match which {
+        SchemeSpec::SendFloor => engine.run_kernel(&mut SendFloor::new(), steps)?,
+        SchemeSpec::SendRound => engine.run_kernel(&mut SendRound::new(), steps)?,
+        SchemeSpec::RotorRouter => {
+            let mut rotor = RotorRouter::new(gp, PortOrder::Sequential).expect("rotor builds");
+            engine.run_kernel(&mut rotor, steps)?;
+        }
+        other => panic!("no kernel dispatch for {}", other.label()),
+    }
+    Ok(engine)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Guarantee 1: conservation + non-negativity on both serial paths.
+    /// Guarantee 1: conservation + non-negativity on the serial paths.
     #[test]
     fn non_overdrawing_schemes_conserve_and_stay_non_negative(
         pattern in proptest::collection::vec(0i64..300, 4..12),
@@ -89,13 +121,13 @@ proptest! {
         }
     }
 
-    /// Guarantees 2 and 3: the fast and parallel paths are bit-identical
-    /// to the instrumented stepping loop.
+    /// Guarantees 2 and 3: the fast, kernel and parallel paths are
+    /// bit-identical to the instrumented stepping loop — parallel at
+    /// 1, 2, 3 and 4 threads explicitly.
     #[test]
-    fn fast_and_parallel_paths_match_instrumented_stepping(
+    fn fast_kernel_and_parallel_paths_match_instrumented_stepping(
         pattern in proptest::collection::vec(0i64..400, 4..12),
         steps in 1usize..25,
-        threads in 2usize..6,
     ) {
         for (name, graph) in graph_family() {
             let n = graph.num_nodes();
@@ -117,11 +149,22 @@ proptest! {
                     "run_fast diverged: {} on {}", scheme.label(), name
                 );
 
+                let kernel = run_kernel_by_name(&gp, &scheme, &initial, steps).unwrap();
+                prop_assert_eq!(
+                    kernel.loads(), reference.loads(),
+                    "run_kernel diverged: {} on {}", scheme.label(), name
+                );
+                prop_assert_eq!(kernel.step_count(), reference.step_count());
+                prop_assert_eq!(
+                    kernel.negative_node_steps(),
+                    reference.negative_node_steps()
+                );
+
                 let sharded: Box<dyn ShardedBalancer> = match scheme {
                     SchemeSpec::SendFloor => Box::new(SendFloor::new()),
                     _ => Box::new(SendRound::new()),
                 };
-                for t in [1, threads] {
+                for t in [1, 2, 3, 4] {
                     let mut par = Engine::new(gp.clone(), initial.clone());
                     par.run_parallel(sharded.as_ref(), steps, t).unwrap();
                     prop_assert_eq!(
@@ -138,10 +181,11 @@ proptest! {
         }
     }
 
-    /// The rotor-router (stateful, not sharded) must still agree between
-    /// its two serial paths.
+    /// The rotor-router (stateful, not sharded) must still agree
+    /// between its serial paths — including the plan-free kernel, whose
+    /// rotor advances in stream order rather than plan order.
     #[test]
-    fn rotor_router_fast_path_matches_stepping(
+    fn rotor_router_fast_and_kernel_paths_match_stepping(
         pattern in proptest::collection::vec(0i64..300, 4..12),
         steps in 1usize..30,
     ) {
@@ -161,6 +205,46 @@ proptest! {
                 fast.loads(), reference.loads(),
                 "rotor run_fast diverged on {}", name
             );
+            let kernel =
+                run_kernel_by_name(&gp, &SchemeSpec::RotorRouter, &initial, steps).unwrap();
+            prop_assert_eq!(
+                kernel.loads(), reference.loads(),
+                "rotor run_kernel diverged on {}", name
+            );
+        }
+    }
+
+    /// Guarantee 4: relabeling commutes with balancing. Running on the
+    /// RCM-relabeled graph with permuted loads and mapping the final
+    /// loads back through the inverse is bit-identical to the original
+    /// run — for the stateless SEND family *and* the port-order
+    /// sensitive rotor-router (relabeling preserves port numbering).
+    #[test]
+    fn relabeled_runs_map_back_bit_identically(
+        pattern in proptest::collection::vec(0i64..300, 4..12),
+        steps in 1usize..25,
+    ) {
+        for (name, graph) in graph_family() {
+            let n = graph.num_nodes();
+            let relab = Relabeling::reverse_cuthill_mckee(&graph);
+            let rgp = BalancingGraph::lazy(graph.relabeled(&relab).unwrap());
+            let gp = BalancingGraph::lazy(graph);
+            let initial = loads_for(n, &pattern);
+            let rinitial = LoadVector::new(relab.permute(initial.as_slice()));
+            for scheme in [
+                SchemeSpec::SendFloor,
+                SchemeSpec::SendRound,
+                SchemeSpec::RotorRouter,
+            ] {
+                let reference = run_kernel_by_name(&gp, &scheme, &initial, steps).unwrap();
+                let relabeled = run_kernel_by_name(&rgp, &scheme, &rinitial, steps).unwrap();
+                let restored =
+                    LoadVector::new(relab.unpermute(relabeled.loads().as_slice()));
+                prop_assert_eq!(
+                    &restored, reference.loads(),
+                    "relabeled {} diverged on {}", scheme.label(), name
+                );
+            }
         }
     }
 }
@@ -189,8 +273,137 @@ fn negative_seed_errors_cleanly_on_every_path() {
     };
     expect(build().run(&mut SendFloor::new(), 4));
     expect(build().run_fast(&mut SendFloor::new(), 4));
+    expect(build().run_kernel(&mut SendFloor::new(), 4));
     for threads in [1, 2, 3] {
         expect(build().run_parallel(&SendFloor::new(), 4, threads));
     }
     expect(build().step(&mut SendFloor::new()).map(|_| ()));
+}
+
+/// A deliberately overdrawing scheme that claims to be well-behaved,
+/// implemented identically on the planned and kernel paths: every
+/// non-empty node sends exactly 3 tokens over port 0, whatever it
+/// holds.
+struct Drain3;
+
+impl Balancer for Drain3 {
+    fn name(&self) -> &'static str {
+        "drain-3"
+    }
+    fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+        for u in 0..gp.num_nodes() {
+            if loads.get(u) != 0 {
+                plan.set(u, 0, 3);
+            }
+        }
+    }
+}
+
+impl KernelBalancer for Drain3 {
+    fn kernel_node(&mut self, _gp: &BalancingGraph, _u: usize, _load: i64, flows: &mut [u64]) {
+        flows.fill(0);
+        flows[0] = 3;
+    }
+}
+
+/// Guarantee 5 (overdraw half): `run_kernel` must report the exact
+/// `Overdraw` the `step()` loop reports — same node, load, planned
+/// amount and 1-based step — and leave the loads of the last completed
+/// round, after which both engines agree.
+#[test]
+fn run_kernel_overdraw_parity_with_step_loop() {
+    let build = || {
+        let gp = BalancingGraph::lazy(generators::cycle(4).unwrap());
+        // Node 0 drains 3/step: 4 → 1, then plans 3 from 1 and trips on
+        // step 2 (validated before any routing, so round 2 is a no-op).
+        Engine::new(gp, LoadVector::new(vec![4, 0, 0, 0]))
+    };
+
+    let mut reference = build();
+    let step_err = loop {
+        match reference.step(&mut Drain3) {
+            Ok(_) => {}
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(
+        step_err,
+        EngineError::Overdraw {
+            node: 0,
+            load: 1,
+            planned: 3,
+            step: 2
+        }
+    );
+
+    let mut kernel = build();
+    let kernel_err = kernel.run_kernel(&mut Drain3, 10).unwrap_err();
+    assert_eq!(kernel_err, step_err, "kernel error diverged from step()");
+    assert_eq!(kernel.loads(), reference.loads());
+    assert_eq!(kernel.step_count(), reference.step_count());
+}
+
+/// An honestly overdrawing scheme (it declares `may_overdraw`),
+/// identical on the planned and kernel paths: every non-empty node
+/// sends 5 over port 0, driving itself negative when it holds less.
+struct Overdraw5;
+
+impl Balancer for Overdraw5 {
+    fn name(&self) -> &'static str {
+        "overdraw-5"
+    }
+    fn may_overdraw(&self) -> bool {
+        true
+    }
+    fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+        for u in 0..gp.num_nodes() {
+            if loads.get(u) != 0 {
+                plan.set(u, 0, 5);
+            }
+        }
+    }
+}
+
+impl KernelBalancer for Overdraw5 {
+    fn kernel_node(&mut self, _gp: &BalancingGraph, _u: usize, _load: i64, flows: &mut [u64]) {
+        flows.fill(0);
+        flows[0] = 5;
+    }
+}
+
+/// Guarantee 5 (negative half): a negative load appearing mid-run (not
+/// just at the seed) must surface with the same node and step on the
+/// kernel path as on the step loop — including the negative-node-step
+/// accounting the overdraw rounds accumulate along the way.
+#[test]
+fn run_kernel_negative_load_parity_with_step_loop() {
+    let build = || {
+        let gp = BalancingGraph::lazy(generators::cycle(6).unwrap());
+        Engine::new(gp, LoadVector::new(vec![3, 0, 0, 0, 0, 0]))
+    };
+
+    // One overdrawing round drives node 0 to −2; the next round under a
+    // non-overdrawing scheme must reject the negative state pre-plan.
+    let mut reference = build();
+    reference.step(&mut Overdraw5).unwrap();
+    let ref_err = reference.step(&mut SendFloor::new()).unwrap_err();
+    assert_eq!(
+        ref_err,
+        EngineError::NegativeLoad {
+            node: 0,
+            load: -2,
+            step: 2
+        }
+    );
+
+    let mut kernel = build();
+    kernel.run_kernel(&mut Overdraw5, 1).unwrap();
+    assert_eq!(kernel.loads(), reference.loads());
+    assert_eq!(
+        kernel.negative_node_steps(),
+        reference.negative_node_steps(),
+        "overdraw accounting diverged"
+    );
+    let kern_err = kernel.run_kernel(&mut SendFloor::new(), 5).unwrap_err();
+    assert_eq!(kern_err, ref_err, "kernel error diverged from step()");
 }
