@@ -1,9 +1,57 @@
+use std::collections::BTreeMap;
+
 use dlb_graph::BalancingGraph;
 
 use crate::fairness::FairnessMonitor;
 use crate::kernel::{self, KernelBalancer};
 use crate::parallel::{self, ShardedBalancer};
+use crate::workload::{NoWorkload, Workload};
 use crate::{Balancer, CumulativeLedger, EngineError, FlowPlan, LoadVector};
+
+/// An exact multiset of the current loads, kept as value → count in a
+/// [`BTreeMap`] so the discrepancy (`max key − min key`) reads in
+/// `O(log n)` while every load write updates in `O(log n)` — the
+/// incremental bookkeeping behind [`Engine::run_until`], which would
+/// otherwise pay a full `O(n)` scan per round just to evaluate its
+/// predicate.
+#[derive(Debug, Clone, Default)]
+struct DiscrepancyTracker {
+    counts: BTreeMap<i64, usize>,
+}
+
+impl DiscrepancyTracker {
+    /// Builds the multiset from scratch — the one full scan a tracked
+    /// run pays.
+    fn build(loads: &[i64]) -> Self {
+        let mut counts = BTreeMap::new();
+        for &x in loads {
+            *counts.entry(x).or_insert(0) += 1;
+        }
+        DiscrepancyTracker { counts }
+    }
+
+    /// Moves one node's load from `old` to `new`.
+    #[inline]
+    fn update(&mut self, old: i64, new: i64) {
+        if old == new {
+            return;
+        }
+        *self.counts.entry(new).or_insert(0) += 1;
+        match self.counts.get_mut(&old) {
+            Some(c) if *c > 1 => *c -= 1,
+            _ => {
+                self.counts.remove(&old);
+            }
+        }
+    }
+
+    /// `max − min` of the tracked loads (engines are never empty).
+    fn discrepancy(&self) -> i64 {
+        let min = *self.counts.keys().next().expect("loads are non-empty");
+        let max = *self.counts.keys().next_back().expect("loads are non-empty");
+        max - min
+    }
+}
 
 /// Outcome of a single engine step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +121,17 @@ pub struct Engine {
     negative_node_steps: u64,
     /// Nodes currently holding negative load, maintained incrementally.
     negative_count: usize,
+    /// This round's workload deltas on the planned paths (scratch
+    /// reused across steps; also what an erroring round undoes).
+    inj_scratch: Vec<i64>,
+    /// Net workload injection over all completed rounds.
+    injected_total: i64,
+    /// Full `O(n)` discrepancy scans performed so far (perf
+    /// accounting; see [`Engine::discrepancy_scans`]).
+    discrepancy_scans: u64,
+    /// Load multiset, maintained at every load write while
+    /// [`run_until`](Engine::run_until) is active, `None` otherwise.
+    tracker: Option<DiscrepancyTracker>,
 }
 
 impl Engine {
@@ -100,6 +159,10 @@ impl Engine {
             step: 0,
             negative_node_steps: 0,
             negative_count,
+            inj_scratch: Vec::new(),
+            injected_total: 0,
+            discrepancy_scans: 0,
+            tracker: None,
         }
     }
 
@@ -137,6 +200,81 @@ impl Engine {
     /// Total node-steps that ended with negative load.
     pub fn negative_node_steps(&self) -> u64 {
         self.negative_node_steps
+    }
+
+    /// Net signed load injected by workloads over all completed rounds,
+    /// `Σ_t Σ_u w_t(u)` (an erroring round's injection is undone and
+    /// not counted). Token conservation in the open system reads
+    /// `loads().total() == initial_total + injected_total()`.
+    pub fn injected_total(&self) -> i64 {
+        self.injected_total
+    }
+
+    /// Full `O(n)` discrepancy scans performed so far: one per
+    /// [`step`](Engine::step) call plus one per
+    /// [`run_until`](Engine::run_until) call (the tracker build). The
+    /// regression tests pin this so `run_until` cannot silently regress
+    /// to rescanning the load vector every round.
+    pub fn discrepancy_scans(&self) -> u64 {
+        self.discrepancy_scans
+    }
+
+    /// The current discrepancy via a counted full scan.
+    fn scan_discrepancy(&mut self) -> i64 {
+        self.discrepancy_scans += 1;
+        self.loads.discrepancy()
+    }
+
+    /// Applies one round of `workload` to the loads in place (the
+    /// paper-round structure puts injection *before* the negative check
+    /// and planning), maintaining the negative count and, when active,
+    /// the discrepancy tracker. Returns the round's net delta; the
+    /// applied deltas stay in `inj_scratch` for a potential
+    /// [`undo_injection`](Engine::undo_injection).
+    fn apply_injection<'w>(&mut self, workload: &mut (dyn Workload + 'w)) -> i64 {
+        let n = self.gp.num_nodes();
+        self.inj_scratch.resize(n, 0);
+        self.inj_scratch.fill(0);
+        workload.inject(self.step + 1, self.loads.as_slice(), &mut self.inj_scratch);
+        let loads = self.loads.as_mut_slice();
+        let mut tracker = self.tracker.as_mut();
+        let mut negative = self.negative_count;
+        let mut sum = 0i64;
+        for (x, &dv) in loads.iter_mut().zip(&self.inj_scratch) {
+            if dv != 0 {
+                let old = *x;
+                let new = old + dv;
+                negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                if let Some(t) = tracker.as_deref_mut() {
+                    t.update(old, new);
+                }
+                *x = new;
+                sum += dv;
+            }
+        }
+        self.negative_count = negative;
+        sum
+    }
+
+    /// Reverts [`apply_injection`](Engine::apply_injection): an
+    /// erroring round keeps no part of its injection, so on error the
+    /// loads are those after the last fully completed round.
+    fn undo_injection(&mut self) {
+        let loads = self.loads.as_mut_slice();
+        let mut tracker = self.tracker.as_mut();
+        let mut negative = self.negative_count;
+        for (x, &dv) in loads.iter_mut().zip(&self.inj_scratch) {
+            if dv != 0 {
+                let old = *x;
+                let new = old - dv;
+                negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                if let Some(t) = tracker.as_deref_mut() {
+                    t.update(old, new);
+                }
+                *x = new;
+            }
+        }
+        self.negative_count = negative;
     }
 
     /// First node with negative load; callers guarantee one exists.
@@ -208,6 +346,7 @@ impl Engine {
         let graph = self.gp.graph();
         let plan = &self.plan;
         let loads = self.loads.as_mut_slice();
+        let mut tracker = self.tracker.as_mut();
         let mut negative = self.negative_count;
         for (u, &moved) in plan.touched().zip(&self.outflow) {
             for (p, &f) in plan.node(u)[..d].iter().enumerate() {
@@ -218,12 +357,18 @@ impl Engine {
                 let old = loads[v];
                 let new = old + f as i64;
                 negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                if let Some(t) = tracker.as_deref_mut() {
+                    t.update(old, new);
+                }
                 loads[v] = new;
             }
             if moved != 0 {
                 let old = loads[u];
                 let new = old - moved as i64;
                 negative = negative + usize::from(new < 0) - usize::from(old < 0);
+                if let Some(t) = tracker.as_deref_mut() {
+                    t.update(old, new);
+                }
                 loads[u] = new;
             }
         }
@@ -237,17 +382,37 @@ impl Engine {
         Ok(())
     }
 
-    /// One fused round: clear, pre-plan check, plan, validate + route.
-    fn step_inner(
+    /// One fused round: inject, pre-plan check, clear, plan,
+    /// validate + route. An erroring round undoes its injection, so on
+    /// error nothing — loads included — has advanced.
+    fn step_inner<'w>(
         &mut self,
         balancer: &mut dyn Balancer,
         instrumented: bool,
+        workload: Option<&mut (dyn Workload + 'w)>,
     ) -> Result<(), EngineError> {
-        self.plan.clear();
+        let injected = workload.map(|w| self.apply_injection(w));
         let check = !balancer.may_overdraw();
-        self.check_negative_preplan(check)?;
-        balancer.plan(&self.gp, &self.loads, &mut self.plan);
-        self.finish_step(check, instrumented)
+        let result = self.check_negative_preplan(check).and_then(|()| {
+            self.plan.clear();
+            balancer.plan(&self.gp, &self.loads, &mut self.plan);
+            // `finish_step` validates the whole plan before routing a
+            // single token, so an `Overdraw` has not mutated loads and
+            // undoing the injection restores the round exactly.
+            self.finish_step(check, instrumented)
+        });
+        match result {
+            Ok(()) => {
+                self.injected_total += injected.unwrap_or(0);
+                Ok(())
+            }
+            Err(e) => {
+                if injected.is_some() {
+                    self.undo_injection();
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Runs one synchronous round of `balancer` and reports statistics
@@ -263,10 +428,29 @@ impl Engine {
     /// loads (checked *before* planning — the balancer never sees the
     /// invalid state).
     pub fn step(&mut self, balancer: &mut dyn Balancer) -> Result<StepSummary, EngineError> {
-        self.step_inner(balancer, true)?;
+        self.step_with(balancer, None)
+    }
+
+    /// [`step`](Engine::step) in the open system: `workload`'s deltas
+    /// for this round are applied *before* the negative-load check and
+    /// planning, so the scheme balances the injected loads. A round
+    /// that errors keeps no part of its injection. See
+    /// [`crate::workload`] for the full round structure.
+    ///
+    /// # Errors
+    ///
+    /// As [`step`](Engine::step); a workload that drives a load
+    /// negative under a non-overdrawing scheme surfaces as
+    /// [`EngineError::NegativeLoad`] carrying the post-injection load.
+    pub fn step_with<'w>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<StepSummary, EngineError> {
+        self.step_inner(balancer, true, workload)?;
         Ok(StepSummary {
             step: self.step,
-            discrepancy: self.loads.discrepancy(),
+            discrepancy: self.scan_discrepancy(),
             negative_nodes: self.negative_count,
         })
     }
@@ -279,8 +463,27 @@ impl Engine {
     ///
     /// Propagates the first [`EngineError`] encountered.
     pub fn run(&mut self, balancer: &mut dyn Balancer, steps: usize) -> Result<(), EngineError> {
+        self.run_with(balancer, steps, None)
+    }
+
+    /// [`run`](Engine::run) with per-round workload injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_with<'w>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
+        mut workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<(), EngineError> {
         for _ in 0..steps {
-            self.step_inner(balancer, true)?;
+            // Explicit reborrow: each round gets a fresh short-lived
+            // `&mut dyn Workload` out of the long-lived option.
+            match workload {
+                Some(ref mut w) => self.step_inner(balancer, true, Some(&mut **w))?,
+                None => self.step_inner(balancer, true, None)?,
+            }
         }
         Ok(())
     }
@@ -299,8 +502,26 @@ impl Engine {
         balancer: &mut dyn Balancer,
         steps: usize,
     ) -> Result<(), EngineError> {
+        self.run_fast_with(balancer, steps, None)
+    }
+
+    /// [`run_fast`](Engine::run_fast) with per-round workload
+    /// injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_fast_with<'w>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
+        mut workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<(), EngineError> {
         for _ in 0..steps {
-            self.step_inner(balancer, false)?;
+            match workload {
+                Some(ref mut w) => self.step_inner(balancer, false, Some(&mut **w))?,
+                None => self.step_inner(balancer, false, None)?,
+            }
         }
         Ok(())
     }
@@ -329,11 +550,32 @@ impl Engine {
         balancer: &mut K,
         steps: usize,
     ) -> Result<(), EngineError> {
+        self.run_kernel_with(balancer, steps, NoWorkload::none())
+    }
+
+    /// [`run_kernel`](Engine::run_kernel) with per-round workload
+    /// injection, applied to the same double-buffered delta vectors the
+    /// kernel streams flows into. The loop is monomorphised over the
+    /// workload type, so the `NoWorkload` `None` case — what
+    /// [`run_kernel`](Engine::run_kernel) passes — compiles to the
+    /// closed-system loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered; on error the
+    /// loads are those after the last fully completed round (the
+    /// erroring round's injection included — it is undone).
+    pub fn run_kernel_with<K: KernelBalancer + ?Sized, W: Workload + ?Sized>(
+        &mut self,
+        balancer: &mut K,
+        steps: usize,
+        workload: Option<&mut W>,
+    ) -> Result<(), EngineError> {
         if steps == 0 {
             return Ok(());
         }
         let check = !balancer.may_overdraw();
-        self.kernel_rounds(check, steps, |gp, u, x, fl| {
+        self.kernel_rounds(check, steps, workload, |gp, u, x, fl| {
             balancer.kernel_node(gp, u, x, fl)
         })
     }
@@ -342,10 +584,11 @@ impl Engine {
     /// buffer, streams the rounds through [`kernel::run_rounds`], and
     /// applies the returned counters — so the kernel and the
     /// degenerate one-thread sharded entry cannot drift apart.
-    fn kernel_rounds(
+    fn kernel_rounds<W: Workload + ?Sized>(
         &mut self,
         check: bool,
         steps: usize,
+        workload: Option<&mut W>,
         mut per_node: impl FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     ) -> Result<(), EngineError> {
         let mut back = vec![0i64; self.gp.num_nodes()];
@@ -361,11 +604,13 @@ impl Engine {
                 base_step: self.step,
                 negative_count: self.negative_count,
             },
+            workload,
             |u, x, fl| per_node(gp, u, x, fl),
         );
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
         self.negative_count = stats.negative_count;
+        self.injected_total += stats.injected;
         match err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -393,18 +638,49 @@ impl Engine {
         steps: usize,
         threads: usize,
     ) -> Result<(), EngineError> {
+        self.run_parallel_with(balancer, steps, threads, NoWorkload::none())
+    }
+
+    /// [`run_parallel`](Engine::run_parallel) with per-round workload
+    /// injection: one designated worker drives the workload over an
+    /// assembled global load view each round and the deltas are applied
+    /// shard-locally, keeping the result bit-identical to the serial
+    /// paths under any workload and any thread count (see
+    /// [`parallel`](crate::parallel) for the phase structure). The
+    /// closed-system `None` case skips the injection phases and their
+    /// barriers entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered — the same
+    /// error, on the same step and node, the serial engine would
+    /// report; the erroring round's injection is undone.
+    pub fn run_parallel_with<W: Workload + ?Sized>(
+        &mut self,
+        balancer: &dyn ShardedBalancer,
+        steps: usize,
+        threads: usize,
+        workload: Option<&mut W>,
+    ) -> Result<(), EngineError> {
         let n = self.gp.num_nodes();
         let threads = threads.max(1).min(n);
         if steps == 0 {
             return Ok(());
         }
         let check = !balancer.may_overdraw();
-        self.check_negative_preplan(check)?;
+        if workload.is_none() {
+            // Closed system: negatives cannot appear mid-run for a
+            // checked scheme, so one entry check suffices. With a
+            // workload the check must see each round's post-injection
+            // loads instead (a drain may create, or an arrival may
+            // cure, a negative) — the round loops do that.
+            self.check_negative_preplan(check)?;
+        }
         if threads == 1 {
             // Degenerate sharding: the serial plan-free kernel path,
             // planned through the same per-node entry point — one
             // thread must never pay shard/synchronisation overhead.
-            return self.kernel_rounds(check, steps, |gp, u, x, fl| {
+            return self.kernel_rounds(check, steps, workload, |gp, u, x, fl| {
                 balancer.plan_node(gp, u, x, fl)
             });
         }
@@ -417,10 +693,12 @@ impl Engine {
             steps,
             threads,
             base_step,
+            workload,
         );
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
         self.negative_count = stats.negative_count;
+        self.injected_total += stats.injected;
         match err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -431,6 +709,14 @@ impl Engine {
     /// rounds. Returns the step count at which the predicate fired, or
     /// `None` on timeout.
     ///
+    /// The per-round summary is served from an incremental load
+    /// multiset, not a rescan: one `O(n)` pass builds the tracker on
+    /// entry, then every load write keeps it current in `O(log n)`, so
+    /// the predicate's discrepancy costs `O(log n)` per round however
+    /// long the run ([`discrepancy_scans`](Engine::discrepancy_scans)
+    /// counts exactly one scan per call, which the regression tests
+    /// pin).
+    ///
     /// # Errors
     ///
     /// Propagates the first [`EngineError`] encountered.
@@ -440,13 +726,33 @@ impl Engine {
         max_steps: usize,
         mut stop: impl FnMut(&StepSummary) -> bool,
     ) -> Result<Option<usize>, EngineError> {
+        self.discrepancy_scans += 1;
+        self.tracker = Some(DiscrepancyTracker::build(self.loads.as_slice()));
+        let mut outcome = Ok(None);
         for _ in 0..max_steps {
-            let summary = self.step(balancer)?;
+            if let Err(e) = self.step_inner(balancer, true, None) {
+                outcome = Err(e);
+                break;
+            }
+            let summary = StepSummary {
+                step: self.step,
+                discrepancy: self
+                    .tracker
+                    .as_ref()
+                    .expect("tracker lives for the whole run_until")
+                    .discrepancy(),
+                negative_nodes: self.negative_count,
+            };
             if stop(&summary) {
-                return Ok(Some(summary.step));
+                outcome = Ok(Some(summary.step));
+                break;
             }
         }
-        Ok(None)
+        // Only the planned paths maintain the tracker, so it must not
+        // outlive this call: a later kernel/parallel run would leave it
+        // stale.
+        self.tracker = None;
+        outcome
     }
 }
 
@@ -662,6 +968,202 @@ mod tests {
             assert_eq!(err, serial_err, "error diverged at {threads} threads");
             assert_eq!(engine.loads(), serial.loads());
         }
+    }
+
+    /// Drops `rate` tokens on node 0 every round.
+    struct Node0Arrivals {
+        rate: i64,
+    }
+    impl crate::Workload for Node0Arrivals {
+        fn label(&self) -> String {
+            format!("node0(+{})", self.rate)
+        }
+        fn inject(&mut self, _round: usize, _loads: &[i64], deltas: &mut [i64]) {
+            deltas[0] = self.rate;
+        }
+    }
+
+    /// Removes `rate` tokens from node 1 every round, unclamped — so it
+    /// eventually drives the load negative.
+    struct Node1Drain {
+        rate: i64,
+    }
+    impl crate::Workload for Node1Drain {
+        fn label(&self) -> String {
+            format!("node1(-{})", self.rate)
+        }
+        fn inject(&mut self, _round: usize, _loads: &[i64], deltas: &mut [i64]) {
+            deltas[1] = -self.rate;
+        }
+    }
+
+    #[test]
+    fn injection_conserves_total_plus_cumulative_delta() {
+        let mut engine = Engine::new(lazy_cycle(8), LoadVector::uniform(8, 10));
+        engine
+            .run_with(
+                &mut SendFloor::new(),
+                25,
+                Some(&mut Node0Arrivals { rate: 3 }),
+            )
+            .unwrap();
+        assert_eq!(engine.injected_total(), 75);
+        assert_eq!(engine.loads().total(), 80 + 75);
+    }
+
+    #[test]
+    fn injection_is_identical_across_all_paths() {
+        let make = || Engine::new(lazy_cycle(12), LoadVector::point_mass(12, 240));
+        let mut reference = make();
+        for _ in 0..30 {
+            reference
+                .step_with(&mut SendFloor::new(), Some(&mut Node0Arrivals { rate: 5 }))
+                .unwrap();
+        }
+
+        let mut fast = make();
+        fast.run_fast_with(
+            &mut SendFloor::new(),
+            30,
+            Some(&mut Node0Arrivals { rate: 5 }),
+        )
+        .unwrap();
+        assert_eq!(fast.loads(), reference.loads());
+        assert_eq!(fast.injected_total(), reference.injected_total());
+
+        let mut kern = make();
+        kern.run_kernel_with(
+            &mut SendFloor::new(),
+            30,
+            Some(&mut Node0Arrivals { rate: 5 }),
+        )
+        .unwrap();
+        assert_eq!(kern.loads(), reference.loads());
+        assert_eq!(kern.injected_total(), reference.injected_total());
+
+        for threads in [1, 2, 3] {
+            let mut par = make();
+            par.run_parallel_with(
+                &SendFloor::new(),
+                30,
+                threads,
+                Some(&mut Node0Arrivals { rate: 5 }),
+            )
+            .unwrap();
+            assert_eq!(par.loads(), reference.loads(), "parallel({threads})");
+            assert_eq!(par.injected_total(), reference.injected_total());
+        }
+    }
+
+    #[test]
+    fn injection_triggered_negative_errors_identically_and_is_undone() {
+        // Node 1 starts at 10 and loses 4/round while holding roughly
+        // its share of the flow; within a few rounds the drain wins and
+        // the post-injection check must fire — on the same step and
+        // node on every path, with the erroring round's injection
+        // undone.
+        let make = || Engine::new(lazy_cycle(4), LoadVector::uniform(4, 10));
+        let run_ref = |steps: usize| {
+            let mut engine = make();
+            let mut err = None;
+            for _ in 0..steps {
+                match engine.step_with(&mut SendFloor::new(), Some(&mut Node1Drain { rate: 4 })) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            (engine, err.expect("drain must trip the negative check"))
+        };
+        let (reference, ref_err) = run_ref(50);
+        assert!(matches!(ref_err, EngineError::NegativeLoad { node: 1, .. }));
+        // The failed round is not counted and kept no injection.
+        assert_eq!(
+            reference.loads().total(),
+            40 + reference.injected_total(),
+            "undone injection must not leak into the totals"
+        );
+
+        let mut kern = make();
+        let kern_err = kern
+            .run_kernel_with(&mut SendFloor::new(), 50, Some(&mut Node1Drain { rate: 4 }))
+            .unwrap_err();
+        assert_eq!(kern_err, ref_err);
+        assert_eq!(kern.loads(), reference.loads());
+        assert_eq!(kern.step_count(), reference.step_count());
+        assert_eq!(kern.injected_total(), reference.injected_total());
+
+        for threads in [1, 2, 3] {
+            let mut par = make();
+            let par_err = par
+                .run_parallel_with(
+                    &SendFloor::new(),
+                    50,
+                    threads,
+                    Some(&mut Node1Drain { rate: 4 }),
+                )
+                .unwrap_err();
+            assert_eq!(par_err, ref_err, "parallel({threads})");
+            assert_eq!(par.loads(), reference.loads(), "parallel({threads})");
+            assert_eq!(par.step_count(), reference.step_count());
+            assert_eq!(par.injected_total(), reference.injected_total());
+        }
+    }
+
+    /// Regression (PR 4): `run_until` used to evaluate its predicate
+    /// through `step()`, paying a full `O(n)` discrepancy rescan every
+    /// round. It now builds the load multiset once and maintains it
+    /// incrementally — exactly one counted scan per call, pinned here.
+    #[test]
+    fn run_until_performs_exactly_one_discrepancy_scan() {
+        let gp = lazy_cycle(16);
+        let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).unwrap();
+        let mut engine = Engine::new(gp, LoadVector::point_mass(16, 1600));
+        let hit = engine
+            .run_until(&mut rotor, 10_000, |s| s.discrepancy <= 10)
+            .unwrap();
+        assert!(hit.is_some());
+        assert!(engine.step_count() > 50, "predicate must take many rounds");
+        assert_eq!(
+            engine.discrepancy_scans(),
+            1,
+            "run_until must not rescan per round"
+        );
+        // A second call scans once more; step() scans once per call.
+        engine.run_until(&mut rotor, 10, |_| true).unwrap();
+        assert_eq!(engine.discrepancy_scans(), 2);
+        engine.step(&mut rotor).unwrap();
+        engine.step(&mut rotor).unwrap();
+        assert_eq!(engine.discrepancy_scans(), 4);
+    }
+
+    /// The tracker-served discrepancy must equal the scanned one at
+    /// every predicate evaluation, including under schemes that leave
+    /// negative loads in place.
+    #[test]
+    fn run_until_summary_matches_scanned_discrepancy() {
+        use crate::schemes::SendRound;
+        let gp = lazy_cycle(8);
+        let mut engine = Engine::new(gp, LoadVector::point_mass(8, 803));
+        let mut expected = Vec::new();
+        {
+            let mut shadow = Engine::new(lazy_cycle(8), LoadVector::point_mass(8, 803));
+            let mut bal = SendRound::new();
+            for _ in 0..40 {
+                expected.push(shadow.step(&mut bal).unwrap().discrepancy);
+            }
+        }
+        let mut seen = Vec::new();
+        let hit = engine
+            .run_until(&mut SendRound::new(), 40, |s| {
+                seen.push(s.discrepancy);
+                false
+            })
+            .unwrap();
+        assert_eq!(hit, None);
+        assert_eq!(seen, expected);
     }
 
     #[test]

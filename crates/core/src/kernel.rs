@@ -26,9 +26,18 @@
 //! `[u64; DP]` flow buffer whose length the optimiser knows at compile
 //! time, so the per-port loops unroll fully; every other degree takes a
 //! generic fallback over a reused `Vec<u64>`.
+//!
+//! The loop is additionally monomorphised over an optional
+//! [`Workload`]: [`Engine::run_kernel_with`](crate::Engine::run_kernel_with)
+//! applies the workload's signed per-node deltas to the same
+//! double-buffered vectors at the start of each round (before the
+//! negative check and planning), while the `NoWorkload` instantiation
+//! behind the closed-system [`Engine::run_kernel`](crate::Engine::run_kernel)
+//! folds the injection branch away and compiles to the loop above.
 
 use dlb_graph::BalancingGraph;
 
+use crate::workload::Workload;
 use crate::{Balancer, EngineError};
 
 /// A balancer whose per-node flows are a pure function of the node's
@@ -83,6 +92,9 @@ pub(crate) struct KernelRunStats {
     pub negative_node_steps: u64,
     /// Negative nodes after the final completed round.
     pub negative_count: usize,
+    /// Net workload injection applied over the completed rounds (an
+    /// erroring round's injection is undone and not counted).
+    pub injected: i64,
 }
 
 /// Sums one planned node's original-edge outflow and, when `check` is
@@ -154,43 +166,78 @@ impl FlowsBuf for Vec<u64> {
     }
 }
 
+/// Applies a round's injection deltas to `loads` (or, with `negate`,
+/// undoes them — the exact inverse, each negative-count update
+/// included, so an erroring round restores both the loads and the
+/// caller's incremental counter to the last completed round). Shared
+/// by the serial kernel and the sharded workers so the plan-free paths
+/// cannot drift apart in how injection lands. Returns the net signed
+/// delta (pre-`negate`).
+#[inline]
+pub(crate) fn apply_deltas(
+    loads: &mut [i64],
+    deltas: &[i64],
+    negate: bool,
+    negative: &mut usize,
+) -> i64 {
+    let mut sum = 0i64;
+    for (x, &dv) in loads.iter_mut().zip(deltas) {
+        if dv != 0 {
+            let old = *x;
+            let new = if negate { old - dv } else { old + dv };
+            *negative = *negative + usize::from(new < 0) - usize::from(old < 0);
+            *x = new;
+            sum += dv;
+        }
+    }
+    sum
+}
+
 /// Runs `steps` plan-free rounds of `kernel` over `loads`, using `back`
 /// as the second half of the double buffer (`back.len() == loads.len()`;
-/// its contents on entry are irrelevant).
+/// its contents on entry are irrelevant). An optional [`Workload`]
+/// injects signed per-node deltas at the start of every round (see the
+/// round structure in [`crate::workload`]).
 ///
 /// Dispatches to a degree-monomorphised round loop. On return, `loads`
 /// holds the state after the last fully completed round.
-pub(crate) fn run_rounds<F>(
+pub(crate) fn run_rounds<F, W>(
     gp: &BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
     run: KernelRun,
+    workload: Option<&mut W>,
     kernel: F,
 ) -> (KernelRunStats, Option<EngineError>)
 where
     F: FnMut(usize, i64, &mut [u64]),
+    W: Workload + ?Sized,
 {
     match gp.degree_plus() {
-        2 => rounds_impl::<F, [u64; 2]>(gp, loads, back, run, kernel),
-        4 => rounds_impl::<F, [u64; 4]>(gp, loads, back, run, kernel),
-        6 => rounds_impl::<F, [u64; 6]>(gp, loads, back, run, kernel),
-        8 => rounds_impl::<F, [u64; 8]>(gp, loads, back, run, kernel),
-        _ => rounds_impl::<F, Vec<u64>>(gp, loads, back, run, kernel),
+        2 => rounds_impl::<F, [u64; 2], W>(gp, loads, back, run, workload, kernel),
+        4 => rounds_impl::<F, [u64; 4], W>(gp, loads, back, run, workload, kernel),
+        6 => rounds_impl::<F, [u64; 6], W>(gp, loads, back, run, workload, kernel),
+        8 => rounds_impl::<F, [u64; 8], W>(gp, loads, back, run, workload, kernel),
+        _ => rounds_impl::<F, Vec<u64>, W>(gp, loads, back, run, workload, kernel),
     }
 }
 
-/// The round loop, monomorphised over the kernel closure and the flow
-/// buffer (and through it, for the array buffers, the total degree).
-fn rounds_impl<F, B>(
+/// The round loop, monomorphised over the kernel closure, the flow
+/// buffer (and through it, for the array buffers, the total degree) and
+/// the workload type — so the `None`-workload instantiation folds the
+/// injection branch away and compiles to the closed-system loop.
+fn rounds_impl<F, B, W>(
     gp: &BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
     run: KernelRun,
+    mut workload: Option<&mut W>,
     mut kernel: F,
 ) -> (KernelRunStats, Option<EngineError>)
 where
     F: FnMut(usize, i64, &mut [u64]),
     B: FlowsBuf,
+    W: Workload + ?Sized,
 {
     let KernelRun {
         check,
@@ -213,12 +260,33 @@ where
     let mut negative = negative_count;
     let mut negative_node_steps = 0u64;
     let mut steps_done = 0usize;
+    let mut injected = 0i64;
     let mut error = None;
+    // The round's injection deltas, kept so an erroring round can undo
+    // exactly what it applied. Allocated only when a workload exists.
+    let mut inj: Vec<i64> = if workload.is_some() {
+        vec![0i64; n]
+    } else {
+        Vec::new()
+    };
 
     'rounds: for iter in 0..steps {
+        // Injection phase: x'_t = x_t + w_t, applied in place to the
+        // front buffer so planning reads the injected loads (the
+        // negative count tracks every write; the undo below reverses
+        // both exactly).
+        let mut injected_round = 0i64;
+        if let Some(w) = workload.as_mut() {
+            inj.fill(0);
+            w.inject(base_step + iter + 1, cur, &mut inj);
+            injected_round = apply_deltas(cur, &inj, false, &mut negative);
+        }
+
         // Pre-plan class check, O(1) via the maintained count; the
         // offending node is only searched for on the error path —
-        // lowest id first, matching the serial engine.
+        // lowest id first, matching the serial engine. The check sees
+        // the post-injection loads, so a workload that over-drains a
+        // node surfaces here exactly like a negative seed.
         if check && negative > 0 {
             let node = cur
                 .iter()
@@ -229,6 +297,9 @@ where
                 load: cur[node],
                 step: base_step + iter + 1,
             });
+            if workload.is_some() {
+                apply_deltas(cur, &inj, true, &mut negative);
+            }
             break 'rounds;
         }
 
@@ -250,6 +321,9 @@ where
                 Ok(orig) => orig,
                 Err(e) => {
                     error = Some(e);
+                    if workload.is_some() {
+                        apply_deltas(cur, &inj, true, &mut negative);
+                    }
                     break 'rounds;
                 }
             };
@@ -268,6 +342,7 @@ where
 
         std::mem::swap(&mut cur, &mut next);
         steps_done = iter + 1;
+        injected += injected_round;
         if !check {
             // Overdrawing schemes can create negative loads anywhere;
             // recount. (Non-overdrawing schemes keep every load
@@ -289,6 +364,7 @@ where
             steps_done,
             negative_node_steps,
             negative_count: negative,
+            injected,
         },
         error,
     )

@@ -69,6 +69,7 @@ mod load;
 pub mod parallel;
 pub mod potential;
 pub mod schemes;
+pub mod workload;
 
 pub use balancer::Balancer;
 pub use engine::{Engine, StepSummary};
@@ -77,3 +78,4 @@ pub use flow::{CumulativeLedger, FlowPlan};
 pub use kernel::KernelBalancer;
 pub use load::LoadVector;
 pub use parallel::ShardedBalancer;
+pub use workload::{NoWorkload, Workload};

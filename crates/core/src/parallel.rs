@@ -40,6 +40,7 @@ use std::sync::{Barrier, Mutex};
 use dlb_graph::BalancingGraph;
 
 use crate::kernel;
+use crate::workload::Workload;
 use crate::{Balancer, EngineError};
 
 /// A balancer whose plan can be computed one node at a time from that
@@ -70,6 +71,9 @@ pub(crate) struct ShardRunStats {
     pub negative_node_steps: u64,
     /// Negative nodes after the final completed round.
     pub negative_count: usize,
+    /// Net workload injection applied over the completed rounds (an
+    /// erroring round's injection is undone and not counted).
+    pub injected: i64,
 }
 
 /// What each worker reports when its loop ends.
@@ -77,6 +81,7 @@ struct ShardOutcome {
     steps_done: usize,
     negative_node_steps: u64,
     final_negative: usize,
+    injected: i64,
 }
 
 /// The shard index owning node `w` for the split produced by
@@ -106,23 +111,38 @@ fn shard_bounds(n: usize, t: usize) -> Vec<usize> {
 /// across `threads` worker threads (callers guarantee `threads >= 2`
 /// and `threads <= n`).
 ///
+/// An optional [`Workload`] injects signed per-node deltas at the start
+/// of every round. Injection needs a global view (the bounded-adversary
+/// workload reads *all* loads) while the load vector is split into
+/// per-worker shards, so injecting rounds run two extra phases behind
+/// two extra barriers: every worker publishes its shard's loads into a
+/// mutex-handed segment, worker 0 assembles the full vector, drives the
+/// workload once, and scatters the delta segments back; then every
+/// worker applies its own slice. The workload is therefore called
+/// exactly once per round with exactly the loads the serial paths would
+/// show it — bit-identity is preserved, stateful workloads included.
+/// Closed-system runs (`workload == None`) skip all of this: no
+/// buffers, no extra barriers.
+///
 /// On error, `loads` is left exactly as it was after the last fully
-/// completed round, and the returned stats cover only completed rounds.
-/// The ledger and fairness monitor are *not* maintained — this is the
-/// uninstrumented fast path.
-pub(crate) fn run_sharded(
+/// completed round (an erroring round's injection is undone), and the
+/// returned stats cover only completed rounds. The ledger and fairness
+/// monitor are *not* maintained — this is the uninstrumented fast path.
+pub(crate) fn run_sharded<W: Workload + ?Sized>(
     gp: &BalancingGraph,
     loads: &mut [i64],
     balancer: &dyn ShardedBalancer,
     steps: usize,
     threads: usize,
     base_step: usize,
+    mut workload: Option<&mut W>,
 ) -> (ShardRunStats, Option<EngineError>) {
     let n = loads.len();
     let nthreads = threads;
     let check = !balancer.may_overdraw();
     let bounds = shard_bounds(n, nthreads);
     let (base, rem) = (n / nthreads, n % nthreads);
+    let injecting = workload.is_some();
 
     // Disjoint mutable views of the load vector, one per shard; no
     // worker ever reads or writes another shard's loads.
@@ -157,6 +177,25 @@ pub(crate) fn run_sharded(
         .map(|_| AtomicBool::new(false))
         .collect();
 
+    // Injection plumbing (empty when closed-system): per-shard load
+    // snapshots published at round start, and per-shard delta segments
+    // scattered by the driver. Like the frontier segments, the mutexes
+    // only hand ownership between barrier-separated phases, so no lock
+    // is ever contended.
+    let seg_len = |r: usize| {
+        if injecting {
+            bounds[r + 1] - bounds[r]
+        } else {
+            0
+        }
+    };
+    let published: Vec<Mutex<Vec<i64>>> = (0..nthreads)
+        .map(|r| Mutex::new(vec![0i64; seg_len(r)]))
+        .collect();
+    let inj_deltas: Vec<Mutex<Vec<i64>>> = (0..nthreads)
+        .map(|r| Mutex::new(vec![0i64; seg_len(r)]))
+        .collect();
+
     let barrier = Barrier::new(nthreads);
     let failed = AtomicBool::new(false);
     // The lowest-shard error wins, so the reported error is independent
@@ -177,15 +216,21 @@ pub(crate) fn run_sharded(
                 rem,
                 bounds: &bounds,
                 check,
+                injecting,
                 steps,
                 base_step,
                 segments: &segments,
                 dirty: &dirty,
+                published: &published,
+                inj_deltas: &inj_deltas,
                 barrier: &barrier,
                 failed: &failed,
                 error: &error,
             };
-            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads)));
+            // Worker 0 is the injection driver: it alone holds the
+            // (stateful, `&mut`) workload.
+            let wl = if me == 0 { workload.take() } else { None };
+            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads, wl)));
         }
         handles
             .into_iter()
@@ -198,6 +243,7 @@ pub(crate) fn run_sharded(
         steps_done,
         negative_node_steps: outcomes.iter().map(|o| o.negative_node_steps).sum(),
         negative_count: outcomes.iter().map(|o| o.final_negative).sum(),
+        injected: outcomes.iter().map(|o| o.injected).sum(),
     };
     let err = error
         .into_inner()
@@ -219,10 +265,13 @@ struct ShardCtx<'a> {
     rem: usize,
     bounds: &'a [usize],
     check: bool,
+    injecting: bool,
     steps: usize,
     base_step: usize,
     segments: &'a [Vec<Mutex<Vec<i64>>>],
     dirty: &'a [AtomicBool],
+    published: &'a [Mutex<Vec<i64>>],
+    inj_deltas: &'a [Mutex<Vec<i64>>],
     barrier: &'a Barrier,
     failed: &'a AtomicBool,
     error: &'a Mutex<Option<(usize, EngineError)>>,
@@ -231,10 +280,20 @@ struct ShardCtx<'a> {
 impl ShardCtx<'_> {
     fn record_error(&self, e: EngineError) {
         self.failed.store(true, Ordering::SeqCst);
+        // All recorded errors belong to the same (first failing) round
+        // — the barriers keep workers in lockstep — so the winner is
+        // chosen by the serial engine's in-round ordering: the global
+        // pre-plan negative check runs before any validation, so a
+        // `NegativeLoad` from *any* shard outranks an `Overdraw` from
+        // any other; within a kind the lowest shard wins (each worker
+        // reports its lowest-id hit, and shards are ordered, so that is
+        // the globally lowest node). The result is independent of
+        // thread scheduling.
+        let overdraw_rank = |err: &EngineError| matches!(err, EngineError::Overdraw { .. });
         let mut slot = self.error.lock().expect("error mutex not poisoned");
         let replace = match slot.as_ref() {
             None => true,
-            Some((shard, _)) => self.me < *shard,
+            Some((shard, old)) => (overdraw_rank(&e), self.me) < (overdraw_rank(old), *shard),
         };
         if replace {
             *slot = Some((self.me, e));
@@ -242,8 +301,13 @@ impl ShardCtx<'_> {
     }
 }
 
-fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
+fn shard_worker<W: Workload + ?Sized>(
+    w: &ShardCtx<'_>,
+    my_loads: &mut [i64],
+    mut workload: Option<&mut W>,
+) -> ShardOutcome {
     let len = w.hi - w.lo;
+    let n = *w.bounds.last().expect("bounds non-empty");
     let d = w.gp.degree();
     let d_plus = w.gp.degree_plus();
     let graph = w.gp.graph();
@@ -253,10 +317,76 @@ fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
     let mut interior = vec![0i64; len];
     // Which destination shards received frontier tokens this round.
     let mut wrote = vec![false; w.nthreads];
+    // This round's injection applied to this shard, kept so a failed
+    // round can undo exactly what it added (worker 0 rewrites the
+    // shared segment only on the *next* round, but keeping a private
+    // copy avoids re-locking on the failure path).
+    let mut inj_applied = vec![0i64; if w.injecting { len } else { 0 }];
+    // Driver-only scratch: the assembled global load view and the full
+    // delta vector the workload fills.
+    let mut full = workload.is_some().then(|| (vec![0i64; n], vec![0i64; n]));
     let mut negative = my_loads.iter().filter(|&&x| x < 0).count();
     let mut negative_node_steps = 0u64;
+    let mut injected = 0i64;
 
     for iter in 0..w.steps {
+        // Injection phases (skipped entirely for closed-system runs).
+        let mut injected_round = 0i64;
+        let mut local_error = false;
+        if w.injecting {
+            // Phase I0 — publish this shard's pre-round loads.
+            w.published[w.me]
+                .lock()
+                .expect("published segment not poisoned")
+                .copy_from_slice(my_loads);
+            w.barrier.wait();
+            // Phase I1 — the driver assembles the global view, runs the
+            // workload exactly once, and scatters the per-shard deltas.
+            if let (Some(wl), Some((full_loads, full_deltas))) = (workload.as_mut(), full.as_mut())
+            {
+                for r in 0..w.nthreads {
+                    full_loads[w.bounds[r]..w.bounds[r + 1]].copy_from_slice(
+                        &w.published[r]
+                            .lock()
+                            .expect("published segment not poisoned"),
+                    );
+                }
+                full_deltas.fill(0);
+                wl.inject(w.base_step + iter + 1, full_loads, full_deltas);
+                for r in 0..w.nthreads {
+                    w.inj_deltas[r]
+                        .lock()
+                        .expect("delta segment not poisoned")
+                        .copy_from_slice(&full_deltas[w.bounds[r]..w.bounds[r + 1]]);
+                }
+            }
+            w.barrier.wait();
+            // Phase I2 — apply my slice, tracking the negative count.
+            inj_applied.copy_from_slice(
+                &w.inj_deltas[w.me]
+                    .lock()
+                    .expect("delta segment not poisoned"),
+            );
+            injected_round = kernel::apply_deltas(my_loads, &inj_applied, false, &mut negative);
+            // The serial engines run a whole-vector negative check
+            // *before* any planning; the shard-local half runs here so
+            // a workload-drained node is rejected pre-plan with the
+            // same (globally lowest-id) node — `record_error` ranks
+            // `NegativeLoad` above any `Overdraw` another shard finds.
+            if w.check && negative > 0 {
+                let v = my_loads
+                    .iter()
+                    .position(|&x| x < 0)
+                    .expect("negative > 0 implies a negative node");
+                w.record_error(EngineError::NegativeLoad {
+                    node: w.lo + v,
+                    load: my_loads[v],
+                    step: w.base_step + iter + 1,
+                });
+                local_error = true;
+            }
+        }
+
         // Phase A — plan, validate, accumulate deltas. Loads are only
         // read; frontier tokens go to this worker's own segments, which
         // no one else touches until the barrier.
@@ -266,6 +396,11 @@ fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
             })
             .collect();
         'plan: for v in 0..len {
+            if local_error {
+                // This shard already failed the pre-plan check; the
+                // serial engine would not have planned any node.
+                break 'plan;
+            }
             let x = my_loads[v];
             if x == 0 {
                 continue;
@@ -322,12 +457,17 @@ fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
         // Round barrier #1: no shard mutates loads until every shard
         // has validated, so an error leaves the loads at the previous
         // round's values — the same guarantee the serial engine gives.
+        // (An erroring round's injection is undone for the same reason.)
         w.barrier.wait();
         if w.failed.load(Ordering::SeqCst) {
+            if w.injecting {
+                kernel::apply_deltas(my_loads, &inj_applied, true, &mut negative);
+            }
             return ShardOutcome {
                 steps_done: iter,
                 negative_node_steps,
                 final_negative: negative,
+                injected,
             };
         }
 
@@ -362,6 +502,7 @@ fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
             }
         }
         negative_node_steps += negative as u64;
+        injected += injected_round;
 
         // Round barrier #2: the next round's accumulate phase must not
         // write a segment a neighbour is still merging.
@@ -372,6 +513,7 @@ fn shard_worker(w: &ShardCtx<'_>, my_loads: &mut [i64]) -> ShardOutcome {
         steps_done: w.steps,
         negative_node_steps,
         final_negative: negative,
+        injected,
     }
 }
 

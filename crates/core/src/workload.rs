@@ -1,0 +1,116 @@
+//! Dynamic workloads: per-round signed load injection.
+//!
+//! The paper's discrepancy bounds (Theorems 2.3/4.1–4.3) are proved for
+//! a **closed** system — a fixed token population redistributed by the
+//! scheme. A production balancer faces the *open* regime instead: load
+//! arrives and departs while balancing runs (cf. load balancing in
+//! dynamic networks, Gilbert–Meir–Paz, arXiv:2105.13194). This module
+//! is the engine-side hook for that regime: a [`Workload`] produces a
+//! signed per-node load delta every round, and the engine's `*_with`
+//! entry points ([`Engine::step_with`](crate::Engine::step_with),
+//! [`Engine::run_with`](crate::Engine::run_with),
+//! [`Engine::run_fast_with`](crate::Engine::run_fast_with),
+//! [`Engine::run_kernel_with`](crate::Engine::run_kernel_with),
+//! [`Engine::run_parallel_with`](crate::Engine::run_parallel_with))
+//! apply it under one shared round structure:
+//!
+//! 1. **inject** — `x'_t = x_t + w_t`, where `w_t` is the workload's
+//!    delta vector for round `t` computed from the pre-round loads;
+//! 2. **check** — non-overdrawing schemes reject any negative
+//!    post-injection load ([`NegativeLoad`](crate::EngineError::NegativeLoad));
+//! 3. **plan + validate + route** — the scheme balances `x'_t` exactly
+//!    as in the closed system.
+//!
+//! A round that errors (at the check or at validation) **keeps no part
+//! of its injection**: the engine undoes the already-applied deltas, so
+//! on error the loads are those after the last fully completed round on
+//! every path — the same guarantee the closed-system paths give — while
+//! the reported error still carries the post-injection load that
+//! triggered it. All paths call [`Workload::inject`] exactly once per
+//! attempted round with identical `(round, loads)` inputs, so stateful
+//! (e.g. seeded-RNG) workloads stay bit-identical across paths.
+//!
+//! Concrete generators (steady arrivals, bursts, hotspots, drains, a
+//! bounded adversary) live in the `dlb-scenario` crate; this module
+//! only defines the engine-facing trait so `dlb-core` does not depend
+//! on the scenario layer.
+
+/// A dynamic workload: a source of per-round signed load deltas.
+///
+/// `Send` is a supertrait because the sharded path hands the workload
+/// to a worker thread (one designated worker drives injection for the
+/// whole node set each round).
+///
+/// Implementations must be deterministic functions of their own state
+/// and the `(round, loads)` arguments — the engine relies on that to
+/// keep its execution paths bit-identical — and must not panic: on the
+/// sharded path a panicking workload would strand the other workers at
+/// a round barrier (the same contract as
+/// [`ShardedBalancer`](crate::ShardedBalancer)).
+pub trait Workload: Send {
+    /// A short label for reports and JSON rows.
+    fn label(&self) -> String;
+
+    /// Writes round `round`'s signed injection into `deltas`
+    /// (`deltas.len() == loads.len()`; the buffer arrives zeroed), given
+    /// the pre-round loads. `round` is 1-based and matches the engine's
+    /// step numbering: the injection applied before step `t` is
+    /// `inject(t, x_t, …)`.
+    ///
+    /// Negative deltas remove tokens. A workload that can over-remove
+    /// (drive a load negative) is allowed — under a non-overdrawing
+    /// scheme the engine reports the same
+    /// [`NegativeLoad`](crate::EngineError::NegativeLoad) it would for a
+    /// negative seed; clamp against `loads` to stay error-free.
+    fn inject(&mut self, round: usize, loads: &[i64], deltas: &mut [i64]);
+
+    /// Restores the post-construction state (RNG position, phase
+    /// counters), so one instance can replay the identical delta
+    /// stream — the scenario harness uses this to drive every execution
+    /// path with the same workload.
+    fn reset(&mut self) {}
+}
+
+/// The empty workload: never injects anything.
+///
+/// This is the type behind the closed-system entry points —
+/// [`Engine::run_kernel`](crate::Engine::run_kernel) is
+/// `run_kernel_with(…, Option::<&mut NoWorkload>::None)`, so the
+/// injection branch monomorphises against a statically absent workload
+/// and the closed-system loop compiles as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoWorkload;
+
+impl NoWorkload {
+    /// The absent-workload argument for the `*_with` entry points, for
+    /// callers who want the closed system spelled out:
+    /// `engine.run_kernel_with(&mut bal, steps, NoWorkload::none())`.
+    #[must_use]
+    pub fn none() -> Option<&'static mut NoWorkload> {
+        None
+    }
+}
+
+impl Workload for NoWorkload {
+    fn label(&self) -> String {
+        "none".into()
+    }
+
+    fn inject(&mut self, _round: usize, _loads: &[i64], _deltas: &mut [i64]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_workload_injects_nothing() {
+        let mut w = NoWorkload;
+        let loads = [5i64, 0, 3];
+        let mut deltas = [0i64; 3];
+        w.inject(1, &loads, &mut deltas);
+        assert_eq!(deltas, [0, 0, 0]);
+        assert_eq!(w.label(), "none");
+        assert!(NoWorkload::none().is_none());
+    }
+}

@@ -2,8 +2,69 @@
 //! structurally valid graphs across its whole parameter range, and the
 //! traversal/property algorithms must agree with closed forms.
 
-use dlb_graph::{generators, properties, traversal, BalancingGraph, PortOrder};
+use dlb_graph::relabel::{bandwidth, Relabeling};
+use dlb_graph::{generators, properties, traversal, BalancingGraph, PortOrder, RegularGraph};
 use proptest::prelude::*;
+
+/// The five generator families at a parameterised size, for relabeling
+/// properties (`pick ∈ 0..5`).
+fn family_graph(pick: usize, size: usize, seed: u64) -> RegularGraph {
+    match pick {
+        0 => generators::cycle(4 + size).unwrap(),
+        1 => generators::torus(2, 3 + size % 8).unwrap(),
+        2 => generators::hypercube(2 + size % 6).unwrap(),
+        3 => generators::clique_circulant(12 + 2 * (size % 12), 4).unwrap(),
+        _ => {
+            let n = 10 + 2 * (size % 40);
+            generators::random_regular(n, 4, seed).unwrap()
+        }
+    }
+}
+
+proptest! {
+    /// Reverse Cuthill–McKee must never make the adjacency bandwidth
+    /// worse than the generator's own (identity) labeling, on any of
+    /// the five graph families — the relabeling exists purely to buy
+    /// locality, so a regression here is a real loss.
+    #[test]
+    fn rcm_never_increases_bandwidth_on_any_family(
+        pick in 0usize..5,
+        size in 0usize..48,
+        seed in 0u64..50,
+    ) {
+        let g = family_graph(pick, size, seed);
+        let identity = bandwidth(&g);
+        let r = Relabeling::reverse_cuthill_mckee(&g);
+        let h = g.relabeled(&r).unwrap();
+        prop_assert!(
+            bandwidth(&h) <= identity,
+            "RCM raised bandwidth {} -> {} (family {}, size {}, seed {})",
+            identity, bandwidth(&h), pick, size, seed
+        );
+    }
+
+    /// `relabeled` composed with the inverse map is the identity:
+    /// per-node data round-trips exactly through permute/unpermute, and
+    /// relabeling by the inverse permutation restores the original
+    /// adjacency (ports included).
+    #[test]
+    fn relabeling_round_trips_adjacency_and_data(
+        pick in 0usize..5,
+        size in 0usize..48,
+        seed in 0u64..50,
+    ) {
+        let g = family_graph(pick, size, seed);
+        let r = Relabeling::reverse_cuthill_mckee(&g);
+        let h = g.relabeled(&r).unwrap();
+        let back = Relabeling::from_forward(r.inverse().to_vec()).unwrap();
+        let g2 = h.relabeled(&back).unwrap();
+        for u in 0..g.num_nodes() {
+            prop_assert_eq!(g2.neighbors(u), g.neighbors(u), "node {} changed", u);
+        }
+        let data: Vec<i64> = (0..g.num_nodes() as i64).map(|i| 3 * i - 7).collect();
+        prop_assert_eq!(r.unpermute(&r.permute(&data)), data);
+    }
+}
 
 proptest! {
     #[test]

@@ -21,7 +21,20 @@ struct Args {
 }
 
 const ALL_IDS: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3", "t1",
+    "e1",
+    "e2",
+    "e3",
+    "e4",
+    "e5",
+    "e6",
+    "e7",
+    "e8",
+    "e9",
+    "a1",
+    "a2",
+    "a3",
+    "t1",
+    "scenarios",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -40,7 +53,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3]... [--quick] [--csv DIR]\n\
+                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios]... [--quick] [--csv DIR]\n\
                      \n\
                      e1  Table 1: discrepancy after 4T per scheme per graph\n\
                      e2  Thm 2.3(i): scaling on expanders\n\
@@ -54,7 +67,9 @@ fn parse_args() -> Result<Args, String> {
                      a1  ablation: self-loop count\n\
                      a2  ablation: cumulative-δ sensitivity\n\
                      a3  ablation: rotor-router port-order sensitivity\n\
-                     t1  throughput: step rates per engine path (writes BENCH_PR3.json)"
+                     t1  throughput: step rates per engine path (writes BENCH_PR3.json)\n\
+                     scenarios  dynamic workloads: steady-state discrepancy, recovery,\n\
+                                cross-path bit-identity under injection (writes BENCH_PR4.json)"
                 );
                 std::process::exit(0);
             }
@@ -89,6 +104,7 @@ fn run_one(id: &str, quick: bool) -> Result<Table, RunError> {
         "a2" => experiments::ablation_delta(quick),
         "a3" => experiments::ablation_port_order(quick),
         "t1" => experiments::throughput(quick),
+        "scenarios" => experiments::scenarios(quick),
         other => unreachable!("unvalidated experiment id {other}"),
     }
 }

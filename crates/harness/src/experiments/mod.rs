@@ -9,6 +9,7 @@ mod ablations;
 mod deviation_trace;
 mod dimension_exchange;
 mod lower;
+mod scenarios;
 mod table1;
 mod thm23;
 mod thm33;
@@ -18,6 +19,7 @@ pub use ablations::{ablation_delta, ablation_port_order, ablation_self_loops};
 pub use deviation_trace::deviation_trace;
 pub use dimension_exchange::dimension_exchange;
 pub use lower::{thm41_lower, thm42_stateless, thm43_rotor_cycle};
+pub use scenarios::scenarios;
 pub use table1::table1;
 pub use thm23::{thm23_cycle, thm23_expander};
 pub use thm33::thm33_time_to_d;

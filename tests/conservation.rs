@@ -3,11 +3,16 @@
 //! The single most fundamental invariant of the model (§1.3: "the total
 //! load summed over all nodes does not change over time"), checked by
 //! proptest across random graphs, random initial loads, random
-//! self-loop counts and every scheme in the library.
+//! self-loop counts and every scheme in the library — and its
+//! open-system generalisation: with a workload injecting signed deltas
+//! every round, the total after `t` rounds equals the initial total
+//! plus the workload's cumulative delta, on every execution path.
 
-use dlb::core::{Engine, LoadVector};
-use dlb::graph::{generators, BalancingGraph};
+use dlb::core::schemes::{RotorRouter, SendFloor, SendRound};
+use dlb::core::{Engine, LoadVector, Workload};
+use dlb::graph::{generators, BalancingGraph, PortOrder};
 use dlb::harness::SchemeSpec;
+use dlb::scenario::WorkloadSpec;
 use proptest::prelude::*;
 
 /// Strategy: a connected-ish random regular graph spec (n, d, seed).
@@ -103,6 +108,147 @@ proptest! {
                 engine.loads().discrepancy() <= k,
                 "{} worsened the discrepancy", scheme.label()
             );
+        }
+    }
+}
+
+/// Wraps a workload and independently accumulates the cumulative signed
+/// delta it emitted, so the conservation law can be checked against a
+/// second source of truth rather than the engine's own counter alone.
+struct Recording {
+    inner: Box<dyn Workload>,
+    cumulative: i64,
+}
+
+impl Recording {
+    fn new(inner: Box<dyn Workload>) -> Self {
+        Recording {
+            inner,
+            cumulative: 0,
+        }
+    }
+}
+
+impl Workload for Recording {
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+    fn inject(&mut self, round: usize, loads: &[i64], deltas: &mut [i64]) {
+        self.inner.inject(round, loads, deltas);
+        self.cumulative += deltas.iter().sum::<i64>();
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.cumulative = 0;
+    }
+}
+
+/// The error-free workload mix (clamped drains only): these runs must
+/// complete, so the recorded cumulative delta covers every round.
+fn conserving_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Steady { rate: 11, seed: 3 },
+        WorkloadSpec::Bursty {
+            on: 2,
+            off: 3,
+            rate: 9,
+            seed: 4,
+        },
+        WorkloadSpec::Hotspot { rate: 6 },
+        WorkloadSpec::Drain { rate: 2 },
+        WorkloadSpec::Adversary { budget: 5 },
+        WorkloadSpec::ArriveAndDrain { rate: 8, seed: 5 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Open-system conservation, every scheme family: after `t` rounds,
+    /// `total == initial + Σ_t Σ_u w_t(u)` — with the cumulative delta
+    /// witnessed both by the engine's counter and by an independent
+    /// recording wrapper around the workload.
+    #[test]
+    fn every_scheme_conserves_total_plus_cumulative_delta(
+        (n, d, seed) in graph_params(),
+        workload_idx in 0usize..6,
+        steps in 1usize..30,
+    ) {
+        let graph = generators::random_regular(n, d, seed).unwrap();
+        let gp = BalancingGraph::lazy(graph);
+        let initial = LoadVector::uniform(n, 40);
+        let total = initial.total();
+        let wspec = &conserving_workloads()[workload_idx];
+        for scheme in all_schemes() {
+            let mut bal = scheme.build(&gp).unwrap();
+            let mut workload = Recording::new(wspec.build(n));
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run_with(bal.as_mut(), steps, Some(&mut workload)).unwrap();
+            prop_assert_eq!(
+                engine.injected_total(), workload.cumulative,
+                "{} under {}: engine counter disagrees with the workload record",
+                scheme.label(), wspec.label()
+            );
+            prop_assert_eq!(
+                engine.loads().total(), total + workload.cumulative,
+                "{} under {} broke open-system conservation", scheme.label(), wspec.label()
+            );
+        }
+    }
+
+    /// Open-system conservation, every execution path: the law holds —
+    /// with the *same* cumulative delta — through `step_with`,
+    /// `run_fast_with`, `run_kernel_with` and `run_parallel_with`.
+    #[test]
+    fn every_path_conserves_total_plus_cumulative_delta(
+        (n, d, seed) in graph_params(),
+        workload_idx in 0usize..6,
+        steps in 1usize..25,
+    ) {
+        let graph = generators::random_regular(n, d, seed).unwrap();
+        let gp = BalancingGraph::lazy(graph);
+        let initial = LoadVector::uniform(n, 40);
+        let total = initial.total();
+        let wspec = &conserving_workloads()[workload_idx];
+
+        // Reference cumulative delta from the instrumented path.
+        let expected = {
+            let mut workload = Recording::new(wspec.build(n));
+            let mut bal = SendFloor::new();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            for _ in 0..steps {
+                engine.step_with(&mut bal, Some(&mut workload)).unwrap();
+            }
+            prop_assert_eq!(engine.loads().total(), total + workload.cumulative);
+            workload.cumulative
+        };
+
+        let mut engine = Engine::new(gp.clone(), initial.clone());
+        let mut workload = wspec.build(n);
+        engine
+            .run_fast_with(&mut SendRound::new(), steps, Some(workload.as_mut()))
+            .unwrap();
+        prop_assert_eq!(engine.loads().total(), total + engine.injected_total());
+
+        let mut engine = Engine::new(gp.clone(), initial.clone());
+        let mut workload = wspec.build(n);
+        let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).unwrap();
+        engine
+            .run_kernel_with(&mut rotor, steps, Some(workload.as_mut()))
+            .unwrap();
+        prop_assert_eq!(engine.injected_total(), expected,
+            "kernel path saw a different delta stream");
+        prop_assert_eq!(engine.loads().total(), total + expected);
+
+        for threads in [1usize, 2, 3] {
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            let mut workload = wspec.build(n);
+            engine
+                .run_parallel_with(&SendFloor::new(), steps, threads, Some(workload.as_mut()))
+                .unwrap();
+            prop_assert_eq!(engine.injected_total(), expected,
+                "parallel({}) saw a different delta stream", threads);
+            prop_assert_eq!(engine.loads().total(), total + expected);
         }
     }
 }

@@ -1,0 +1,353 @@
+//! Differential fuzzing of the engine's execution paths.
+//!
+//! One semantics, four implementations: the instrumented `step_with`
+//! loop, the fused `run_fast_with`, the plan-free `run_kernel_with`,
+//! and the sharded `run_parallel_with` at 1–4 threads. This suite
+//! drives randomized scheme × graph × load × workload combinations
+//! through every applicable path and asserts that the complete
+//! observable outcome is identical:
+//!
+//! * the final load vector, bit for bit,
+//! * the completed step count,
+//! * the negative-node-step accounting,
+//! * the net injected total, and
+//! * on divergence points — rounds rejected with `Overdraw` or
+//!   `NegativeLoad` — the *same error*, same node, same load, same
+//!   1-based step. The workload mix deliberately includes an unclamped
+//!   drain (drives loads negative mid-run) and the scheme mix a
+//!   constant-rate sender (overdraws once injection erodes its load),
+//!   so error rounds *caused by injection* are part of the fuzzed
+//!   space, not an untested corner.
+
+use dlb::core::schemes::{RotorRouter, SendFloor, SendRound};
+use dlb::core::{
+    Balancer, Engine, EngineError, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer, Workload,
+};
+use dlb::graph::{generators, BalancingGraph, PortOrder, RegularGraph};
+use dlb::scenario::WorkloadSpec;
+use proptest::prelude::*;
+
+/// The structured generator families the paths are fuzzed on.
+fn graph_for(idx: usize) -> (&'static str, RegularGraph) {
+    match idx {
+        0 => ("cycle", generators::cycle(24).unwrap()),
+        1 => ("torus", generators::torus(2, 5).unwrap()),
+        2 => ("hypercube", generators::hypercube(5).unwrap()),
+        3 => (
+            "clique-circulant",
+            generators::clique_circulant(24, 4).unwrap(),
+        ),
+        _ => (
+            "random-regular",
+            generators::random_regular(30, 3, 7).unwrap(),
+        ),
+    }
+}
+
+/// The workload mix: `None` is the closed system; the unclamped drain
+/// is the error-provoking configuration.
+fn workload_for(idx: usize) -> Option<WorkloadSpec> {
+    match idx {
+        0 => None,
+        1 => Some(WorkloadSpec::Steady { rate: 9, seed: 5 }),
+        2 => Some(WorkloadSpec::Bursty {
+            on: 3,
+            off: 4,
+            rate: 12,
+            seed: 6,
+        }),
+        3 => Some(WorkloadSpec::Hotspot { rate: 7 }),
+        4 => Some(WorkloadSpec::Drain { rate: 3 }),
+        5 => Some(WorkloadSpec::DrainUnclamped { rate: 3 }),
+        6 => Some(WorkloadSpec::Adversary { budget: 6 }),
+        _ => Some(WorkloadSpec::ArriveAndDrain { rate: 8, seed: 7 }),
+    }
+}
+
+/// A deliberately fragile scheme: every non-empty node sends exactly 3
+/// tokens over port 0 while claiming it never overdraws — so once an
+/// injection round erodes a node below 3, the engine must reject the
+/// round. Implemented identically on the planned, kernel and sharded
+/// entry points, it turns the fuzzer's drain workloads into a source of
+/// mid-run `Overdraw` divergence points.
+#[derive(Clone, Copy)]
+struct Const3;
+
+impl Balancer for Const3 {
+    fn name(&self) -> &'static str {
+        "const-3"
+    }
+    fn is_stateless(&self) -> bool {
+        true
+    }
+    fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+        for u in 0..gp.num_nodes() {
+            if loads.get(u) != 0 {
+                plan.set(u, 0, 3);
+            }
+        }
+    }
+}
+
+impl KernelBalancer for Const3 {
+    fn kernel_node(&mut self, _gp: &BalancingGraph, _u: usize, _load: i64, flows: &mut [u64]) {
+        flows.fill(0);
+        flows[0] = 3;
+    }
+}
+
+impl ShardedBalancer for Const3 {
+    fn plan_node(&self, _gp: &BalancingGraph, _u: usize, _load: i64, flows: &mut [u64]) {
+        flows.fill(0);
+        flows[0] = 3;
+    }
+}
+
+/// Which schemes exist on which paths.
+#[derive(Clone, Copy, PartialEq)]
+enum SchemeId {
+    SendFloor,
+    SendRound,
+    Rotor,
+    Const3,
+}
+
+impl SchemeId {
+    fn from_index(idx: usize) -> Self {
+        match idx {
+            0 => SchemeId::SendFloor,
+            1 => SchemeId::SendRound,
+            2 => SchemeId::Rotor,
+            _ => SchemeId::Const3,
+        }
+    }
+
+    fn build(self, gp: &BalancingGraph) -> Box<dyn Balancer> {
+        match self {
+            SchemeId::SendFloor => Box::new(SendFloor::new()),
+            SchemeId::SendRound => Box::new(SendRound::new()),
+            SchemeId::Rotor => Box::new(RotorRouter::new(gp, PortOrder::Sequential).unwrap()),
+            SchemeId::Const3 => Box::new(Const3),
+        }
+    }
+
+    fn sharded(self) -> Option<Box<dyn ShardedBalancer>> {
+        match self {
+            SchemeId::SendFloor => Some(Box::new(SendFloor::new())),
+            SchemeId::SendRound => Some(Box::new(SendRound::new())),
+            SchemeId::Const3 => Some(Box::new(Const3)),
+            SchemeId::Rotor => None,
+        }
+    }
+}
+
+/// Everything observable about a finished (or error-terminated) run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    loads: Vec<i64>,
+    steps: usize,
+    negative_node_steps: u64,
+    injected_total: i64,
+    error: Option<EngineError>,
+}
+
+impl Outcome {
+    fn capture(engine: &Engine, error: Option<EngineError>) -> Self {
+        Outcome {
+            loads: engine.loads().as_slice().to_vec(),
+            steps: engine.step_count(),
+            negative_node_steps: engine.negative_node_steps(),
+            injected_total: engine.injected_total(),
+            error,
+        }
+    }
+}
+
+fn build_workload(spec: &Option<WorkloadSpec>, n: usize) -> Option<Box<dyn Workload>> {
+    spec.as_ref().map(|s| s.build(n))
+}
+
+fn drive_step_loop(
+    gp: &BalancingGraph,
+    scheme: SchemeId,
+    spec: &Option<WorkloadSpec>,
+    initial: &LoadVector,
+    steps: usize,
+) -> Outcome {
+    let mut bal = scheme.build(gp);
+    let mut workload = build_workload(spec, gp.num_nodes());
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let mut error = None;
+    for _ in 0..steps {
+        match engine.step_with(bal.as_mut(), workload.as_deref_mut()) {
+            Ok(_) => {}
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    Outcome::capture(&engine, error)
+}
+
+fn drive_run_fast(
+    gp: &BalancingGraph,
+    scheme: SchemeId,
+    spec: &Option<WorkloadSpec>,
+    initial: &LoadVector,
+    steps: usize,
+) -> Outcome {
+    let mut bal = scheme.build(gp);
+    let mut workload = build_workload(spec, gp.num_nodes());
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let error = engine
+        .run_fast_with(bal.as_mut(), steps, workload.as_deref_mut())
+        .err();
+    Outcome::capture(&engine, error)
+}
+
+fn drive_run_kernel(
+    gp: &BalancingGraph,
+    scheme: SchemeId,
+    spec: &Option<WorkloadSpec>,
+    initial: &LoadVector,
+    steps: usize,
+) -> Outcome {
+    let mut workload = build_workload(spec, gp.num_nodes());
+    let w = workload.as_deref_mut();
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let error = match scheme {
+        SchemeId::SendFloor => engine
+            .run_kernel_with(&mut SendFloor::new(), steps, w)
+            .err(),
+        SchemeId::SendRound => engine
+            .run_kernel_with(&mut SendRound::new(), steps, w)
+            .err(),
+        SchemeId::Rotor => {
+            let mut rotor = RotorRouter::new(gp, PortOrder::Sequential).unwrap();
+            engine.run_kernel_with(&mut rotor, steps, w).err()
+        }
+        SchemeId::Const3 => engine.run_kernel_with(&mut Const3, steps, w).err(),
+    };
+    Outcome::capture(&engine, error)
+}
+
+fn drive_run_parallel(
+    gp: &BalancingGraph,
+    scheme: SchemeId,
+    spec: &Option<WorkloadSpec>,
+    initial: &LoadVector,
+    steps: usize,
+    threads: usize,
+) -> Option<Outcome> {
+    let sharded = scheme.sharded()?;
+    let mut workload = build_workload(spec, gp.num_nodes());
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let error = engine
+        .run_parallel_with(sharded.as_ref(), steps, threads, workload.as_deref_mut())
+        .err();
+    Some(Outcome::capture(&engine, error))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The differential property: for any (graph, scheme, loads,
+    /// workload, horizon), every execution path produces the same
+    /// outcome — loads, counters and, on divergence points, the exact
+    /// error.
+    #[test]
+    fn all_paths_agree_on_randomized_combos(
+        graph_idx in 0usize..5,
+        scheme_idx in 0usize..4,
+        workload_idx in 0usize..8,
+        pattern in proptest::collection::vec(0i64..120, 4..12),
+        steps in 1usize..30,
+    ) {
+        let (gname, graph) = graph_for(graph_idx);
+        let n = graph.num_nodes();
+        let gp = BalancingGraph::lazy(graph);
+        let scheme = SchemeId::from_index(scheme_idx);
+        let spec = workload_for(workload_idx);
+        let mut loads = vec![0i64; n];
+        for (slot, &value) in loads.iter_mut().zip(pattern.iter().cycle()) {
+            *slot = value;
+        }
+        let initial = LoadVector::new(loads);
+        let wname = spec.as_ref().map_or_else(|| "none".into(), |s| s.label());
+
+        let reference = drive_step_loop(&gp, scheme, &spec, &initial, steps);
+        let fast = drive_run_fast(&gp, scheme, &spec, &initial, steps);
+        prop_assert_eq!(
+            &fast, &reference,
+            "run_fast diverged on {}/{}", gname, wname
+        );
+        let kernel = drive_run_kernel(&gp, scheme, &spec, &initial, steps);
+        prop_assert_eq!(
+            &kernel, &reference,
+            "run_kernel diverged on {}/{}", gname, wname
+        );
+        for threads in [1usize, 2, 3, 4] {
+            if let Some(par) = drive_run_parallel(&gp, scheme, &spec, &initial, steps, threads) {
+                prop_assert_eq!(
+                    &par, &reference,
+                    "run_parallel({}) diverged on {}/{}", threads, gname, wname
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic anchor for the fuzzed property: the unclamped drain
+/// must actually produce mid-run `NegativeLoad` divergence points (not
+/// silently never fire), and all paths must agree on them.
+#[test]
+fn unclamped_drain_produces_identical_negative_divergence() {
+    let gp = BalancingGraph::lazy(generators::cycle(16).unwrap());
+    let spec = Some(WorkloadSpec::DrainUnclamped { rate: 5 });
+    let initial = LoadVector::uniform(16, 12);
+    let steps = 40;
+    let reference = drive_step_loop(&gp, SchemeId::SendFloor, &spec, &initial, steps);
+    let err = reference
+        .error
+        .as_ref()
+        .expect("a 5/round unclamped drain must out-pace refill");
+    assert!(
+        matches!(err, EngineError::NegativeLoad { .. }),
+        "unexpected error {err:?}"
+    );
+    assert!(reference.steps < steps, "error must occur mid-run");
+    for outcome in [
+        drive_run_fast(&gp, SchemeId::SendFloor, &spec, &initial, steps),
+        drive_run_kernel(&gp, SchemeId::SendFloor, &spec, &initial, steps),
+        drive_run_parallel(&gp, SchemeId::SendFloor, &spec, &initial, steps, 3).unwrap(),
+    ] {
+        assert_eq!(outcome, reference);
+    }
+}
+
+/// Likewise for `Overdraw`: injection erodes a node below `Const3`'s
+/// fixed send rate and every path must reject the same round.
+#[test]
+fn injection_eroded_overdraw_is_identical_on_every_path() {
+    let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
+    // Clamped drain cannot go negative, but it starves the sinks until
+    // Const3's fixed plan of 3 exceeds what a sink holds: a pure
+    // injection-triggered overdraw.
+    let spec = Some(WorkloadSpec::Drain { rate: 2 });
+    let initial = LoadVector::uniform(8, 9);
+    let steps = 30;
+    let reference = drive_step_loop(&gp, SchemeId::Const3, &spec, &initial, steps);
+    let err = reference.error.as_ref().expect("drain must starve a node");
+    assert!(
+        matches!(err, EngineError::Overdraw { planned: 3, .. }),
+        "unexpected error {err:?}"
+    );
+    for outcome in [
+        drive_run_fast(&gp, SchemeId::Const3, &spec, &initial, steps),
+        drive_run_kernel(&gp, SchemeId::Const3, &spec, &initial, steps),
+        drive_run_parallel(&gp, SchemeId::Const3, &spec, &initial, steps, 2).unwrap(),
+    ] {
+        assert_eq!(outcome, reference);
+    }
+}

@@ -247,6 +247,46 @@ proptest! {
             }
         }
     }
+
+    /// Guarantee 4, state half: relabeling round-trips the
+    /// rotor-router's *state*, not just the loads. After identical
+    /// horizons, mapping the relabeled run's rotor positions back
+    /// through the inverse permutation must reproduce the original
+    /// run's rotors exactly (port numbering is preserved per node, and
+    /// `Sequential` order is node-id independent, so rotor indices are
+    /// directly comparable).
+    #[test]
+    fn relabeled_runs_round_trip_rotor_state(
+        pattern in proptest::collection::vec(0i64..300, 4..12),
+        steps in 1usize..25,
+    ) {
+        for (name, graph) in graph_family() {
+            let n = graph.num_nodes();
+            let relab = Relabeling::reverse_cuthill_mckee(&graph);
+            let rgp = BalancingGraph::lazy(graph.relabeled(&relab).unwrap());
+            let gp = BalancingGraph::lazy(graph);
+            let initial = loads_for(n, &pattern);
+            let rinitial = LoadVector::new(relab.permute(initial.as_slice()));
+
+            let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).unwrap();
+            let mut reference = Engine::new(gp.clone(), initial);
+            reference.run_kernel(&mut rotor, steps).unwrap();
+
+            let mut rrotor = RotorRouter::new(&rgp, PortOrder::Sequential).unwrap();
+            let mut relabeled = Engine::new(rgp.clone(), rinitial);
+            relabeled.run_kernel(&mut rrotor, steps).unwrap();
+
+            prop_assert_eq!(
+                relab.unpermute(rrotor.rotors()),
+                rotor.rotors().to_vec(),
+                "rotor state broke under relabeling on {}", name
+            );
+            prop_assert_eq!(
+                LoadVector::new(relab.unpermute(relabeled.loads().as_slice())),
+                reference.loads().clone()
+            );
+        }
+    }
 }
 
 /// The headline regression, end to end through the public facade: an
