@@ -1,0 +1,92 @@
+//! S1/S2 — scenario-runner throughput: the harness cost of measuring
+//! the open system, with and without churn.
+//!
+//! `Scenario::run` allocates a fresh recorder per call; a sweep reuses
+//! one `ScenarioRecorder` across cells via `run_dyn`, so the per-round
+//! recording buffers are preallocated once — the `reused_recorder`
+//! benchmark pins that difference. The churn benchmarks measure the
+//! end-to-end cost of the dynamic-topology round structure against
+//! the identical static scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_core::schemes::SendFloor;
+use dlb_core::LoadVector;
+use dlb_graph::{generators, BalancingGraph};
+use dlb_scenario::workloads::Hotspot;
+use dlb_scenario::{Scenario, ScenarioRecorder, TopologySchedule};
+use dlb_topology::schedules::FailureRecovery;
+use std::hint::black_box;
+
+const N: usize = 256;
+const ROUNDS: usize = 128;
+
+fn scenario_for(gp: &BalancingGraph) -> Scenario {
+    let mut scenario = Scenario::new(ROUNDS, gp);
+    // The benchmarks time the injection phase, not the recovery search.
+    scenario.recovery_max_rounds = 0;
+    scenario
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let gp = BalancingGraph::lazy(generators::torus(2, 16).expect("graph builds"));
+    let initial = LoadVector::uniform(N, 32);
+    let scenario = scenario_for(&gp);
+
+    let mut group = c.benchmark_group("throughput_scenarios");
+    group.throughput(Throughput::Elements((N * ROUNDS) as u64));
+    group.sample_size(20);
+
+    group.bench_function("fresh_recorder_per_run", |b| {
+        b.iter(|| {
+            let report = scenario
+                .run(
+                    &gp,
+                    &initial,
+                    &mut SendFloor::new(),
+                    &mut Hotspot::new(0, 32),
+                )
+                .expect("scenario runs");
+            black_box(report.steady_discrepancy_max)
+        });
+    });
+
+    group.bench_function("reused_recorder", |b| {
+        let mut recorder = ScenarioRecorder::new();
+        b.iter(|| {
+            let report = scenario
+                .run_dyn(
+                    &gp,
+                    &initial,
+                    &mut SendFloor::new(),
+                    None,
+                    &mut Hotspot::new(0, 32),
+                    &mut recorder,
+                )
+                .expect("scenario runs");
+            black_box(report.steady_discrepancy_max)
+        });
+    });
+
+    group.bench_function("reused_recorder_under_churn", |b| {
+        let mut recorder = ScenarioRecorder::new();
+        b.iter(|| {
+            let mut churn = FailureRecovery::new(0.2, 0.15, N / 8, 7);
+            let report = scenario
+                .run_dyn(
+                    &gp,
+                    &initial,
+                    &mut SendFloor::new(),
+                    Some(&mut churn as &mut dyn TopologySchedule),
+                    &mut Hotspot::new(0, 32),
+                    &mut recorder,
+                )
+                .expect("scenario runs");
+            black_box((report.steady_discrepancy_max, report.topology_events))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use dlb_graph::BalancingGraph;
+use dlb_graph::{mutate, BalancingGraph, TopologyEvent};
+use dlb_topology::{self as topology, StaticTopology, TopologySchedule};
 
 use crate::fairness::FairnessMonitor;
 use crate::kernel::{self, KernelBalancer};
@@ -50,6 +51,56 @@ impl DiscrepancyTracker {
         let min = *self.counts.keys().next().expect("loads are non-empty");
         let max = *self.counts.keys().next_back().expect("loads are non-empty");
         max - min
+    }
+}
+
+/// An exact load index value → node-set, maintained at every load
+/// write on the planned paths while an argmax-hungry workload (the
+/// bounded adversary) is active: the `(argmax node, max load)` hint
+/// reads in `O(log n)` — the node set per value is a [`BTreeSet`], so
+/// ties resolve to the lowest id exactly like a full ascending scan —
+/// instead of the workload rescanning the whole load vector every
+/// injecting round.
+#[derive(Debug, Clone, Default)]
+struct ArgmaxTracker {
+    buckets: BTreeMap<i64, BTreeSet<u32>>,
+}
+
+impl ArgmaxTracker {
+    /// Builds the index from scratch — the one full scan an activation
+    /// pays.
+    fn build(loads: &[i64]) -> Self {
+        let mut buckets: BTreeMap<i64, BTreeSet<u32>> = BTreeMap::new();
+        for (u, &x) in loads.iter().enumerate() {
+            buckets.entry(x).or_default().insert(u as u32);
+        }
+        ArgmaxTracker { buckets }
+    }
+
+    /// Moves `node` from load `old` to load `new`.
+    #[inline]
+    fn update(&mut self, node: usize, old: i64, new: i64) {
+        if old == new {
+            return;
+        }
+        if let Some(set) = self.buckets.get_mut(&old) {
+            set.remove(&(node as u32));
+            if set.is_empty() {
+                self.buckets.remove(&old);
+            }
+        }
+        self.buckets.entry(new).or_default().insert(node as u32);
+    }
+
+    /// The most-loaded node (lowest id on ties) and its load.
+    fn argmax(&self) -> (usize, i64) {
+        let (&load, set) = self
+            .buckets
+            .iter()
+            .next_back()
+            .expect("loads are non-empty");
+        let node = *set.iter().next().expect("buckets are never empty");
+        (node as usize, load)
     }
 }
 
@@ -132,6 +183,18 @@ pub struct Engine {
     /// Load multiset, maintained at every load write while
     /// [`run_until`](Engine::run_until) is active, `None` otherwise.
     tracker: Option<DiscrepancyTracker>,
+    /// Load index for argmax-hungry workloads, maintained at every
+    /// load write on the planned paths while such a workload is
+    /// active; dropped (and rebuilt on demand) whenever a plan-free
+    /// path mutates loads behind its back.
+    argmax: Option<ArgmaxTracker>,
+    /// Per-round scratch for the schedule's raw event list.
+    ev_scratch: Vec<TopologyEvent>,
+    /// The current round's applied topology events (the rollback list).
+    ev_applied: Vec<TopologyEvent>,
+    /// Topology events applied over all completed rounds (an erroring
+    /// round's events are undone and not counted).
+    topology_events: u64,
 }
 
 impl Engine {
@@ -163,6 +226,10 @@ impl Engine {
             injected_total: 0,
             discrepancy_scans: 0,
             tracker: None,
+            argmax: None,
+            ev_scratch: Vec::new(),
+            ev_applied: Vec::new(),
+            topology_events: 0,
         }
     }
 
@@ -210,6 +277,14 @@ impl Engine {
         self.injected_total
     }
 
+    /// Topology events (double-edge swaps, port permutations, node
+    /// sleep/wake) applied over all completed rounds. An erroring
+    /// round's events are undone and not counted, so this always
+    /// describes the graph the engine currently holds.
+    pub fn topology_events_applied(&self) -> u64 {
+        self.topology_events
+    }
+
     /// Full `O(n)` discrepancy scans performed so far: one per
     /// [`step`](Engine::step) call plus one per
     /// [`run_until`](Engine::run_until) call (the tracker build). The
@@ -225,28 +300,74 @@ impl Engine {
         self.loads.discrepancy()
     }
 
-    /// Applies one round of `workload` to the loads in place (the
+    /// Applies one round of injection to the loads in place (the
     /// paper-round structure puts injection *before* the negative check
-    /// and planning), maintaining the negative count and, when active,
-    /// the discrepancy tracker. Returns the round's net delta; the
-    /// applied deltas stay in `inj_scratch` for a potential
+    /// and planning): the workload's deltas, if any, plus the failure
+    /// handoff — every asleep node's queue (same-round injection
+    /// included) moves to its live neighbours. Maintains the negative
+    /// count and, when active, the discrepancy tracker and the argmax
+    /// index. Returns the round's net delta (handoffs sum to zero, so
+    /// this is the workload's contribution); the applied deltas stay
+    /// in `inj_scratch` for a potential
     /// [`undo_injection`](Engine::undo_injection).
-    fn apply_injection<'w>(&mut self, workload: &mut (dyn Workload + 'w)) -> i64 {
+    fn apply_injection<'w>(&mut self, workload: Option<&mut (dyn Workload + 'w)>) -> i64 {
         let n = self.gp.num_nodes();
         self.inj_scratch.resize(n, 0);
         self.inj_scratch.fill(0);
-        workload.inject(self.step + 1, self.loads.as_slice(), &mut self.inj_scratch);
+        if let Some(w) = workload {
+            let hint = if w.needs_argmax() {
+                if self.argmax.is_none() {
+                    // The one full scan an activation pays; every load
+                    // write keeps the index current from here on.
+                    self.argmax = Some(ArgmaxTracker::build(self.loads.as_slice()));
+                }
+                Some(self.argmax.as_ref().expect("just built").argmax())
+            } else {
+                // The index is only worth its per-write maintenance
+                // while an argmax-hungry workload is active; a later
+                // activation rebuilds it.
+                self.argmax = None;
+                None
+            };
+            w.inject_with_hint(
+                self.step + 1,
+                self.loads.as_slice(),
+                hint,
+                &mut self.inj_scratch,
+            );
+        } else {
+            self.argmax = None;
+        }
+        if self.gp.graph().asleep_count() > 0 {
+            mutate::handoff_deltas(
+                self.gp.graph(),
+                self.loads.as_slice(),
+                &mut self.inj_scratch,
+            );
+        }
+        self.apply_scratch(false)
+    }
+
+    /// Applies (`negate == false`) or reverts (`negate == true`) the
+    /// deltas held in `inj_scratch`, maintaining the negative count
+    /// and the active load indices at every write. Returns the net
+    /// pre-`negate` delta.
+    fn apply_scratch(&mut self, negate: bool) -> i64 {
         let loads = self.loads.as_mut_slice();
         let mut tracker = self.tracker.as_mut();
+        let mut argmax = self.argmax.as_mut();
         let mut negative = self.negative_count;
         let mut sum = 0i64;
-        for (x, &dv) in loads.iter_mut().zip(&self.inj_scratch) {
+        for (u, (x, &dv)) in loads.iter_mut().zip(&self.inj_scratch).enumerate() {
             if dv != 0 {
                 let old = *x;
-                let new = old + dv;
+                let new = if negate { old - dv } else { old + dv };
                 negative = negative + usize::from(new < 0) - usize::from(old < 0);
                 if let Some(t) = tracker.as_deref_mut() {
                     t.update(old, new);
+                }
+                if let Some(a) = argmax.as_deref_mut() {
+                    a.update(u, old, new);
                 }
                 *x = new;
                 sum += dv;
@@ -257,24 +378,11 @@ impl Engine {
     }
 
     /// Reverts [`apply_injection`](Engine::apply_injection): an
-    /// erroring round keeps no part of its injection, so on error the
-    /// loads are those after the last fully completed round.
+    /// erroring round keeps no part of its injection (failure handoffs
+    /// included), so on error the loads are those after the last fully
+    /// completed round.
     fn undo_injection(&mut self) {
-        let loads = self.loads.as_mut_slice();
-        let mut tracker = self.tracker.as_mut();
-        let mut negative = self.negative_count;
-        for (x, &dv) in loads.iter_mut().zip(&self.inj_scratch) {
-            if dv != 0 {
-                let old = *x;
-                let new = old - dv;
-                negative = negative + usize::from(new < 0) - usize::from(old < 0);
-                if let Some(t) = tracker.as_deref_mut() {
-                    t.update(old, new);
-                }
-                *x = new;
-            }
-        }
-        self.negative_count = negative;
+        self.apply_scratch(true);
     }
 
     /// First node with negative load; callers guarantee one exists.
@@ -347,6 +455,7 @@ impl Engine {
         let plan = &self.plan;
         let loads = self.loads.as_mut_slice();
         let mut tracker = self.tracker.as_mut();
+        let mut argmax = self.argmax.as_mut();
         let mut negative = self.negative_count;
         for (u, &moved) in plan.touched().zip(&self.outflow) {
             for (p, &f) in plan.node(u)[..d].iter().enumerate() {
@@ -360,6 +469,9 @@ impl Engine {
                 if let Some(t) = tracker.as_deref_mut() {
                     t.update(old, new);
                 }
+                if let Some(a) = argmax.as_deref_mut() {
+                    a.update(v, old, new);
+                }
                 loads[v] = new;
             }
             if moved != 0 {
@@ -368,6 +480,9 @@ impl Engine {
                 negative = negative + usize::from(new < 0) - usize::from(old < 0);
                 if let Some(t) = tracker.as_deref_mut() {
                     t.update(old, new);
+                }
+                if let Some(a) = argmax.as_deref_mut() {
+                    a.update(u, old, new);
                 }
                 loads[u] = new;
             }
@@ -382,16 +497,47 @@ impl Engine {
         Ok(())
     }
 
-    /// One fused round: inject, pre-plan check, clear, plan,
-    /// validate + route. An erroring round undoes its injection, so on
-    /// error nothing — loads included — has advanced.
-    fn step_inner<'w>(
+    /// One fused round of the full dynamic structure: mutate topology,
+    /// inject (workload deltas plus failure handoffs), pre-plan check,
+    /// clear, plan, validate + route. An erroring round undoes its
+    /// injection *and* its topology events, so on error nothing —
+    /// loads and graph included — has advanced.
+    fn step_inner<'s, 'w>(
         &mut self,
         balancer: &mut dyn Balancer,
         instrumented: bool,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
         workload: Option<&mut (dyn Workload + 'w)>,
     ) -> Result<(), EngineError> {
-        let injected = workload.map(|w| self.apply_injection(w));
+        // Phase 0 — topology. A rejected event aborts the round before
+        // any load moved (the graph is already rolled back).
+        self.ev_applied.clear();
+        if let Some(s) = schedule {
+            if let Err(e) = topology::drive_events(
+                s,
+                self.step + 1,
+                self.gp.graph_mut(),
+                &mut self.ev_scratch,
+                &mut self.ev_applied,
+            ) {
+                return Err(EngineError::Topology {
+                    step: self.step + 1,
+                    reason: e.to_string(),
+                });
+            }
+        }
+        // Phase 1 — injection + failure handoff, needed whenever a
+        // workload is present or any node is asleep (its queue must
+        // reach live neighbours even in otherwise closed rounds).
+        let injecting = workload.is_some() || self.gp.graph().asleep_count() > 0;
+        if !injecting {
+            // Fully closed round: no workload can read the argmax
+            // index, so stop paying its per-write maintenance
+            // (`apply_injection` makes the same call for rounds whose
+            // workload does not want it).
+            self.argmax = None;
+        }
+        let injected = injecting.then(|| self.apply_injection(workload));
         let check = !balancer.may_overdraw();
         let result = self.check_negative_preplan(check).and_then(|()| {
             self.plan.clear();
@@ -404,12 +550,14 @@ impl Engine {
         match result {
             Ok(()) => {
                 self.injected_total += injected.unwrap_or(0);
+                self.topology_events += self.ev_applied.len() as u64;
                 Ok(())
             }
             Err(e) => {
                 if injected.is_some() {
                     self.undo_injection();
                 }
+                topology::undo_events(self.gp.graph_mut(), &self.ev_applied);
                 Err(e)
             }
         }
@@ -447,7 +595,30 @@ impl Engine {
         balancer: &mut dyn Balancer,
         workload: Option<&mut (dyn Workload + 'w)>,
     ) -> Result<StepSummary, EngineError> {
-        self.step_inner(balancer, true, workload)?;
+        self.step_dyn(balancer, None, workload)
+    }
+
+    /// [`step_with`](Engine::step_with) in the dynamic-topology
+    /// system: before injection, `schedule`'s events for this round
+    /// mutate the graph in place — double-edge swaps, port
+    /// permutations, node sleep/wake — and every asleep node's queue
+    /// is handed to its live neighbours. The full round structure is
+    /// *mutate topology, inject load, negative-check, plan, validate,
+    /// route*; a round that errors keeps neither its injection nor its
+    /// topology events. See [`dlb_topology`] for schedules.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_with`](Engine::step_with), plus
+    /// [`EngineError::Topology`] when the schedule emits an event the
+    /// graph rejects.
+    pub fn step_dyn<'s, 'w>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<StepSummary, EngineError> {
+        self.step_inner(balancer, true, schedule, workload)?;
         Ok(StepSummary {
             step: self.step,
             discrepancy: self.scan_discrepancy(),
@@ -475,15 +646,30 @@ impl Engine {
         &mut self,
         balancer: &mut dyn Balancer,
         steps: usize,
+        workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<(), EngineError> {
+        self.run_dyn(balancer, steps, None, workload)
+    }
+
+    /// [`run_with`](Engine::run_with) with per-round topology churn
+    /// (see [`step_dyn`](Engine::step_dyn) for the round structure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_dyn<'s, 'w>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
+        mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
         mut workload: Option<&mut (dyn Workload + 'w)>,
     ) -> Result<(), EngineError> {
         for _ in 0..steps {
-            // Explicit reborrow: each round gets a fresh short-lived
-            // `&mut dyn Workload` out of the long-lived option.
-            match workload {
-                Some(ref mut w) => self.step_inner(balancer, true, Some(&mut **w))?,
-                None => self.step_inner(balancer, true, None)?,
-            }
+            // Explicit reborrows: each round gets fresh short-lived
+            // `&mut dyn` views out of the long-lived options.
+            let s = schedule.as_deref_mut();
+            let w = workload.as_deref_mut();
+            self.step_inner(balancer, true, s, w)?;
         }
         Ok(())
     }
@@ -515,13 +701,29 @@ impl Engine {
         &mut self,
         balancer: &mut dyn Balancer,
         steps: usize,
+        workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<(), EngineError> {
+        self.run_fast_dyn(balancer, steps, None, workload)
+    }
+
+    /// [`run_fast_with`](Engine::run_fast_with) with per-round
+    /// topology churn (see [`step_dyn`](Engine::step_dyn) for the
+    /// round structure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_fast_dyn<'s, 'w>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
+        mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
         mut workload: Option<&mut (dyn Workload + 'w)>,
     ) -> Result<(), EngineError> {
         for _ in 0..steps {
-            match workload {
-                Some(ref mut w) => self.step_inner(balancer, false, Some(&mut **w))?,
-                None => self.step_inner(balancer, false, None)?,
-            }
+            let s = schedule.as_deref_mut();
+            let w = workload.as_deref_mut();
+            self.step_inner(balancer, false, s, w)?;
         }
         Ok(())
     }
@@ -571,11 +773,41 @@ impl Engine {
         steps: usize,
         workload: Option<&mut W>,
     ) -> Result<(), EngineError> {
+        self.run_kernel_dyn(balancer, steps, StaticTopology::none(), workload)
+    }
+
+    /// [`run_kernel_with`](Engine::run_kernel_with) with per-round
+    /// topology churn: the kernel loop runs the full dynamic round
+    /// structure — mutate topology, inject, hand asleep queues to
+    /// live neighbours, negative-check, plan, validate, route — and is
+    /// monomorphised over the schedule type, so the
+    /// [`StaticTopology`]-`None` case (what the closed entry points
+    /// pass) folds the churn branches away and keeps the fixed-graph
+    /// throughput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered; on error the
+    /// loads **and the graph** are those after the last fully
+    /// completed round (the erroring round's injection and topology
+    /// events are undone).
+    pub fn run_kernel_dyn<K, S, W>(
+        &mut self,
+        balancer: &mut K,
+        steps: usize,
+        schedule: Option<&mut S>,
+        workload: Option<&mut W>,
+    ) -> Result<(), EngineError>
+    where
+        K: KernelBalancer + ?Sized,
+        S: TopologySchedule + ?Sized,
+        W: Workload + ?Sized,
+    {
         if steps == 0 {
             return Ok(());
         }
         let check = !balancer.may_overdraw();
-        self.kernel_rounds(check, steps, workload, |gp, u, x, fl| {
+        self.kernel_rounds(check, steps, schedule, workload, |gp, u, x, fl| {
             balancer.kernel_node(gp, u, x, fl)
         })
     }
@@ -584,15 +816,19 @@ impl Engine {
     /// buffer, streams the rounds through [`kernel::run_rounds`], and
     /// applies the returned counters — so the kernel and the
     /// degenerate one-thread sharded entry cannot drift apart.
-    fn kernel_rounds<W: Workload + ?Sized>(
+    fn kernel_rounds<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
         &mut self,
         check: bool,
         steps: usize,
+        schedule: Option<&mut S>,
         workload: Option<&mut W>,
         mut per_node: impl FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     ) -> Result<(), EngineError> {
+        // The plan-free paths write loads behind the argmax index's
+        // back; drop it and let the next planned injection rebuild.
+        self.argmax = None;
         let mut back = vec![0i64; self.gp.num_nodes()];
-        let gp = &self.gp;
+        let gp = &mut self.gp;
         let loads = self.loads.as_mut_slice();
         let (stats, err) = kernel::run_rounds(
             gp,
@@ -604,13 +840,15 @@ impl Engine {
                 base_step: self.step,
                 negative_count: self.negative_count,
             },
+            schedule,
             workload,
-            |u, x, fl| per_node(gp, u, x, fl),
+            |gp, u, x, fl| per_node(gp, u, x, fl),
         );
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
         self.negative_count = stats.negative_count;
         self.injected_total += stats.injected;
+        self.topology_events += stats.topology_events;
         match err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -662,43 +900,75 @@ impl Engine {
         threads: usize,
         workload: Option<&mut W>,
     ) -> Result<(), EngineError> {
+        self.run_parallel_dyn(balancer, steps, threads, StaticTopology::none(), workload)
+    }
+
+    /// [`run_parallel_with`](Engine::run_parallel_with) with per-round
+    /// topology churn: worker 0 drives the schedule exactly once per
+    /// round and broadcasts the validated events; every worker applies
+    /// them to its own graph replica, so the sharded rounds see the
+    /// identical graph the serial paths see — bit-identity holds for
+    /// any thread count under any schedule × workload combination (see
+    /// [`parallel`](crate::parallel) for the phase structure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered — the same
+    /// error, on the same step and node, the serial engine would
+    /// report; the erroring round's injection and topology events are
+    /// undone.
+    pub fn run_parallel_dyn<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
+        &mut self,
+        balancer: &dyn ShardedBalancer,
+        steps: usize,
+        threads: usize,
+        schedule: Option<&mut S>,
+        workload: Option<&mut W>,
+    ) -> Result<(), EngineError> {
         let n = self.gp.num_nodes();
         let threads = threads.max(1).min(n);
         if steps == 0 {
             return Ok(());
         }
         let check = !balancer.may_overdraw();
-        if workload.is_none() {
-            // Closed system: negatives cannot appear mid-run for a
-            // checked scheme, so one entry check suffices. With a
-            // workload the check must see each round's post-injection
-            // loads instead (a drain may create, or an arrival may
-            // cure, a negative) — the round loops do that.
+        if workload.is_none() && schedule.is_none() && self.gp.graph().asleep_count() == 0 {
+            // Fully closed system: negatives cannot appear mid-run for
+            // a checked scheme, so one entry check suffices. Any
+            // dynamic ingredient defers to the round loops instead —
+            // a workload's drain may create (or an arrival cure) a
+            // negative, a failure handoff may cure one, and a round-1
+            // topology error must outrank a pre-existing negative the
+            // way the serial round order (mutate, inject, check)
+            // dictates, on the same step.
             self.check_negative_preplan(check)?;
         }
         if threads == 1 {
             // Degenerate sharding: the serial plan-free kernel path,
             // planned through the same per-node entry point — one
             // thread must never pay shard/synchronisation overhead.
-            return self.kernel_rounds(check, steps, workload, |gp, u, x, fl| {
+            return self.kernel_rounds(check, steps, schedule, workload, |gp, u, x, fl| {
                 balancer.plan_node(gp, u, x, fl)
             });
         }
 
+        // The sharded path writes loads behind the argmax index's back.
+        self.argmax = None;
         let base_step = self.step;
         let (stats, err) = parallel::run_sharded(
-            &self.gp,
+            &mut self.gp,
             self.loads.as_mut_slice(),
             balancer,
             steps,
             threads,
             base_step,
+            schedule,
             workload,
         );
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
         self.negative_count = stats.negative_count;
         self.injected_total += stats.injected;
+        self.topology_events += stats.topology_events;
         match err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -730,7 +1000,7 @@ impl Engine {
         self.tracker = Some(DiscrepancyTracker::build(self.loads.as_slice()));
         let mut outcome = Ok(None);
         for _ in 0..max_steps {
-            if let Err(e) = self.step_inner(balancer, true, None) {
+            if let Err(e) = self.step_inner(balancer, true, None, None) {
                 outcome = Err(e);
                 break;
             }
@@ -1176,5 +1446,507 @@ mod tests {
             let s = engine.step(&mut bal).unwrap();
             assert_eq!(s.negative_nodes, engine.loads().negative_nodes());
         }
+    }
+
+    /// A tiny deterministic schedule for the dyn-path tests: one swap
+    /// at round 2, a sleep at round 4, the matching wake at round 8.
+    struct MiniChurn;
+    impl TopologySchedule for MiniChurn {
+        fn label(&self) -> String {
+            "mini-churn".into()
+        }
+        fn events(
+            &mut self,
+            round: usize,
+            _g: &dlb_graph::RegularGraph,
+            out: &mut Vec<TopologyEvent>,
+        ) {
+            match round {
+                2 => out.push(TopologyEvent::Swap {
+                    a: 0,
+                    b: 1,
+                    c: 6,
+                    d: 7,
+                }),
+                4 => out.push(TopologyEvent::Sleep { node: 3 }),
+                8 => out.push(TopologyEvent::Wake { node: 3 }),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_paths_agree_on_loads_graph_and_counters() {
+        let make = || Engine::new(lazy_cycle(12), LoadVector::point_mass(12, 240));
+        let reference = {
+            let mut engine = make();
+            for _ in 0..20 {
+                engine
+                    .step_dyn(
+                        &mut SendFloor::new(),
+                        Some(&mut MiniChurn),
+                        Some(&mut Node0Arrivals { rate: 5 }),
+                    )
+                    .unwrap();
+            }
+            engine
+        };
+        assert_eq!(reference.topology_events_applied(), 3);
+        assert!(reference.graph().graph().has_edge(0, 6), "swap landed");
+        assert!(reference.graph().graph().is_awake(3), "woken back up");
+
+        let mut fast = make();
+        fast.run_fast_dyn(
+            &mut SendFloor::new(),
+            20,
+            Some::<&mut dyn TopologySchedule>(&mut MiniChurn),
+            Some(&mut Node0Arrivals { rate: 5 }),
+        )
+        .unwrap();
+        assert_eq!(fast.loads(), reference.loads());
+        assert_eq!(fast.graph(), reference.graph());
+        assert_eq!(fast.injected_total(), reference.injected_total());
+        assert_eq!(fast.topology_events_applied(), 3);
+
+        let mut kern = make();
+        kern.run_kernel_dyn(
+            &mut SendFloor::new(),
+            20,
+            Some(&mut MiniChurn),
+            Some(&mut Node0Arrivals { rate: 5 }),
+        )
+        .unwrap();
+        assert_eq!(kern.loads(), reference.loads());
+        assert_eq!(kern.graph(), reference.graph());
+        assert_eq!(kern.topology_events_applied(), 3);
+
+        for threads in [1usize, 2, 3] {
+            let mut par = make();
+            par.run_parallel_dyn(
+                &SendFloor::new(),
+                20,
+                threads,
+                Some(&mut MiniChurn),
+                Some(&mut Node0Arrivals { rate: 5 }),
+            )
+            .unwrap();
+            assert_eq!(par.loads(), reference.loads(), "parallel({threads})");
+            assert_eq!(par.graph(), reference.graph(), "parallel({threads})");
+            assert_eq!(par.topology_events_applied(), 3);
+        }
+    }
+
+    #[test]
+    fn asleep_node_hands_its_queue_to_live_neighbors_and_never_plans() {
+        // Sleep node 0 (the point mass) at round 1; its pile must move
+        // to nodes 1 and 11 at the round boundary and node 0 must plan
+        // nothing while asleep.
+        struct SleepZero;
+        impl TopologySchedule for SleepZero {
+            fn label(&self) -> String {
+                "sleep-zero".into()
+            }
+            fn events(
+                &mut self,
+                round: usize,
+                _g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                if round == 1 {
+                    out.push(TopologyEvent::Sleep { node: 0 });
+                }
+            }
+        }
+        let gp = lazy_cycle(12);
+        let mut rotor = RotorRouter::new(&gp, PortOrder::Sequential).unwrap();
+        let mut engine = Engine::new(gp, LoadVector::point_mass(12, 100));
+        engine
+            .run_dyn(
+                &mut rotor,
+                6,
+                Some::<&mut dyn TopologySchedule>(&mut SleepZero),
+                Option::<&mut dyn crate::Workload>::None,
+            )
+            .unwrap();
+        assert_eq!(engine.loads().total(), 100, "handoff conserves");
+        assert!(!engine.graph().graph().is_awake(0));
+        // Node 0 went down in round 1's topology phase, before any
+        // planning: it is drained at every round boundary, so it never
+        // plans and its rotor never moves — everything it receives
+        // mid-round (schemes are topology-oblivious) is forwarded at
+        // the next boundary.
+        assert_eq!(rotor.rotors()[0], 0, "asleep node must never plan");
+        assert!(rotor.rotors()[1] != 0, "live neighbours balance the pile");
+        assert!(
+            engine.loads().get(0) < 50,
+            "the pile moved off the failed node (only one round of receipts may sit in its queue)"
+        );
+        // Closed system, so injected_total stays zero even though the
+        // handoff machinery ran.
+        assert_eq!(engine.injected_total(), 0);
+    }
+
+    #[test]
+    fn erroring_round_rolls_back_topology_events_on_every_path() {
+        // Drain node 1 hard so the negative check trips mid-run while
+        // the schedule keeps swapping: the failed round's swap must be
+        // undone everywhere, leaving all paths with identical graphs.
+        struct SwapEveryRound;
+        impl TopologySchedule for SwapEveryRound {
+            fn label(&self) -> String {
+                "swap-every-round".into()
+            }
+            fn events(
+                &mut self,
+                round: usize,
+                g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                // Alternate a swap and its inverse so every round has a
+                // valid event regardless of how far the run got.
+                if round % 2 == 1 {
+                    if g.has_edge(4, 5) && g.has_edge(8, 9) {
+                        out.push(TopologyEvent::Swap {
+                            a: 4,
+                            b: 5,
+                            c: 8,
+                            d: 9,
+                        });
+                    }
+                } else if g.has_edge(4, 8) && g.has_edge(5, 9) {
+                    out.push(TopologyEvent::Swap {
+                        a: 4,
+                        b: 8,
+                        c: 5,
+                        d: 9,
+                    });
+                }
+            }
+        }
+        let make = || Engine::new(lazy_cycle(12), LoadVector::uniform(12, 10));
+        let run_ref = || {
+            let mut engine = make();
+            let mut err = None;
+            for _ in 0..50 {
+                match engine.step_dyn(
+                    &mut SendFloor::new(),
+                    Some(&mut SwapEveryRound),
+                    Some(&mut Node1Drain { rate: 4 }),
+                ) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            (engine, err.expect("drain must trip the negative check"))
+        };
+        let (reference, ref_err) = run_ref();
+        assert!(matches!(ref_err, EngineError::NegativeLoad { node: 1, .. }));
+
+        let mut kern = make();
+        let kern_err = kern
+            .run_kernel_dyn(
+                &mut SendFloor::new(),
+                50,
+                Some(&mut SwapEveryRound),
+                Some(&mut Node1Drain { rate: 4 }),
+            )
+            .unwrap_err();
+        assert_eq!(kern_err, ref_err);
+        assert_eq!(kern.loads(), reference.loads());
+        assert_eq!(
+            kern.graph(),
+            reference.graph(),
+            "failed round's swap undone"
+        );
+        assert_eq!(
+            kern.topology_events_applied(),
+            reference.topology_events_applied()
+        );
+
+        for threads in [2usize, 3] {
+            let mut par = make();
+            let par_err = par
+                .run_parallel_dyn(
+                    &SendFloor::new(),
+                    50,
+                    threads,
+                    Some(&mut SwapEveryRound),
+                    Some(&mut Node1Drain { rate: 4 }),
+                )
+                .unwrap_err();
+            assert_eq!(par_err, ref_err, "parallel({threads})");
+            assert_eq!(par.loads(), reference.loads());
+            assert_eq!(par.graph(), reference.graph(), "parallel({threads})");
+        }
+    }
+
+    #[test]
+    fn invalid_event_is_a_topology_error_with_full_rollback_on_every_path() {
+        // Round 3 emits a swap on an absent edge: the engine must
+        // report `Topology` at step 3 with rounds 1–2 intact, on every
+        // path, with the graph and loads untouched by round 3.
+        struct BadAtRound3;
+        impl TopologySchedule for BadAtRound3 {
+            fn label(&self) -> String {
+                "bad-at-3".into()
+            }
+            fn events(
+                &mut self,
+                round: usize,
+                _g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                if round == 3 {
+                    out.push(TopologyEvent::Swap {
+                        a: 0,
+                        b: 2,
+                        c: 5,
+                        d: 7,
+                    });
+                }
+            }
+        }
+        let make = || Engine::new(lazy_cycle(12), LoadVector::point_mass(12, 120));
+        let mut reference = make();
+        let mut ref_err = None;
+        for _ in 0..5 {
+            if let Err(e) = reference.step_dyn(
+                &mut SendFloor::new(),
+                Some(&mut BadAtRound3),
+                Option::<&mut dyn crate::Workload>::None,
+            ) {
+                ref_err = Some(e);
+                break;
+            }
+        }
+        let ref_err = ref_err.expect("round 3 must fail");
+        assert!(
+            matches!(&ref_err, EngineError::Topology { step: 3, reason } if reason.contains("absent")),
+            "unexpected error {ref_err:?}"
+        );
+        assert_eq!(reference.step_count(), 2);
+
+        let mut kern = make();
+        let kern_err = kern
+            .run_kernel_dyn(
+                &mut SendFloor::new(),
+                5,
+                Some(&mut BadAtRound3),
+                Option::<&mut NoWorkload>::None,
+            )
+            .unwrap_err();
+        assert_eq!(kern_err, ref_err);
+        assert_eq!(kern.loads(), reference.loads());
+        assert_eq!(kern.step_count(), 2);
+        assert_eq!(kern.graph(), reference.graph());
+
+        for threads in [2usize, 3] {
+            let mut par = make();
+            let par_err = par
+                .run_parallel_dyn(
+                    &SendFloor::new(),
+                    5,
+                    threads,
+                    Some(&mut BadAtRound3),
+                    Option::<&mut NoWorkload>::None,
+                )
+                .unwrap_err();
+            assert_eq!(par_err, ref_err, "parallel({threads})");
+            assert_eq!(par.loads(), reference.loads());
+            assert_eq!(par.step_count(), 2);
+            assert_eq!(par.graph(), reference.graph());
+        }
+    }
+
+    /// Regression (PR 5 review): the serial round order is *mutate
+    /// topology, inject, negative-check* — so with a negative seed
+    /// and a churning schedule, a rejected round-1 event must win as
+    /// `Topology` and a valid round-1 event must surface the seed as
+    /// `NegativeLoad`, **identically on every path** (the sharded
+    /// entry check used to pre-empt round 1's topology phase).
+    #[test]
+    fn negative_seed_under_churn_orders_errors_like_the_serial_round() {
+        struct ValidSwapRound1;
+        impl TopologySchedule for ValidSwapRound1 {
+            fn label(&self) -> String {
+                "valid-swap-at-1".into()
+            }
+            fn events(
+                &mut self,
+                round: usize,
+                g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                if round == 1 && g.has_edge(4, 5) && g.has_edge(8, 9) {
+                    out.push(TopologyEvent::Swap {
+                        a: 4,
+                        b: 5,
+                        c: 8,
+                        d: 9,
+                    });
+                }
+            }
+        }
+        struct BadAtRound1;
+        impl TopologySchedule for BadAtRound1 {
+            fn label(&self) -> String {
+                "bad-at-1".into()
+            }
+            fn events(
+                &mut self,
+                round: usize,
+                _g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                if round == 1 {
+                    out.push(TopologyEvent::Swap {
+                        a: 0,
+                        b: 2,
+                        c: 5,
+                        d: 7,
+                    });
+                }
+            }
+        }
+        let initial = LoadVector::new(vec![5, -1, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3]);
+        let drive = |mk: &dyn Fn(&mut Engine) -> EngineError| {
+            let mut engine = Engine::new(lazy_cycle(12), initial.clone());
+            let err = mk(&mut engine);
+            assert_eq!(engine.step_count(), 0);
+            assert_eq!(engine.loads(), &initial, "failed round must not mutate");
+            assert_eq!(
+                engine.graph(),
+                &lazy_cycle(12),
+                "failed round must roll its events back"
+            );
+            err
+        };
+        // Invalid round-1 event: Topology outranks the negative seed.
+        let reference = drive(&|e| {
+            e.step_dyn(
+                &mut SendFloor::new(),
+                Some(&mut BadAtRound1),
+                Option::<&mut dyn crate::Workload>::None,
+            )
+            .unwrap_err()
+        });
+        assert!(matches!(reference, EngineError::Topology { step: 1, .. }));
+        for threads in [1usize, 2, 3] {
+            let err = drive(&|e| {
+                e.run_parallel_dyn(
+                    &SendFloor::new(),
+                    5,
+                    threads,
+                    Some(&mut BadAtRound1),
+                    Option::<&mut NoWorkload>::None,
+                )
+                .unwrap_err()
+            });
+            assert_eq!(err, reference, "parallel({threads})");
+        }
+        // Valid round-1 churn (a swap every round): the negative seed
+        // itself must surface, with the erroring round's swap rolled
+        // back everywhere.
+        let reference = drive(&|e| {
+            e.step_dyn(
+                &mut SendFloor::new(),
+                Some(&mut ValidSwapRound1),
+                Option::<&mut dyn crate::Workload>::None,
+            )
+            .unwrap_err()
+        });
+        assert_eq!(
+            reference,
+            EngineError::NegativeLoad {
+                node: 1,
+                load: -1,
+                step: 1
+            }
+        );
+        for threads in [1usize, 2, 3] {
+            let err = drive(&|e| {
+                e.run_parallel_dyn(
+                    &SendFloor::new(),
+                    5,
+                    threads,
+                    Some(&mut ValidSwapRound1),
+                    Option::<&mut NoWorkload>::None,
+                )
+                .unwrap_err()
+            });
+            assert_eq!(err, reference, "parallel({threads})");
+        }
+    }
+
+    /// An argmax-hungry workload that records which hints it got, so
+    /// the tests below can pin the engine-side index behaviour.
+    struct HintProbe {
+        hints: Vec<Option<(usize, i64)>>,
+    }
+    impl crate::Workload for HintProbe {
+        fn label(&self) -> String {
+            "hint-probe".into()
+        }
+        fn needs_argmax(&self) -> bool {
+            true
+        }
+        fn inject(&mut self, _round: usize, loads: &[i64], deltas: &mut [i64]) {
+            // Fallback scan, lowest id on ties.
+            let mut t = 0usize;
+            for (u, &x) in loads.iter().enumerate() {
+                if x > loads[t] {
+                    t = u;
+                }
+            }
+            self.hints.push(None);
+            deltas[t] += 1;
+        }
+        fn inject_with_hint(
+            &mut self,
+            round: usize,
+            loads: &[i64],
+            argmax: Option<(usize, i64)>,
+            deltas: &mut [i64],
+        ) {
+            match argmax {
+                Some((node, load)) => {
+                    // The hint must equal what the scan would find.
+                    let mut t = 0usize;
+                    for (u, &x) in loads.iter().enumerate() {
+                        if x > loads[t] {
+                            t = u;
+                        }
+                    }
+                    assert_eq!((node, load), (t, loads[t]), "hint diverged from scan");
+                    self.hints.push(argmax);
+                    deltas[node] += 1;
+                }
+                None => self.inject(round, loads, deltas),
+            }
+        }
+    }
+
+    #[test]
+    fn planned_paths_serve_argmax_from_the_maintained_index() {
+        let mut engine = Engine::new(lazy_cycle(16), LoadVector::point_mass(16, 160));
+        let mut probe = HintProbe { hints: Vec::new() };
+        engine
+            .run_with(&mut SendFloor::new(), 40, Some(&mut probe))
+            .unwrap();
+        assert_eq!(probe.hints.len(), 40);
+        assert!(
+            probe.hints.iter().all(Option::is_some),
+            "every planned-path round must be served from the index"
+        );
+        // The kernel path hands out no hints (documented fallback).
+        let mut engine = Engine::new(lazy_cycle(16), LoadVector::point_mass(16, 160));
+        let mut probe = HintProbe { hints: Vec::new() };
+        engine
+            .run_kernel_with(&mut SendFloor::new(), 40, Some(&mut probe))
+            .unwrap();
+        assert!(probe.hints.iter().all(Option::is_none));
     }
 }

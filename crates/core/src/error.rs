@@ -37,6 +37,16 @@ pub enum EngineError {
         /// The step at which it was observed.
         step: usize,
     },
+    /// A topology schedule emitted an event the graph rejected (an
+    /// absent edge, a duplicate edge, a double sleep, …). The round is
+    /// rolled back whole: loads, injection and any already-applied
+    /// events of the same round.
+    Topology {
+        /// The step whose churn was rejected (1-based).
+        step: usize,
+        /// The graph layer's description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +72,9 @@ impl fmt::Display for EngineError {
                 f,
                 "node {node} has negative load {load} at step {step} under a scheme that forbids it"
             ),
+            EngineError::Topology { step, reason } => {
+                write!(f, "topology event rejected at step {step}: {reason}")
+            }
         }
     }
 }

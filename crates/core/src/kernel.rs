@@ -28,14 +28,20 @@
 //! generic fallback over a reused `Vec<u64>`.
 //!
 //! The loop is additionally monomorphised over an optional
-//! [`Workload`]: [`Engine::run_kernel_with`](crate::Engine::run_kernel_with)
-//! applies the workload's signed per-node deltas to the same
-//! double-buffered vectors at the start of each round (before the
-//! negative check and planning), while the `NoWorkload` instantiation
-//! behind the closed-system [`Engine::run_kernel`](crate::Engine::run_kernel)
-//! folds the injection branch away and compiles to the loop above.
+//! [`Workload`] **and** an optional
+//! [`TopologySchedule`](dlb_topology::TopologySchedule):
+//! [`Engine::run_kernel_dyn`](crate::Engine::run_kernel_dyn) runs the
+//! full dynamic round structure — mutate topology, inject load, hand
+//! asleep queues to live neighbours, negative-check, plan, validate,
+//! route — while the `NoWorkload`/`StaticTopology` instantiation behind
+//! the closed-system [`Engine::run_kernel`](crate::Engine::run_kernel)
+//! folds both branches away and compiles to the fixed-graph loop
+//! above. An erroring round rolls back its injection *and* its
+//! topology events, so on error both loads and graph are those after
+//! the last fully completed round.
 
-use dlb_graph::BalancingGraph;
+use dlb_graph::{mutate, BalancingGraph, TopologyEvent};
+use dlb_topology::{self as topology, TopologySchedule};
 
 use crate::workload::Workload;
 use crate::{Balancer, EngineError};
@@ -95,6 +101,9 @@ pub(crate) struct KernelRunStats {
     /// Net workload injection applied over the completed rounds (an
     /// erroring round's injection is undone and not counted).
     pub injected: i64,
+    /// Topology events applied over the completed rounds (an erroring
+    /// round's events are undone and not counted).
+    pub topology_events: u64,
 }
 
 /// Sums one planned node's original-edge outflow and, when `check` is
@@ -196,47 +205,55 @@ pub(crate) fn apply_deltas(
 /// Runs `steps` plan-free rounds of `kernel` over `loads`, using `back`
 /// as the second half of the double buffer (`back.len() == loads.len()`;
 /// its contents on entry are irrelevant). An optional [`Workload`]
-/// injects signed per-node deltas at the start of every round (see the
-/// round structure in [`crate::workload`]).
+/// injects signed per-node deltas and an optional [`TopologySchedule`]
+/// mutates the graph at the start of every round (see the round
+/// structure in [`crate::workload`] and the module docs).
 ///
 /// Dispatches to a degree-monomorphised round loop. On return, `loads`
-/// holds the state after the last fully completed round.
-pub(crate) fn run_rounds<F, W>(
-    gp: &BalancingGraph,
+/// holds the state after the last fully completed round, and so does
+/// the graph (an erroring round's events are undone).
+pub(crate) fn run_rounds<F, S, W>(
+    gp: &mut BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
     run: KernelRun,
+    schedule: Option<&mut S>,
     workload: Option<&mut W>,
     kernel: F,
 ) -> (KernelRunStats, Option<EngineError>)
 where
-    F: FnMut(usize, i64, &mut [u64]),
+    F: FnMut(&BalancingGraph, usize, i64, &mut [u64]),
+    S: TopologySchedule + ?Sized,
     W: Workload + ?Sized,
 {
     match gp.degree_plus() {
-        2 => rounds_impl::<F, [u64; 2], W>(gp, loads, back, run, workload, kernel),
-        4 => rounds_impl::<F, [u64; 4], W>(gp, loads, back, run, workload, kernel),
-        6 => rounds_impl::<F, [u64; 6], W>(gp, loads, back, run, workload, kernel),
-        8 => rounds_impl::<F, [u64; 8], W>(gp, loads, back, run, workload, kernel),
-        _ => rounds_impl::<F, Vec<u64>, W>(gp, loads, back, run, workload, kernel),
+        2 => rounds_impl::<F, [u64; 2], S, W>(gp, loads, back, run, schedule, workload, kernel),
+        4 => rounds_impl::<F, [u64; 4], S, W>(gp, loads, back, run, schedule, workload, kernel),
+        6 => rounds_impl::<F, [u64; 6], S, W>(gp, loads, back, run, schedule, workload, kernel),
+        8 => rounds_impl::<F, [u64; 8], S, W>(gp, loads, back, run, schedule, workload, kernel),
+        _ => rounds_impl::<F, Vec<u64>, S, W>(gp, loads, back, run, schedule, workload, kernel),
     }
 }
 
 /// The round loop, monomorphised over the kernel closure, the flow
-/// buffer (and through it, for the array buffers, the total degree) and
-/// the workload type — so the `None`-workload instantiation folds the
-/// injection branch away and compiles to the closed-system loop.
-fn rounds_impl<F, B, W>(
-    gp: &BalancingGraph,
+/// buffer (and through it, for the array buffers, the total degree),
+/// the schedule type and the workload type — so the
+/// `StaticTopology`/`NoWorkload` instantiation folds the churn and
+/// injection branches away and compiles to the closed-system loop.
+#[allow(clippy::too_many_lines)]
+fn rounds_impl<F, B, S, W>(
+    gp: &mut BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
     run: KernelRun,
+    mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
     mut kernel: F,
 ) -> (KernelRunStats, Option<EngineError>)
 where
-    F: FnMut(usize, i64, &mut [u64]),
+    F: FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     B: FlowsBuf,
+    S: TopologySchedule + ?Sized,
     W: Workload + ?Sized,
 {
     let KernelRun {
@@ -248,8 +265,14 @@ where
     let n = loads.len();
     let d = gp.degree();
     let d_plus = gp.degree_plus();
-    let graph = gp.graph();
     let mut flows = B::with_len(d_plus);
+
+    // Dynamic mode: a schedule can put nodes to sleep at any round,
+    // and pre-existing sleepers need their queues forwarded even under
+    // a `None` schedule. Without either, the loop below is exactly the
+    // fixed-topology loop.
+    let dynamic = schedule.is_some() || gp.graph().asleep_count() > 0;
+    let inject_mode = workload.is_some() || dynamic;
 
     // The double buffer: `cur` holds x_t, `next` accumulates x_{t+1}.
     // The roles swap each completed round; an erroring round leaves
@@ -261,25 +284,71 @@ where
     let mut negative_node_steps = 0u64;
     let mut steps_done = 0usize;
     let mut injected = 0i64;
+    let mut topology_events = 0u64;
     let mut error = None;
     // The round's injection deltas, kept so an erroring round can undo
-    // exactly what it applied. Allocated only when a workload exists.
-    let mut inj: Vec<i64> = if workload.is_some() {
+    // exactly what it applied; allocated only when a round can inject
+    // (workload deltas or asleep-queue handoffs).
+    let mut inj: Vec<i64> = if inject_mode {
         vec![0i64; n]
     } else {
         Vec::new()
     };
+    // This round's applied topology events, for the rollback path.
+    let mut ev_scratch: Vec<TopologyEvent> = Vec::new();
+    let mut ev_applied: Vec<TopologyEvent> = Vec::new();
+    // Whether the *current* round's deltas have been applied (so the
+    // common error exit never undoes a stale buffer).
+    let mut round_applied = false;
 
     'rounds: for iter in 0..steps {
-        // Injection phase: x'_t = x_t + w_t, applied in place to the
-        // front buffer so planning reads the injected loads (the
-        // negative count tracks every write; the undo below reverses
-        // both exactly).
+        let step_no = base_step + iter + 1;
+        round_applied = false;
+
+        // Phase 0 — topology: the schedule's events mutate the graph
+        // in place. A rejected event aborts the round before any load
+        // moved (drive_events has already rolled the graph back).
+        if dynamic {
+            ev_applied.clear();
+            if let Some(s) = schedule.as_mut() {
+                if let Err(e) = topology::drive_events(
+                    &mut **s,
+                    step_no,
+                    gp.graph_mut(),
+                    &mut ev_scratch,
+                    &mut ev_applied,
+                ) {
+                    error = Some(EngineError::Topology {
+                        step: step_no,
+                        reason: e.to_string(),
+                    });
+                    break 'rounds;
+                }
+            }
+        }
+
+        // Phase 1 — injection + failure handoff: x'_t = x_t + w_t,
+        // then every asleep node's queue (same-round injection
+        // included) moves to its live neighbours. Applied in place to
+        // the front buffer so planning reads the injected loads; the
+        // negative count tracks every write and the undo below
+        // reverses both exactly. Gated per round — like the serial
+        // engine — so a schedule-only run pays nothing on rounds with
+        // no deltas to apply (no workload, nobody asleep).
         let mut injected_round = 0i64;
-        if let Some(w) = workload.as_mut() {
+        if workload.is_some() || gp.graph().asleep_count() > 0 {
             inj.fill(0);
-            w.inject(base_step + iter + 1, cur, &mut inj);
+            if let Some(w) = workload.as_mut() {
+                // No argmax hint on the kernel path: the double
+                // buffer's writes bypass the engine's load index, so
+                // argmax-hungry workloads fall back to their own scan.
+                w.inject_with_hint(step_no, cur, None, &mut inj);
+            }
+            if gp.graph().asleep_count() > 0 {
+                mutate::handoff_deltas(gp.graph(), cur, &mut inj);
+            }
             injected_round = apply_deltas(cur, &inj, false, &mut negative);
+            round_applied = true;
         }
 
         // Pre-plan class check, O(1) via the maintained count; the
@@ -295,35 +364,34 @@ where
             error = Some(EngineError::NegativeLoad {
                 node,
                 load: cur[node],
-                step: base_step + iter + 1,
+                step: step_no,
             });
-            if workload.is_some() {
-                apply_deltas(cur, &inj, true, &mut negative);
-            }
             break 'rounds;
         }
 
+        let graph = gp.graph();
         next.copy_from_slice(cur);
         for u in 0..n {
             let x = cur[u];
             if x == 0 {
                 // Zero-load nodes plan nothing and their state (rotor)
                 // must not advance — exactly as the planned paths skip
-                // them.
+                // them. Asleep nodes land here too: the handoff above
+                // emptied them before planning (except the documented
+                // all-neighbours-asleep corner, where the node keeps
+                // its queue and keeps balancing it — identically on
+                // every path).
                 continue;
             }
             let fl = flows.as_mut();
-            kernel(u, x, fl);
+            kernel(gp, u, x, fl);
             // Nodes are streamed in ascending id order, which is
             // exactly the planned paths' first-touch order for
             // per-node schemes: same error node, same step.
-            let orig = match validate_outflow(fl, d, check, u, x, base_step + iter + 1) {
+            let orig = match validate_outflow(fl, d, check, u, x, step_no) {
                 Ok(orig) => orig,
                 Err(e) => {
                     error = Some(e);
-                    if workload.is_some() {
-                        apply_deltas(cur, &inj, true, &mut negative);
-                    }
                     break 'rounds;
                 }
             };
@@ -343,6 +411,8 @@ where
         std::mem::swap(&mut cur, &mut next);
         steps_done = iter + 1;
         injected += injected_round;
+        topology_events += ev_applied.len() as u64;
+        round_applied = false;
         if !check {
             // Overdrawing schemes can create negative loads anywhere;
             // recount. (Non-overdrawing schemes keep every load
@@ -351,6 +421,16 @@ where
             negative = cur.iter().filter(|&&x| x < 0).count();
         }
         negative_node_steps += negative as u64;
+    }
+
+    // An erroring round keeps nothing: its deltas are reversed on the
+    // front buffer and its topology events are unwound on the graph,
+    // so loads *and* graph are those after the last completed round.
+    if error.is_some() {
+        if round_applied {
+            apply_deltas(cur, &inj, true, &mut negative);
+        }
+        topology::undo_events(gp.graph_mut(), &ev_applied);
     }
 
     // `loads` must end up holding the final state: after an odd number
@@ -365,6 +445,7 @@ where
             negative_node_steps,
             negative_count: negative,
             injected,
+            topology_events,
         },
         error,
     )

@@ -79,3 +79,7 @@ pub use kernel::KernelBalancer;
 pub use load::LoadVector;
 pub use parallel::ShardedBalancer;
 pub use workload::{NoWorkload, Workload};
+// The dynamic-topology vocabulary of the `*_dyn` entry points, re-
+// exported so engine callers need not name the topology crates.
+pub use dlb_graph::TopologyEvent;
+pub use dlb_topology::{StaticTopology, TopologySchedule};

@@ -28,6 +28,21 @@
 //! locality-relabeled graph most cross-shard segments stay clean, so
 //! the merge cost tracks the true frontier, not `O(n·threads)`).
 //!
+//! # Dynamic topology
+//!
+//! Under churn (a [`TopologySchedule`] or pre-existing asleep nodes)
+//! the graph itself mutates per round, so each worker owns a **graph
+//! replica**: worker 0 drives the schedule exactly once per round,
+//! validates and applies the events to its replica, and broadcasts
+//! them behind a barrier; the other workers replay them onto their
+//! replicas. Worker 0's replica is handed back at the end of the run
+//! as the engine's graph. The failure handoff (asleep queues to live
+//! neighbours) is folded into the per-round injection deltas worker 0
+//! scatters, so it lands, and rolls back, through the exact machinery
+//! the workload deltas use. Fixed-topology runs take none of these
+//! phases and share one immutable graph — no replicas, no extra
+//! barriers.
+//!
 //! The entry point is
 //! [`Engine::run_parallel`](crate::Engine::run_parallel); schemes opt
 //! in by implementing [`ShardedBalancer`]. With `threads == 1` the
@@ -37,7 +52,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 
-use dlb_graph::BalancingGraph;
+use dlb_graph::{mutate, BalancingGraph, TopologyEvent};
+use dlb_topology::{self as topology, TopologySchedule};
 
 use crate::kernel;
 use crate::workload::Workload;
@@ -74,6 +90,9 @@ pub(crate) struct ShardRunStats {
     /// Net workload injection applied over the completed rounds (an
     /// erroring round's injection is undone and not counted).
     pub injected: i64,
+    /// Topology events applied over the completed rounds (an erroring
+    /// round's events are undone and not counted).
+    pub topology_events: u64,
 }
 
 /// What each worker reports when its loop ends.
@@ -82,6 +101,11 @@ struct ShardOutcome {
     negative_node_steps: u64,
     final_negative: usize,
     injected: i64,
+    /// Worker 0 only: topology events applied over completed rounds.
+    topology_events: u64,
+    /// Dynamic runs only: the worker's graph replica (worker 0's is
+    /// the authoritative post-run graph the caller writes back).
+    graph: Option<BalancingGraph>,
 }
 
 /// The shard index owning node `w` for the split produced by
@@ -111,30 +135,37 @@ fn shard_bounds(n: usize, t: usize) -> Vec<usize> {
 /// across `threads` worker threads (callers guarantee `threads >= 2`
 /// and `threads <= n`).
 ///
-/// An optional [`Workload`] injects signed per-node deltas at the start
-/// of every round. Injection needs a global view (the bounded-adversary
-/// workload reads *all* loads) while the load vector is split into
-/// per-worker shards, so injecting rounds run two extra phases behind
-/// two extra barriers: every worker publishes its shard's loads into a
-/// mutex-handed segment, worker 0 assembles the full vector, drives the
-/// workload once, and scatters the delta segments back; then every
-/// worker applies its own slice. The workload is therefore called
-/// exactly once per round with exactly the loads the serial paths would
-/// show it — bit-identity is preserved, stateful workloads included.
-/// Closed-system runs (`workload == None`) skip all of this: no
-/// buffers, no extra barriers.
+/// An optional [`Workload`] injects signed per-node deltas and an
+/// optional [`TopologySchedule`] mutates the topology at the start of
+/// every round. Both need a global view — the bounded-adversary
+/// workload reads *all* loads, the schedule mutates the whole graph —
+/// while the load vector is split into per-worker shards, so dynamic
+/// rounds run extra phases behind extra barriers: worker 0 drives the
+/// schedule on its graph replica and broadcasts the validated events
+/// (the others replay them); every worker publishes its shard's loads
+/// into a mutex-handed segment, worker 0 assembles the full vector,
+/// drives the workload once, folds the failure handoff into the same
+/// delta vector, and scatters the segments back; then every worker
+/// applies its own slice. Schedule and workload are therefore each
+/// called exactly once per round with exactly the state the serial
+/// paths would show them — bit-identity is preserved, stateful
+/// generators included. Fixed-topology closed-system runs skip all of
+/// this: no replicas, no buffers, no extra barriers.
 ///
-/// On error, `loads` is left exactly as it was after the last fully
-/// completed round (an erroring round's injection is undone), and the
-/// returned stats cover only completed rounds. The ledger and fairness
-/// monitor are *not* maintained — this is the uninstrumented fast path.
-pub(crate) fn run_sharded<W: Workload + ?Sized>(
-    gp: &BalancingGraph,
+/// On error, `loads` and the graph are left exactly as they were after
+/// the last fully completed round (an erroring round's injection and
+/// topology events are undone), and the returned stats cover only
+/// completed rounds. The ledger and fairness monitor are *not*
+/// maintained — this is the uninstrumented fast path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
+    gp: &mut BalancingGraph,
     loads: &mut [i64],
     balancer: &dyn ShardedBalancer,
     steps: usize,
     threads: usize,
     base_step: usize,
+    mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
 ) -> (ShardRunStats, Option<EngineError>) {
     let n = loads.len();
@@ -142,7 +173,18 @@ pub(crate) fn run_sharded<W: Workload + ?Sized>(
     let check = !balancer.may_overdraw();
     let bounds = shard_bounds(n, nthreads);
     let (base, rem) = (n / nthreads, n % nthreads);
-    let injecting = workload.is_some();
+    let dynamic = schedule.is_some() || gp.graph().asleep_count() > 0;
+    let has_workload = workload.is_some();
+    // Injection plumbing exists whenever some round could carry deltas:
+    // workload deltas or failure handoffs (any round of a dynamic run
+    // may sleep a node). Whether a given round actually runs the
+    // injection phases is decided per round by the workers.
+    let injecting = has_workload || dynamic;
+
+    // Dynamic runs give every worker its own graph replica (events are
+    // replayed identically on each); fixed runs share `gp` immutably.
+    let mut replicas: Vec<Option<BalancingGraph>> =
+        (0..nthreads).map(|_| dynamic.then(|| gp.clone())).collect();
 
     // Disjoint mutable views of the load vector, one per shard; no
     // worker ever reads or writes another shard's loads.
@@ -195,18 +237,32 @@ pub(crate) fn run_sharded<W: Workload + ?Sized>(
     let inj_deltas: Vec<Mutex<Vec<i64>>> = (0..nthreads)
         .map(|r| Mutex::new(vec![0i64; seg_len(r)]))
         .collect();
+    // The round's broadcast topology events (worker 0 writes, others
+    // replay; barrier-separated, so the lock is uncontended).
+    let events_bc: Mutex<Vec<TopologyEvent>> = Mutex::new(Vec::new());
 
     let barrier = Barrier::new(nthreads);
     let failed = AtomicBool::new(false);
+    // Set only by worker 0, only in the topology phase, only before
+    // the topology barrier — so the post-barrier abort check cannot
+    // race with an `Overdraw`/`NegativeLoad` a fast peer records in
+    // the *same round's* later phases (which `failed` can carry before
+    // the slow workers ever reach those phases; that error is handled
+    // at round barrier #1, where every worker provably arrives).
+    let topo_failed = AtomicBool::new(false);
     // The lowest-shard error wins, so the reported error is independent
     // of thread scheduling.
     let error: Mutex<Option<(usize, EngineError)>> = Mutex::new(None);
 
-    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+    let mut outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nthreads);
-        for (me, my_loads) in shard_loads.into_iter().enumerate() {
+        for (me, (my_loads, my_gp)) in shard_loads
+            .into_iter()
+            .zip(replicas.iter_mut().map(Option::take))
+            .enumerate()
+        {
             let ctx = ShardCtx {
-                gp,
+                gp: &*gp,
                 balancer,
                 me,
                 lo: bounds[me],
@@ -216,21 +272,26 @@ pub(crate) fn run_sharded<W: Workload + ?Sized>(
                 rem,
                 bounds: &bounds,
                 check,
+                dynamic,
                 injecting,
+                has_workload,
                 steps,
                 base_step,
                 segments: &segments,
                 dirty: &dirty,
                 published: &published,
                 inj_deltas: &inj_deltas,
+                events_bc: &events_bc,
                 barrier: &barrier,
                 failed: &failed,
+                topo_failed: &topo_failed,
                 error: &error,
             };
-            // Worker 0 is the injection driver: it alone holds the
-            // (stateful, `&mut`) workload.
+            // Worker 0 is the driver: it alone holds the (stateful,
+            // `&mut`) schedule and workload.
+            let sc = if me == 0 { schedule.take() } else { None };
             let wl = if me == 0 { workload.take() } else { None };
-            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads, wl)));
+            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads, my_gp, sc, wl)));
         }
         handles
             .into_iter()
@@ -244,7 +305,16 @@ pub(crate) fn run_sharded<W: Workload + ?Sized>(
         negative_node_steps: outcomes.iter().map(|o| o.negative_node_steps).sum(),
         negative_count: outcomes.iter().map(|o| o.final_negative).sum(),
         injected: outcomes.iter().map(|o| o.injected).sum(),
+        topology_events: outcomes[0].topology_events,
     };
+    if dynamic {
+        // Worker 0's replica saw every applied event (and every
+        // rollback), so it is the engine's post-run graph.
+        *gp = outcomes[0]
+            .graph
+            .take()
+            .expect("dynamic workers own a graph");
+    }
     let err = error
         .into_inner()
         .expect("error mutex not poisoned")
@@ -265,15 +335,19 @@ struct ShardCtx<'a> {
     rem: usize,
     bounds: &'a [usize],
     check: bool,
+    dynamic: bool,
     injecting: bool,
+    has_workload: bool,
     steps: usize,
     base_step: usize,
     segments: &'a [Vec<Mutex<Vec<i64>>>],
     dirty: &'a [AtomicBool],
     published: &'a [Mutex<Vec<i64>>],
     inj_deltas: &'a [Mutex<Vec<i64>>],
+    events_bc: &'a Mutex<Vec<TopologyEvent>>,
     barrier: &'a Barrier,
     failed: &'a AtomicBool,
+    topo_failed: &'a AtomicBool,
     error: &'a Mutex<Option<(usize, EngineError)>>,
 }
 
@@ -282,18 +356,23 @@ impl ShardCtx<'_> {
         self.failed.store(true, Ordering::SeqCst);
         // All recorded errors belong to the same (first failing) round
         // — the barriers keep workers in lockstep — so the winner is
-        // chosen by the serial engine's in-round ordering: the global
-        // pre-plan negative check runs before any validation, so a
-        // `NegativeLoad` from *any* shard outranks an `Overdraw` from
-        // any other; within a kind the lowest shard wins (each worker
-        // reports its lowest-id hit, and shards are ordered, so that is
-        // the globally lowest node). The result is independent of
-        // thread scheduling.
-        let overdraw_rank = |err: &EngineError| matches!(err, EngineError::Overdraw { .. });
+        // chosen by the serial engine's in-round ordering: topology
+        // events are applied before anything else (and only worker 0
+        // can reject one), the global pre-plan negative check runs
+        // before any validation — so a `NegativeLoad` from *any* shard
+        // outranks an `Overdraw` from any other; within a kind the
+        // lowest shard wins (each worker reports its lowest-id hit,
+        // and shards are ordered, so that is the globally lowest
+        // node). The result is independent of thread scheduling.
+        let rank = |err: &EngineError| match err {
+            EngineError::Topology { .. } => 0u8,
+            EngineError::NegativeLoad { .. } => 1,
+            _ => 2,
+        };
         let mut slot = self.error.lock().expect("error mutex not poisoned");
         let replace = match slot.as_ref() {
             None => true,
-            Some((shard, old)) => (overdraw_rank(&e), self.me) < (overdraw_rank(old), *shard),
+            Some((shard, old)) => (rank(&e), self.me) < (rank(old), *shard),
         };
         if replace {
             *slot = Some((self.me, e));
@@ -301,16 +380,18 @@ impl ShardCtx<'_> {
     }
 }
 
-fn shard_worker<W: Workload + ?Sized>(
+#[allow(clippy::too_many_lines)]
+fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     w: &ShardCtx<'_>,
     my_loads: &mut [i64],
+    mut my_gp: Option<BalancingGraph>,
+    mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
 ) -> ShardOutcome {
     let len = w.hi - w.lo;
     let n = *w.bounds.last().expect("bounds non-empty");
     let d = w.gp.degree();
     let d_plus = w.gp.degree_plus();
-    let graph = w.gp.graph();
     let mut flows = vec![0u64; d_plus];
     // Worker-private interior deltas: the sender's own deduction plus
     // every token whose target stays in this shard.
@@ -322,18 +403,114 @@ fn shard_worker<W: Workload + ?Sized>(
     // shared segment only on the *next* round, but keeping a private
     // copy avoids re-locking on the failure path).
     let mut inj_applied = vec![0i64; if w.injecting { len } else { 0 }];
+    // This round's topology events as applied to this worker's
+    // replica, for the rollback path.
+    let mut my_events: Vec<TopologyEvent> = Vec::new();
+    let mut ev_scratch: Vec<TopologyEvent> = Vec::new();
+    let mut ev_applied: Vec<TopologyEvent> = Vec::new();
     // Driver-only scratch: the assembled global load view and the full
-    // delta vector the workload fills.
-    let mut full = workload.is_some().then(|| (vec![0i64; n], vec![0i64; n]));
+    // delta vector the workload fills and the handoff folds into.
+    let mut full = (w.me == 0 && w.injecting).then(|| (vec![0i64; n], vec![0i64; n]));
     let mut negative = my_loads.iter().filter(|&&x| x < 0).count();
     let mut negative_node_steps = 0u64;
     let mut injected = 0i64;
+    let mut topology_events = 0u64;
 
     for iter in 0..w.steps {
-        // Injection phases (skipped entirely for closed-system runs).
+        let step_no = w.base_step + iter + 1;
+
+        // Topology phases (skipped entirely for fixed-topology runs).
+        my_events.clear();
+        if w.dynamic {
+            // Phase T0 — worker 0 drives the schedule on its replica
+            // and broadcasts the validated events.
+            if w.me == 0 {
+                let mut bc = w.events_bc.lock().expect("event channel not poisoned");
+                bc.clear();
+                if let Some(s) = schedule.as_mut() {
+                    ev_applied.clear();
+                    let graph = my_gp
+                        .as_mut()
+                        .expect("dynamic workers own a graph")
+                        .graph_mut();
+                    match topology::drive_events(
+                        &mut **s,
+                        step_no,
+                        graph,
+                        &mut ev_scratch,
+                        &mut ev_applied,
+                    ) {
+                        Ok(()) => {
+                            bc.extend(ev_applied.iter().cloned());
+                            my_events.extend(ev_applied.iter().cloned());
+                        }
+                        Err(e) => {
+                            // drive_events already rolled the replica
+                            // back; nothing was broadcast. The
+                            // dedicated flag aborts the round at the
+                            // barrier below for every worker at once.
+                            w.topo_failed.store(true, Ordering::SeqCst);
+                            w.record_error(EngineError::Topology {
+                                step: step_no,
+                                reason: e.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            w.barrier.wait();
+            if w.topo_failed.load(Ordering::SeqCst) {
+                // A rejected event aborts before any load or replica
+                // (other than worker 0's, already restored) changed.
+                // Checking the topology-specific flag (not `failed`)
+                // keeps this return race-free: a peer sprinting ahead
+                // into this round's plan phase may already have set
+                // `failed`, but everyone still meets at barrier #1.
+                return ShardOutcome {
+                    steps_done: iter,
+                    negative_node_steps,
+                    final_negative: negative,
+                    injected,
+                    topology_events,
+                    graph: my_gp,
+                };
+            }
+            // Phase T1 — replay the broadcast on this replica.
+            if w.me != 0 {
+                let bc = w.events_bc.lock().expect("event channel not poisoned");
+                let graph = my_gp
+                    .as_mut()
+                    .expect("dynamic workers own a graph")
+                    .graph_mut();
+                for ev in bc.iter() {
+                    graph
+                        .apply_event(ev)
+                        .expect("broadcast events are pre-validated");
+                }
+                my_events.extend(bc.iter().cloned());
+            }
+        }
+        // Dynamic workers read their replica; fixed runs share the
+        // engine's graph (re-derived per phase so replica mutation and
+        // reads never overlap).
+        fn graph_ref<'g>(
+            own: &'g Option<BalancingGraph>,
+            shared: &'g BalancingGraph,
+        ) -> &'g BalancingGraph {
+            own.as_ref().unwrap_or(shared)
+        }
+
+        // Injection phases — gated per round, like the serial engine:
+        // a schedule-present round with no workload and nobody asleep
+        // has no deltas to move, so it skips the publish/assemble/
+        // scatter phases and their barriers entirely. All workers
+        // agree on the gate (replicas are identical after the
+        // topology phases), so barrier counts stay matched.
+        let injecting_round =
+            w.has_workload || (w.dynamic && graph_ref(&my_gp, w.gp).graph().asleep_count() > 0);
         let mut injected_round = 0i64;
         let mut local_error = false;
-        if w.injecting {
+        if injecting_round {
             // Phase I0 — publish this shard's pre-round loads.
             w.published[w.me]
                 .lock()
@@ -341,9 +518,9 @@ fn shard_worker<W: Workload + ?Sized>(
                 .copy_from_slice(my_loads);
             w.barrier.wait();
             // Phase I1 — the driver assembles the global view, runs the
-            // workload exactly once, and scatters the per-shard deltas.
-            if let (Some(wl), Some((full_loads, full_deltas))) = (workload.as_mut(), full.as_mut())
-            {
+            // workload exactly once, folds in the failure handoff, and
+            // scatters the per-shard deltas.
+            if let Some((full_loads, full_deltas)) = full.as_mut() {
                 for r in 0..w.nthreads {
                     full_loads[w.bounds[r]..w.bounds[r + 1]].copy_from_slice(
                         &w.published[r]
@@ -352,7 +529,17 @@ fn shard_worker<W: Workload + ?Sized>(
                     );
                 }
                 full_deltas.fill(0);
-                wl.inject(w.base_step + iter + 1, full_loads, full_deltas);
+                if let Some(wl) = workload.as_mut() {
+                    // No argmax hint on the sharded path: the driver
+                    // assembles the full vector anyway, so the
+                    // workload's own scan reads what it already paid
+                    // to gather.
+                    wl.inject_with_hint(step_no, full_loads, None, full_deltas);
+                }
+                let g = graph_ref(&my_gp, w.gp);
+                if g.graph().asleep_count() > 0 {
+                    mutate::handoff_deltas(g.graph(), full_loads, full_deltas);
+                }
                 for r in 0..w.nthreads {
                     w.inj_deltas[r]
                         .lock()
@@ -368,28 +555,36 @@ fn shard_worker<W: Workload + ?Sized>(
                     .expect("delta segment not poisoned"),
             );
             injected_round = kernel::apply_deltas(my_loads, &inj_applied, false, &mut negative);
-            // The serial engines run a whole-vector negative check
-            // *before* any planning; the shard-local half runs here so
-            // a workload-drained node is rejected pre-plan with the
-            // same (globally lowest-id) node — `record_error` ranks
-            // `NegativeLoad` above any `Overdraw` another shard finds.
-            if w.check && negative > 0 {
-                let v = my_loads
-                    .iter()
-                    .position(|&x| x < 0)
-                    .expect("negative > 0 implies a negative node");
-                w.record_error(EngineError::NegativeLoad {
-                    node: w.lo + v,
-                    load: my_loads[v],
-                    step: w.base_step + iter + 1,
-                });
-                local_error = true;
-            }
+        }
+
+        // The serial engines run a whole-vector negative check
+        // *before* any planning, **every** round; the shard-local half
+        // runs here — after any injection, so it sees the
+        // post-injection loads — and is O(1) via the maintained count.
+        // This must not hide inside the injection gate: a negative
+        // seed entering a non-injecting churn round has to be rejected
+        // pre-plan with the same (globally lowest-id) node, or a
+        // lower-id `Overdraw` found mid-plan could shadow it —
+        // `record_error` ranks `NegativeLoad` above any `Overdraw`
+        // another shard finds, matching the serial in-round ordering.
+        if w.check && negative > 0 {
+            let v = my_loads
+                .iter()
+                .position(|&x| x < 0)
+                .expect("negative > 0 implies a negative node");
+            w.record_error(EngineError::NegativeLoad {
+                node: w.lo + v,
+                load: my_loads[v],
+                step: step_no,
+            });
+            local_error = true;
         }
 
         // Phase A — plan, validate, accumulate deltas. Loads are only
         // read; frontier tokens go to this worker's own segments, which
         // no one else touches until the barrier.
+        let graph = graph_ref(&my_gp, w.gp);
+        let csr = graph.graph();
         let mut out: Vec<Option<std::sync::MutexGuard<'_, Vec<i64>>>> = (0..w.nthreads)
             .map(|dest| {
                 (dest != w.me).then(|| w.segments[w.me][dest].lock().expect("segment not poisoned"))
@@ -409,19 +604,12 @@ fn shard_worker<W: Workload + ?Sized>(
                 w.record_error(EngineError::NegativeLoad {
                     node: w.lo + v,
                     load: x,
-                    step: w.base_step + iter + 1,
+                    step: step_no,
                 });
                 break 'plan;
             }
-            w.balancer.plan_node(w.gp, w.lo + v, x, &mut flows);
-            let orig = match kernel::validate_outflow(
-                &flows,
-                d,
-                w.check,
-                w.lo + v,
-                x,
-                w.base_step + iter + 1,
-            ) {
+            w.balancer.plan_node(graph, w.lo + v, x, &mut flows);
+            let orig = match kernel::validate_outflow(&flows, d, w.check, w.lo + v, x, step_no) {
                 Ok(orig) => orig,
                 Err(e) => {
                     w.record_error(e);
@@ -435,7 +623,7 @@ fn shard_worker<W: Workload + ?Sized>(
                 if f == 0 {
                     continue;
                 }
-                let t = graph.neighbor(w.lo + v, p);
+                let t = csr.neighbor(w.lo + v, p);
                 if (w.lo..w.hi).contains(&t) {
                     interior[t - w.lo] += f as i64;
                 } else {
@@ -457,17 +645,23 @@ fn shard_worker<W: Workload + ?Sized>(
         // Round barrier #1: no shard mutates loads until every shard
         // has validated, so an error leaves the loads at the previous
         // round's values — the same guarantee the serial engine gives.
-        // (An erroring round's injection is undone for the same reason.)
+        // (An erroring round's injection and topology events are
+        // undone for the same reason.)
         w.barrier.wait();
         if w.failed.load(Ordering::SeqCst) {
-            if w.injecting {
+            if injecting_round {
                 kernel::apply_deltas(my_loads, &inj_applied, true, &mut negative);
+            }
+            if let Some(g) = my_gp.as_mut() {
+                topology::undo_events(g.graph_mut(), &my_events);
             }
             return ShardOutcome {
                 steps_done: iter,
                 negative_node_steps,
                 final_negative: negative,
                 injected,
+                topology_events,
+                graph: my_gp,
             };
         }
 
@@ -503,6 +697,7 @@ fn shard_worker<W: Workload + ?Sized>(
         }
         negative_node_steps += negative as u64;
         injected += injected_round;
+        topology_events += my_events.len() as u64;
 
         // Round barrier #2: the next round's accumulate phase must not
         // write a segment a neighbour is still merging.
@@ -514,6 +709,8 @@ fn shard_worker<W: Workload + ?Sized>(
         negative_node_steps,
         final_negative: negative,
         injected,
+        topology_events,
+        graph: my_gp,
     }
 }
 

@@ -69,6 +69,39 @@ pub trait Workload: Send {
     /// stream — the scenario harness uses this to drive every execution
     /// path with the same workload.
     fn reset(&mut self) {}
+
+    /// Whether this workload wants the engine's `(argmax node, max
+    /// load)` hint each round. Workloads that target the most-loaded
+    /// node (the bounded adversary) opt in; on the planned execution
+    /// paths the engine then serves the argmax from an incrementally
+    /// maintained load index instead of the workload rescanning the
+    /// whole vector every injecting round.
+    fn needs_argmax(&self) -> bool {
+        false
+    }
+
+    /// [`inject`](Workload::inject) with the engine's argmax hint.
+    /// `argmax` is `Some((node, load))` — the most-loaded node, lowest
+    /// id on ties, exactly what a full ascending scan with a strict
+    /// `>` comparison finds — when the engine maintains the index
+    /// (planned paths, for workloads whose
+    /// [`needs_argmax`](Workload::needs_argmax) is true), and `None`
+    /// on the kernel/sharded paths, where the workload falls back to
+    /// its own scan. Both sources see identical loads, so the streams
+    /// stay bit-identical across paths.
+    ///
+    /// The default ignores the hint and delegates to
+    /// [`inject`](Workload::inject); engines always call this method.
+    fn inject_with_hint(
+        &mut self,
+        round: usize,
+        loads: &[i64],
+        argmax: Option<(usize, i64)>,
+        deltas: &mut [i64],
+    ) {
+        let _ = argmax;
+        self.inject(round, loads, deltas);
+    }
 }
 
 /// The empty workload: never injects anything.

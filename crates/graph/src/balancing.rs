@@ -90,6 +90,15 @@ impl BalancingGraph {
         &self.graph
     }
 
+    /// Mutable access to the underlying graph, for the in-place
+    /// topology mutations of [`crate::mutate`]. Every mutation method
+    /// re-establishes the structural invariants itself, so `G⁺` stays
+    /// valid; the self-loop count is untouched by churn.
+    #[inline]
+    pub fn graph_mut(&mut self) -> &mut RegularGraph {
+        &mut self.graph
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

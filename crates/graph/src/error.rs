@@ -58,6 +58,14 @@ pub enum GraphError {
         /// Number of attempts performed before giving up.
         attempts: usize,
     },
+    /// A topology mutation (double-edge swap, port permutation, node
+    /// sleep/wake) was rejected because applying it would violate the
+    /// graph's structural invariants or its sleep-state bookkeeping.
+    /// Rejected mutations leave the graph untouched.
+    InvalidMutation {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -92,6 +100,9 @@ impl fmt::Display for GraphError {
                 f,
                 "generator `{generator}` failed to produce a valid graph after {attempts} attempts"
             ),
+            GraphError::InvalidMutation { reason } => {
+                write!(f, "invalid topology mutation: {reason}")
+            }
         }
     }
 }

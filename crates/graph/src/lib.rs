@@ -42,6 +42,7 @@ mod balancing;
 mod builder;
 mod error;
 pub mod generators;
+pub mod mutate;
 pub mod properties;
 mod regular;
 pub mod relabel;
@@ -50,5 +51,6 @@ pub mod traversal;
 pub use balancing::{BalancingGraph, PortKind, PortOrder};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
+pub use mutate::TopologyEvent;
 pub use regular::{NodeId, RegularGraph};
 pub use relabel::Relabeling;

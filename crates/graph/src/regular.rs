@@ -38,6 +38,13 @@ pub struct RegularGraph {
     /// Flat adjacency: `adjacency[u*d + p]` is the neighbour of `u` behind
     /// original port `p`.
     adjacency: Vec<u32>,
+    /// Nodes currently asleep (failed), as a sorted list. Empty for
+    /// every freshly constructed graph; mutated only by
+    /// [`apply_sleep`](RegularGraph::apply_sleep) /
+    /// [`apply_wake`](RegularGraph::apply_wake) (see [`crate::mutate`]).
+    /// Sleep state is part of the topology, so it participates in
+    /// equality and hashing.
+    asleep: Vec<u32>,
 }
 
 impl RegularGraph {
@@ -71,7 +78,12 @@ impl RegularGraph {
                 ),
             });
         }
-        let graph = RegularGraph { n, d, adjacency };
+        let graph = RegularGraph {
+            n,
+            d,
+            adjacency,
+            asleep: Vec::new(),
+        };
         graph.validate()?;
         Ok(graph)
     }
@@ -183,6 +195,42 @@ impl RegularGraph {
     /// Whether `{u, v}` is an edge of the graph.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         u < self.n && self.neighbors(u).contains(&(v as u32))
+    }
+
+    /// Whether node `u` is awake (not failed). Freshly constructed
+    /// graphs have every node awake; see [`crate::mutate`] for the
+    /// sleep/wake mutation API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.num_nodes()`.
+    #[inline]
+    pub fn is_awake(&self, u: NodeId) -> bool {
+        assert!(u < self.n, "node {u} out of range");
+        self.asleep.binary_search(&(u as u32)).is_err()
+    }
+
+    /// The currently asleep nodes, sorted ascending.
+    #[inline]
+    pub fn asleep_nodes(&self) -> &[u32] {
+        &self.asleep
+    }
+
+    /// Number of asleep nodes (`0` means the whole graph is live).
+    #[inline]
+    pub fn asleep_count(&self) -> usize {
+        self.asleep.len()
+    }
+
+    /// Direct access to the sleep list for the mutation module.
+    pub(crate) fn asleep_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.asleep
+    }
+
+    /// Direct access to the adjacency table for the mutation module
+    /// (which re-establishes the structural invariants itself).
+    pub(crate) fn adjacency_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.adjacency
     }
 }
 

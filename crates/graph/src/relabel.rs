@@ -269,7 +269,17 @@ impl RegularGraph {
         // An isomorphism preserves every structural invariant, but the
         // cheap revalidation keeps `RegularGraph`'s construction-time
         // guarantee unconditional.
-        RegularGraph::from_adjacency(n, d, adjacency)
+        let mut relabeled = RegularGraph::from_adjacency(n, d, adjacency)?;
+        // Sleep state travels with the nodes: the image of an asleep
+        // node is asleep.
+        let mut asleep: Vec<u32> = self
+            .asleep_nodes()
+            .iter()
+            .map(|&old| relabeling.forward[old as usize])
+            .collect();
+        asleep.sort_unstable();
+        *relabeled.asleep_mut() = asleep;
+        Ok(relabeled)
     }
 }
 

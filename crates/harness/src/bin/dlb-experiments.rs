@@ -35,6 +35,7 @@ const ALL_IDS: &[&str] = &[
     "a3",
     "t1",
     "scenarios",
+    "churn",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -53,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios]... [--quick] [--csv DIR]\n\
+                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios churn]... [--quick] [--csv DIR]\n\
                      \n\
                      e1  Table 1: discrepancy after 4T per scheme per graph\n\
                      e2  Thm 2.3(i): scaling on expanders\n\
@@ -69,7 +70,10 @@ fn parse_args() -> Result<Args, String> {
                      a3  ablation: rotor-router port-order sensitivity\n\
                      t1  throughput: step rates per engine path (writes BENCH_PR3.json)\n\
                      scenarios  dynamic workloads: steady-state discrepancy, recovery,\n\
-                                cross-path bit-identity under injection (writes BENCH_PR4.json)"
+                                cross-path bit-identity under injection (writes BENCH_PR4.json)\n\
+                     churn      dynamic topology: discrepancy under churn, recovery after\n\
+                                failure bursts, throughput vs churn rate, cross-path\n\
+                                bit-identity under churn x workload (writes BENCH_PR5.json)"
                 );
                 std::process::exit(0);
             }
@@ -105,6 +109,7 @@ fn run_one(id: &str, quick: bool) -> Result<Table, RunError> {
         "a3" => experiments::ablation_port_order(quick),
         "t1" => experiments::throughput(quick),
         "scenarios" => experiments::scenarios(quick),
+        "churn" => experiments::churn(quick),
         other => unreachable!("unvalidated experiment id {other}"),
     }
 }

@@ -6,6 +6,7 @@
 //! CI and `cargo bench`. All drivers are deterministic.
 
 mod ablations;
+mod churn;
 mod deviation_trace;
 mod dimension_exchange;
 mod lower;
@@ -16,6 +17,7 @@ mod thm33;
 mod throughput;
 
 pub use ablations::{ablation_delta, ablation_port_order, ablation_self_loops};
+pub use churn::churn;
 pub use deviation_trace::deviation_trace;
 pub use dimension_exchange::dimension_exchange;
 pub use lower::{thm41_lower, thm42_stateless, thm43_rotor_cycle};

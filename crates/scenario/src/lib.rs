@@ -36,5 +36,6 @@ pub mod scenario;
 pub mod workloads;
 
 pub use dlb_core::{NoWorkload, Workload};
-pub use scenario::{Scenario, ScenarioReport};
+pub use dlb_topology::{ScheduleSpec, TopologySchedule};
+pub use scenario::{Scenario, ScenarioRecorder, ScenarioReport};
 pub use workloads::WorkloadSpec;

@@ -23,8 +23,33 @@
 //! phase (it reads per-round statistics anyway) and the engine's
 //! incremental `run_until` for recovery.
 
-use dlb_core::{Balancer, Engine, EngineError, LoadVector, Workload};
+use dlb_core::{Balancer, Engine, EngineError, LoadVector, TopologySchedule, Workload};
 use dlb_graph::BalancingGraph;
+
+/// Reusable recording state for [`Scenario`] runs: the per-round
+/// discrepancy trace is written into a buffer that persists across
+/// runs, so a sweep over hundreds of scenario cells allocates it once
+/// instead of growing a fresh vector every run (and, within a run,
+/// `reserve` up front instead of reallocating round by round).
+#[derive(Debug, Default)]
+pub struct ScenarioRecorder {
+    trace: Vec<i64>,
+}
+
+impl ScenarioRecorder {
+    /// An empty recorder; buffers grow on first use and are reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioRecorder::default()
+    }
+
+    /// The last run's per-round discrepancy trace (injection phase
+    /// only, one entry per round).
+    pub fn trace(&self) -> &[i64] {
+        &self.trace
+    }
+}
 
 /// Parameters of one scenario run (see the module docs for the phase
 /// structure).
@@ -69,6 +94,34 @@ impl Scenario {
         balancer: &mut dyn Balancer,
         workload: &mut dyn Workload,
     ) -> Result<ScenarioReport, EngineError> {
+        let mut recorder = ScenarioRecorder::new();
+        self.run_dyn(gp, initial, balancer, None, workload, &mut recorder)
+    }
+
+    /// [`run`](Scenario::run) under topology churn: `schedule`'s
+    /// events mutate the graph every injection round (the engine's
+    /// full dynamic round structure), so the steady-state numbers
+    /// describe balancing *while the graph changes*. The recovery
+    /// phase is run closed — churn and injection both stop — so the
+    /// recovery time isolates how long the scheme needs to digest what
+    /// the churn left behind (asleep nodes keep handing their queues
+    /// to live neighbours during recovery). `recorder` buffers are
+    /// reused across calls; the per-round discrepancy trace of this
+    /// run is left in it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`], including
+    /// `EngineError::Topology` for schedules that emit invalid events.
+    pub fn run_dyn<'s>(
+        &self,
+        gp: &BalancingGraph,
+        initial: &LoadVector,
+        balancer: &mut dyn Balancer,
+        mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: &mut dyn Workload,
+        recorder: &mut ScenarioRecorder,
+    ) -> Result<ScenarioReport, EngineError> {
         let mut engine = Engine::new(gp.clone(), initial.clone());
         let mut peak_load = initial.max();
         let mut peak_discrepancy = initial.discrepancy();
@@ -76,9 +129,13 @@ impl Scenario {
         let mut tail_max = 0i64;
         let mut tail_sum = 0i64;
         let mut tail_rounds = 0u64;
+        recorder.trace.clear();
+        recorder.trace.reserve(self.rounds);
 
         for round in 0..self.rounds {
-            let summary = engine.step_with(balancer, Some(workload))?;
+            let s = schedule.as_deref_mut();
+            let summary = engine.step_dyn(balancer, s, Some(workload))?;
+            recorder.trace.push(summary.discrepancy);
             peak_load = peak_load.max(engine.loads().max());
             peak_discrepancy = peak_discrepancy.max(summary.discrepancy);
             if round >= tail_start {
@@ -90,6 +147,7 @@ impl Scenario {
 
         let loads_after_injection = engine.loads().clone();
         let injected_total = engine.injected_total();
+        let topology_events = engine.topology_events_applied();
 
         // Recovery: the workload stops; count closed-system rounds to
         // the threshold. A system already at the threshold when
@@ -116,6 +174,7 @@ impl Scenario {
             peak_discrepancy,
             recovery_rounds,
             injected_total,
+            topology_events,
             final_total: engine.loads().total(),
             final_discrepancy: engine.loads().discrepancy(),
             loads_after_injection,
@@ -142,6 +201,9 @@ pub struct ScenarioReport {
     pub recovery_rounds: Option<usize>,
     /// Net injected load over the whole run.
     pub injected_total: i64,
+    /// Topology events applied during the injection phase (always 0
+    /// for static runs).
+    pub topology_events: u64,
     /// Final total load (equals initial total + `injected_total`).
     pub final_total: i64,
     /// Final discrepancy after the recovery phase.
@@ -207,6 +269,49 @@ mod tests {
             .unwrap();
         assert!(report.loads_after_injection.discrepancy() <= scenario.recovery_threshold);
         assert_eq!(report.recovery_rounds, Some(0));
+    }
+
+    #[test]
+    fn run_dyn_measures_recovery_from_a_failure_burst() {
+        use dlb_topology::schedules::FailureBurst;
+        use dlb_topology::TopologySchedule;
+
+        let gp = lazy_cycle(16);
+        let initial = LoadVector::uniform(16, 32);
+        // Four nodes fail at round 4 and recover at round 20; their
+        // queues pile onto the survivors, so injection ends with churn
+        // damage to digest.
+        let mut scenario = Scenario::new(24, &gp);
+        scenario.recovery_max_rounds = 20_000;
+        let mut schedule = FailureBurst::new(4, 20, 4, 21);
+        let mut recorder = ScenarioRecorder::new();
+        let report = scenario
+            .run_dyn(
+                &gp,
+                &initial,
+                &mut SendFloor::new(),
+                Some(&mut schedule as &mut dyn TopologySchedule),
+                &mut Hotspot::new(0, 16),
+                &mut recorder,
+            )
+            .unwrap();
+        assert_eq!(report.topology_events, 8, "4 sleeps + 4 wakes");
+        assert_eq!(report.final_total, 16 * 32 + report.injected_total);
+        assert_eq!(recorder.trace().len(), 24, "one trace entry per round");
+        assert!(report.recovery_rounds.is_some(), "cycle(16) recovers");
+        // A second run reuses the recorder's buffer.
+        let report2 = scenario
+            .run_dyn(
+                &gp,
+                &initial,
+                &mut SendFloor::new(),
+                None,
+                &mut Hotspot::new(0, 16),
+                &mut recorder,
+            )
+            .unwrap();
+        assert_eq!(report2.topology_events, 0);
+        assert_eq!(recorder.trace().len(), 24);
     }
 
     #[test]

@@ -198,15 +198,43 @@ impl Workload for Drain {
 /// placement that maximally fights the balancer while staying within
 /// the `≤ B` tokens/round bound under which steady-state discrepancy
 /// results are stated.
+///
+/// Argmax-aware: on the planned execution paths the engine maintains
+/// an incremental load index and serves the `(argmax, max)` pair as a
+/// hint, so the adversary injects without rescanning the load vector;
+/// on the plan-free paths (no hint) it falls back to its own full
+/// scan, counted in [`scans`](BoundedAdversary::scans) — the counter
+/// the regression tests pin so the planned paths can never silently
+/// regress to one `O(n)` scan per injecting round.
 #[derive(Debug, Clone, Copy)]
 pub struct BoundedAdversary {
     budget: u64,
+    scans: u64,
 }
 
 impl BoundedAdversary {
     /// An adversary injecting `budget` tokens per round.
     pub fn new(budget: u64) -> Self {
-        BoundedAdversary { budget }
+        BoundedAdversary { budget, scans: 0 }
+    }
+
+    /// Full `O(n)` argmax scans this instance has performed (zero when
+    /// every injection was served from the engine's hint).
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// The counted fallback scan: lowest id on ties, exactly the tie
+    /// rule of the engine's index.
+    fn scan_argmax(&mut self, loads: &[i64]) -> usize {
+        self.scans += 1;
+        let mut target = 0usize;
+        for (u, &x) in loads.iter().enumerate() {
+            if x > loads[target] {
+                target = u;
+            }
+        }
+        target
     }
 }
 
@@ -216,13 +244,29 @@ impl Workload for BoundedAdversary {
     }
 
     fn inject(&mut self, _round: usize, loads: &[i64], deltas: &mut [i64]) {
-        let mut target = 0usize;
-        for (u, &x) in loads.iter().enumerate() {
-            if x > loads[target] {
-                target = u;
-            }
-        }
+        let target = self.scan_argmax(loads);
         deltas[target] += self.budget as i64;
+    }
+
+    fn needs_argmax(&self) -> bool {
+        true
+    }
+
+    fn inject_with_hint(
+        &mut self,
+        round: usize,
+        loads: &[i64],
+        argmax: Option<(usize, i64)>,
+        deltas: &mut [i64],
+    ) {
+        match argmax {
+            Some((target, _)) => deltas[target] += self.budget as i64,
+            None => self.inject(round, loads, deltas),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.scans = 0;
     }
 }
 
@@ -251,10 +295,29 @@ impl Workload for Compose {
     }
 
     fn inject(&mut self, round: usize, loads: &[i64], deltas: &mut [i64]) {
+        self.inject_with_hint(round, loads, None, deltas);
+    }
+
+    /// A composition wants the argmax whenever any child does, and
+    /// forwards the engine's hint — every child sees the same
+    /// pre-round loads, so the same hint is valid for all of them. A
+    /// composed `BoundedAdversary` therefore keeps the zero-scan
+    /// guarantee of the planned paths.
+    fn needs_argmax(&self) -> bool {
+        self.children.iter().any(|c| c.needs_argmax())
+    }
+
+    fn inject_with_hint(
+        &mut self,
+        round: usize,
+        loads: &[i64],
+        argmax: Option<(usize, i64)>,
+        deltas: &mut [i64],
+    ) {
         self.scratch.resize(loads.len(), 0);
         for child in &mut self.children {
             self.scratch.fill(0);
-            child.inject(round, loads, &mut self.scratch);
+            child.inject_with_hint(round, loads, argmax, &mut self.scratch);
             for (d, &s) in deltas.iter_mut().zip(&self.scratch) {
                 *d += s;
             }
@@ -446,6 +509,109 @@ mod tests {
         let mut d = vec![0i64; 4];
         w.inject(1, &loads, &mut d);
         assert_eq!(d, vec![0, 4, 0, 0]);
+        assert_eq!(w.scans(), 1, "the fallback scan is counted");
+        // A hint bypasses the scan entirely and must be trusted.
+        let mut d = vec![0i64; 4];
+        w.inject_with_hint(2, &loads, Some((1, 9)), &mut d);
+        assert_eq!(d, vec![0, 4, 0, 0]);
+        assert_eq!(w.scans(), 1, "hinted injection must not rescan");
+        w.reset();
+        assert_eq!(w.scans(), 0);
+    }
+
+    /// Regression (PR 5): the adversary used to rescan the full load
+    /// vector for its argmax every injecting round on *every* path.
+    /// The planned paths now serve it from the engine's incrementally
+    /// maintained load index — zero adversary scans over an entire
+    /// run — while the plan-free paths keep the (counted) fallback and
+    /// still land on the identical target.
+    #[test]
+    fn adversary_scans_are_zero_on_the_planned_paths() {
+        use dlb_core::schemes::SendFloor;
+        use dlb_core::{Engine, LoadVector};
+        use dlb_graph::{generators, BalancingGraph};
+
+        let gp = BalancingGraph::lazy(generators::cycle(32).unwrap());
+        let initial = LoadVector::point_mass(32, 320);
+
+        let mut planned = BoundedAdversary::new(7);
+        let mut engine = Engine::new(gp.clone(), initial.clone());
+        engine
+            .run_with(&mut SendFloor::new(), 60, Some(&mut planned))
+            .unwrap();
+        assert_eq!(
+            planned.scans(),
+            0,
+            "planned paths must serve the argmax from the engine index"
+        );
+        let planned_loads = engine.loads().clone();
+
+        let mut fallback = BoundedAdversary::new(7);
+        let mut kernel = Engine::new(gp, initial);
+        kernel
+            .run_kernel_with(&mut SendFloor::new(), 60, Some(&mut fallback))
+            .unwrap();
+        assert_eq!(fallback.scans(), 60, "kernel path pays one scan per round");
+        assert_eq!(
+            kernel.loads(),
+            &planned_loads,
+            "hint and scan must pick identical targets"
+        );
+    }
+
+    /// Regression (PR 5 review): `Compose` must forward the argmax
+    /// capability and hint — a composed adversary keeps the planned
+    /// paths' zero-scan guarantee instead of silently regressing to
+    /// one full scan per injecting round.
+    #[test]
+    fn composed_adversary_keeps_the_zero_scan_guarantee() {
+        use dlb_core::schemes::SendFloor;
+        use dlb_core::{Engine, LoadVector};
+        use dlb_graph::{generators, BalancingGraph};
+
+        /// Panics if the engine ever injects it without a hint.
+        struct DemandsHint;
+        impl Workload for DemandsHint {
+            fn label(&self) -> String {
+                "demands-hint".into()
+            }
+            fn needs_argmax(&self) -> bool {
+                true
+            }
+            fn inject(&mut self, _round: usize, _loads: &[i64], _deltas: &mut [i64]) {
+                panic!("planned paths must serve composed children from the engine index");
+            }
+            fn inject_with_hint(
+                &mut self,
+                _round: usize,
+                loads: &[i64],
+                argmax: Option<(usize, i64)>,
+                deltas: &mut [i64],
+            ) {
+                let (node, load) = argmax.expect("hint must be forwarded through Compose");
+                assert_eq!(load, loads[node]);
+                deltas[node] += 5;
+            }
+        }
+
+        let mut composed = Compose::new(vec![
+            Box::new(DemandsHint),
+            Box::new(SteadyArrivals::new(3, 2)),
+        ]);
+        assert!(composed.needs_argmax(), "any argmax-hungry child suffices");
+        let gp = BalancingGraph::lazy(generators::cycle(16).unwrap());
+        let mut engine = Engine::new(gp, LoadVector::point_mass(16, 160));
+        engine
+            .run_with(&mut SendFloor::new(), 40, Some(&mut composed))
+            .unwrap();
+        assert_eq!(engine.injected_total(), 40 * (5 + 3));
+
+        // At the trait level, a hint reaches each child verbatim.
+        let mut compose = Compose::new(vec![Box::new(BoundedAdversary::new(5))]);
+        let loads = vec![1i64, 9, 2, 2];
+        let mut deltas = vec![0i64; 4];
+        compose.inject_with_hint(1, &loads, Some((1, 9)), &mut deltas);
+        assert_eq!(deltas, vec![0, 5, 0, 0], "hint forwarded to the child");
     }
 
     #[test]

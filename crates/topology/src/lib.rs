@@ -1,0 +1,258 @@
+//! Dynamic-topology schedules: the churn axis of the open system.
+//!
+//! The paper's bounds hold on a **fixed** d-regular graph; the
+//! dynamic-network literature (Gilbert–Meir–Paz, *On the Complexity of
+//! Load Balancing in Dynamic Networks*; Berenbrink et al., *Dynamic
+//! Averaging Load Balancing on Arbitrary Graphs*) shows that topology
+//! change — not just load change — is where deterministic schemes are
+//! really stressed. This crate expresses that regime on top of the
+//! in-place mutation layer of [`dlb_graph::mutate`]:
+//!
+//! * [`TopologySchedule`] — the engine-facing trait: a deterministic
+//!   per-round source of [`TopologyEvent`]s (double-edge swaps, port
+//!   permutations, node sleep/wake), mirroring how `dlb_core::Workload`
+//!   sources per-round load deltas;
+//! * [`StaticTopology`] — the empty schedule behind the engine's
+//!   closed-topology entry points (the `NoWorkload` analogue);
+//! * [`drive_events`] / [`undo_events`] — the shared application
+//!   plumbing every engine execution path uses, so serial, kernel and
+//!   sharded rounds cannot drift apart in how churn lands or rolls
+//!   back;
+//! * [`schedules`] — concrete deterministic generators: periodic
+//!   random rewiring ([`schedules::PeriodicRewiring`]),
+//!   failure/recovery churn at rate p ([`schedules::FailureRecovery`]),
+//!   a one-shot failure burst ([`schedules::FailureBurst`]),
+//!   adversarial cut-targeting swaps ([`schedules::AdversarialCut`]),
+//!   and a concatenating combinator ([`schedules::Compose`]); plus the
+//!   [`ScheduleSpec`] naming layer experiments and tests build from.
+//!
+//! Every generator is deterministic (explicit seeds, the vendored
+//! deterministic RNG) and replayable via [`TopologySchedule::reset`],
+//! which is what lets the churn harness drive every engine execution
+//! path with bit-identical event streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dlb_graph::{GraphError, RegularGraph, TopologyEvent};
+
+pub mod schedules;
+
+pub use schedules::ScheduleSpec;
+
+/// A dynamic-topology schedule: a deterministic per-round source of
+/// [`TopologyEvent`]s.
+///
+/// `Send` is a supertrait because the sharded execution path hands the
+/// schedule to a worker thread (one designated worker drives the whole
+/// round's churn).
+///
+/// Implementations must be deterministic functions of their own state
+/// and the `(round, graph)` arguments — the engine relies on that to
+/// keep its execution paths bit-identical — and must emit events that
+/// are valid *in emission order* against the graph they were shown
+/// (each event sees the graph with the previous events of the same
+/// round applied). An invalid event is surfaced by the engine as
+/// `EngineError::Topology` and the whole round — injection included —
+/// is rolled back.
+pub trait TopologySchedule: Send {
+    /// A short label for reports and JSON rows.
+    fn label(&self) -> String;
+
+    /// Appends round `round`'s events to `out` (the buffer arrives
+    /// cleared), given the pre-round graph. `round` is 1-based and
+    /// matches the engine's step numbering.
+    fn events(&mut self, round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>);
+
+    /// Restores the post-construction state (RNG position, burst
+    /// bookkeeping), so one instance can replay the identical event
+    /// stream — the churn harness uses this to drive every execution
+    /// path with the same churn.
+    fn reset(&mut self) {}
+}
+
+/// The empty schedule: never emits an event.
+///
+/// This is the type behind the engine's closed-topology entry points —
+/// `run_kernel_with` is `run_kernel_dyn(…, StaticTopology::none(), …)`,
+/// so the churn branch monomorphises against a statically absent
+/// schedule and the fixed-graph loop compiles as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticTopology;
+
+impl StaticTopology {
+    /// The absent-schedule argument for the `*_dyn` entry points, for
+    /// callers who want the fixed topology spelled out.
+    #[must_use]
+    pub fn none() -> Option<&'static mut StaticTopology> {
+        None
+    }
+}
+
+impl TopologySchedule for StaticTopology {
+    fn label(&self) -> String {
+        "static".into()
+    }
+
+    fn events(&mut self, _round: usize, _graph: &RegularGraph, _out: &mut Vec<TopologyEvent>) {}
+}
+
+/// Drives one round of `schedule` against `graph`: collects the
+/// round's events into `scratch`, applies them in order, and records
+/// each successfully applied event in `applied` (the rollback list —
+/// callers clear it per round). On a rejected event the already-applied
+/// prefix is undone, `applied` is cleared, and the graph is exactly as
+/// it was on entry.
+///
+/// This is the single application path shared by the serial engine,
+/// the plan-free kernel rounds and the sharded driver worker, so the
+/// execution paths cannot drift apart in how churn lands or rolls
+/// back.
+///
+/// # Errors
+///
+/// Propagates the first event's validation error; the graph is
+/// restored bit for bit before returning.
+pub fn drive_events<S: TopologySchedule + ?Sized>(
+    schedule: &mut S,
+    round: usize,
+    graph: &mut RegularGraph,
+    scratch: &mut Vec<TopologyEvent>,
+    applied: &mut Vec<TopologyEvent>,
+) -> Result<(), GraphError> {
+    scratch.clear();
+    schedule.events(round, graph, scratch);
+    for event in scratch.iter() {
+        match graph.apply_event(event) {
+            Ok(()) => applied.push(event.clone()),
+            Err(e) => {
+                undo_events(graph, applied);
+                applied.clear();
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rolls back a list of applied events: inverses in reverse order,
+/// restoring the graph bit for bit (see
+/// [`TopologyEvent::inverted`]).
+pub fn undo_events(graph: &mut RegularGraph, applied: &[TopologyEvent]) {
+    for event in applied.iter().rev() {
+        graph
+            .apply_event(&event.inverted())
+            .expect("the inverse of an applied event is always valid");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graph::generators;
+
+    struct TwoSwaps;
+    impl TopologySchedule for TwoSwaps {
+        fn label(&self) -> String {
+            "two-swaps".into()
+        }
+        fn events(&mut self, round: usize, _graph: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+            if round == 1 {
+                out.push(TopologyEvent::Swap {
+                    a: 0,
+                    b: 1,
+                    c: 4,
+                    d: 5,
+                });
+                out.push(TopologyEvent::Sleep { node: 2 });
+            }
+        }
+    }
+
+    #[test]
+    fn drive_applies_in_order_and_records() {
+        let mut g = generators::cycle(8).unwrap();
+        let (mut scratch, mut applied) = (Vec::new(), Vec::new());
+        drive_events(&mut TwoSwaps, 1, &mut g, &mut scratch, &mut applied).unwrap();
+        assert_eq!(applied.len(), 2);
+        assert!(g.has_edge(0, 4));
+        assert!(!g.is_awake(2));
+        // Round 2 emits nothing.
+        applied.clear();
+        drive_events(&mut TwoSwaps, 2, &mut g, &mut scratch, &mut applied).unwrap();
+        assert!(applied.is_empty());
+    }
+
+    #[test]
+    fn rejected_event_rolls_back_the_whole_round() {
+        struct BadSecond;
+        impl TopologySchedule for BadSecond {
+            fn label(&self) -> String {
+                "bad-second".into()
+            }
+            fn events(&mut self, _r: usize, _g: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+                out.push(TopologyEvent::Swap {
+                    a: 0,
+                    b: 1,
+                    c: 4,
+                    d: 5,
+                });
+                // Invalid: edge {0,1} was just removed by the first swap.
+                out.push(TopologyEvent::Swap {
+                    a: 0,
+                    b: 1,
+                    c: 3,
+                    d: 4,
+                });
+            }
+        }
+        let mut g = generators::cycle(8).unwrap();
+        let original = g.clone();
+        let (mut scratch, mut applied) = (Vec::new(), Vec::new());
+        let err = drive_events(&mut BadSecond, 1, &mut g, &mut scratch, &mut applied);
+        assert!(err.is_err());
+        assert!(applied.is_empty());
+        assert_eq!(g, original, "failed round must restore the graph exactly");
+    }
+
+    #[test]
+    fn undo_events_restores_across_event_kinds() {
+        let mut g = generators::torus(2, 4).unwrap();
+        let original = g.clone();
+        let events = vec![
+            TopologyEvent::Swap {
+                a: 0,
+                b: 1,
+                c: 5,
+                d: 6,
+            },
+            TopologyEvent::PermutePorts {
+                node: 2,
+                perm: vec![1, 0, 3, 2],
+            },
+            TopologyEvent::Sleep { node: 9 },
+            TopologyEvent::Wake { node: 9 },
+            TopologyEvent::Sleep { node: 3 },
+        ];
+        let mut applied = Vec::new();
+        for ev in &events {
+            g.apply_event(ev).unwrap();
+            applied.push(ev.clone());
+        }
+        assert_ne!(g, original);
+        undo_events(&mut g, &applied);
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn static_topology_is_empty() {
+        let mut g = generators::cycle(8).unwrap();
+        let mut out = Vec::new();
+        StaticTopology.events(1, &g, &mut out);
+        assert!(out.is_empty());
+        assert!(StaticTopology::none().is_none());
+        let (mut scratch, mut applied) = (Vec::new(), Vec::new());
+        drive_events(&mut StaticTopology, 1, &mut g, &mut scratch, &mut applied).unwrap();
+        assert!(applied.is_empty());
+    }
+}

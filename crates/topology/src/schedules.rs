@@ -1,0 +1,703 @@
+//! Concrete deterministic [`TopologySchedule`] generators.
+//!
+//! All generators are deterministic: randomized ones take explicit
+//! seeds and draw from the vendored deterministic RNG, and every
+//! generator's [`reset`](TopologySchedule::reset) restores the exact
+//! post-construction state so one instance can replay its event stream
+//! — the property the differential tests and the churn harness use to
+//! drive every engine path with identical churn.
+//!
+//! Generators that emit swaps validate each candidate on a scratch
+//! copy of the graph — simplicity *and* (by default) connectivity —
+//! before emitting it, so the events reaching the engine are always
+//! applicable and a connected graph stays connected under churn. The
+//! scratch copy costs `O(n·d)` per emitting round; rewiring schedules
+//! are periodic precisely so that cost amortises away.
+
+use dlb_graph::{traversal, RegularGraph, TopologyEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TopologySchedule;
+
+/// Proposes one random double-edge swap on `probe` that keeps the
+/// graph simple and (when `check_connectivity`) connected, applying it
+/// to `probe` and returning the event. Bounded retries; `None` when no
+/// valid candidate was found (e.g. the graph is a single clique).
+fn random_swap(
+    probe: &mut RegularGraph,
+    rng: &mut StdRng,
+    check_connectivity: bool,
+) -> Option<TopologyEvent> {
+    let n = probe.num_nodes();
+    let deg = probe.degree();
+    for _ in 0..64 {
+        let a = rng.gen_range(0..n);
+        let b = probe.neighbor(a, rng.gen_range(0..deg));
+        let c = rng.gen_range(0..n);
+        let d = probe.neighbor(c, rng.gen_range(0..deg));
+        if a == c || a == d || b == c || b == d {
+            continue;
+        }
+        if probe.has_edge(a, c) || probe.has_edge(b, d) {
+            continue;
+        }
+        probe
+            .apply_swap(a, b, c, d)
+            .expect("candidate pre-validated");
+        if check_connectivity && !traversal::is_connected(probe) {
+            // Undo and keep looking: this swap would split the graph.
+            probe
+                .apply_swap(a, c, b, d)
+                .expect("inverse of an applied swap is valid");
+            continue;
+        }
+        return Some(TopologyEvent::Swap { a, b, c, d });
+    }
+    None
+}
+
+/// Periodic random rewiring: every `period` rounds, a burst of random
+/// double-edge swaps — the "edges move but the graph stays d-regular"
+/// churn model. Swaps are validated on a scratch copy (simplicity and,
+/// by default, connectivity), so every emitted event applies cleanly.
+#[derive(Debug, Clone)]
+pub struct PeriodicRewiring {
+    period: usize,
+    swaps: usize,
+    seed: u64,
+    check_connectivity: bool,
+    rng: StdRng,
+}
+
+impl PeriodicRewiring {
+    /// A burst of `swaps` random swaps every `period` rounds (rounds
+    /// `period, 2·period, …`), seeded by `seed`, preserving
+    /// connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` (the schedule would be ill-defined).
+    pub fn new(period: usize, swaps: usize, seed: u64) -> Self {
+        assert!(period > 0, "rewiring period must be positive");
+        PeriodicRewiring {
+            period,
+            swaps,
+            seed,
+            check_connectivity: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Disables the per-swap connectivity check (pure random swaps can
+    /// then split the graph — useful for stress tests only).
+    #[must_use]
+    pub fn without_connectivity_check(mut self) -> Self {
+        self.check_connectivity = false;
+        self
+    }
+}
+
+impl TopologySchedule for PeriodicRewiring {
+    fn label(&self) -> String {
+        format!("rewire({}x every {})", self.swaps, self.period)
+    }
+
+    fn events(&mut self, round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+        if !round.is_multiple_of(self.period) {
+            return;
+        }
+        let mut probe = graph.clone();
+        for _ in 0..self.swaps {
+            if let Some(ev) = random_swap(&mut probe, &mut self.rng, self.check_connectivity) {
+                out.push(ev);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Failure/recovery churn at rate p: each round, with probability
+/// `p_fail` one uniformly chosen awake node (that still has an awake
+/// neighbour to hand its queue to) goes down, and with probability
+/// `p_recover` one uniformly chosen asleep node comes back — the
+/// memoryless crash/repair model, bounded by `max_down` simultaneous
+/// failures.
+///
+/// The awake-neighbour requirement holds at *sleep time*; later
+/// failures can still strand an earlier sleeper with no live
+/// neighbour, in which case it keeps (and, schemes being
+/// topology-oblivious, keeps balancing) its queue until somebody
+/// recovers — see `dlb_graph::mutate::handoff_deltas`.
+#[derive(Debug, Clone)]
+pub struct FailureRecovery {
+    p_fail: f64,
+    p_recover: f64,
+    max_down: usize,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl FailureRecovery {
+    /// Failure probability `p_fail` and recovery probability
+    /// `p_recover` per round, at most `max_down` nodes down at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p_fail: f64, p_recover: f64, max_down: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_fail), "p_fail must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p_recover),
+            "p_recover must be in [0, 1]"
+        );
+        FailureRecovery {
+            p_fail,
+            p_recover,
+            max_down,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Picks a uniformly random awake node that has at least one awake
+/// neighbour (so its queue has somewhere to go). Bounded rejection
+/// sampling; `None` if no suitable node turns up.
+fn pick_failure_target(graph: &RegularGraph, rng: &mut StdRng) -> Option<usize> {
+    let n = graph.num_nodes();
+    for _ in 0..32 {
+        let u = rng.gen_range(0..n);
+        if !graph.is_awake(u) {
+            continue;
+        }
+        if graph
+            .neighbors(u)
+            .iter()
+            .any(|&v| graph.is_awake(v as usize))
+        {
+            return Some(u);
+        }
+    }
+    None
+}
+
+impl TopologySchedule for FailureRecovery {
+    fn label(&self) -> String {
+        format!(
+            "failure(p={:.3}/{:.3},max {})",
+            self.p_fail, self.p_recover, self.max_down
+        )
+    }
+
+    fn events(&mut self, _round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+        // Both draws happen every round so the RNG stream is a pure
+        // function of the round count, not of the graph state.
+        let fail = self.rng.gen_bool(self.p_fail);
+        let recover = self.rng.gen_bool(self.p_recover);
+        if fail && graph.asleep_count() < self.max_down {
+            if let Some(u) = pick_failure_target(graph, &mut self.rng) {
+                out.push(TopologyEvent::Sleep { node: u });
+            }
+        }
+        if recover && graph.asleep_count() > 0 {
+            let at = self.rng.gen_range(0..graph.asleep_count());
+            out.push(TopologyEvent::Wake {
+                node: graph.asleep_nodes()[at] as usize,
+            });
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// A one-shot failure burst: `count` nodes go down together at round
+/// `fail_at` and all recover at round `wake_at` — the scenario behind
+/// the *recovery time after a failure burst* metric.
+#[derive(Debug, Clone)]
+pub struct FailureBurst {
+    fail_at: usize,
+    wake_at: usize,
+    count: usize,
+    seed: u64,
+    rng: StdRng,
+    slept: Vec<usize>,
+}
+
+impl FailureBurst {
+    /// Sleeps `count` random (seeded) nodes at round `fail_at`, wakes
+    /// them all at round `wake_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fail_at < wake_at`.
+    pub fn new(fail_at: usize, wake_at: usize, count: usize, seed: u64) -> Self {
+        assert!(
+            fail_at > 0 && fail_at < wake_at,
+            "burst needs 0 < fail_at < wake_at"
+        );
+        FailureBurst {
+            fail_at,
+            wake_at,
+            count,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            slept: Vec::new(),
+        }
+    }
+
+    /// The round at which the burst's nodes recover.
+    pub fn wake_round(&self) -> usize {
+        self.wake_at
+    }
+}
+
+impl TopologySchedule for FailureBurst {
+    fn label(&self) -> String {
+        format!(
+            "burst({} down @{}..{})",
+            self.count, self.fail_at, self.wake_at
+        )
+    }
+
+    fn events(&mut self, round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+        if round == self.fail_at {
+            // Distinct targets, each keeping a live neighbour; tracked
+            // so the wake round releases exactly this set.
+            for _ in 0..self.count {
+                for _ in 0..32 {
+                    match pick_failure_target(graph, &mut self.rng) {
+                        Some(u) if !self.slept.contains(&u) => {
+                            self.slept.push(u);
+                            out.push(TopologyEvent::Sleep { node: u });
+                            break;
+                        }
+                        Some(_) => continue,
+                        None => break,
+                    }
+                }
+            }
+        } else if round == self.wake_at {
+            for &u in &self.slept {
+                out.push(TopologyEvent::Wake { node: u });
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.slept.clear();
+    }
+}
+
+/// Adversarial cut-targeting swaps: every `period` rounds, one swap
+/// that removes two edges crossing the fixed bisection
+/// `{0..n/2} | {n/2..n}` and replaces them with one edge inside each
+/// half — thinning the cut by two while keeping the graph d-regular
+/// and connected. This is the churn that *directly* attacks the
+/// spectral gap the paper's bounds are stated in: the balancer keeps
+/// its local guarantees while the adversary starves the global flow.
+///
+/// Fully deterministic: candidate cut-edge pairs are scanned in
+/// lexicographic order and the first valid, connectivity-preserving
+/// pair wins. When the cut cannot be thinned further without
+/// disconnecting the graph, the schedule goes quiet.
+#[derive(Debug, Clone)]
+pub struct AdversarialCut {
+    period: usize,
+}
+
+impl AdversarialCut {
+    /// One cut-thinning swap every `period` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "cut-targeting period must be positive");
+        AdversarialCut { period }
+    }
+}
+
+impl TopologySchedule for AdversarialCut {
+    fn label(&self) -> String {
+        format!("cut-target(every {})", self.period)
+    }
+
+    fn events(&mut self, round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+        if !round.is_multiple_of(self.period) {
+            return;
+        }
+        let half = graph.num_nodes() / 2;
+        if half < 2 {
+            return;
+        }
+        // Directed cut edges left → right, in (node, port) order.
+        let cut: Vec<(usize, usize)> = (0..half)
+            .flat_map(|u| {
+                graph
+                    .neighbors(u)
+                    .iter()
+                    .filter(move |&&v| (v as usize) >= half)
+                    .map(move |&v| (u, v as usize))
+            })
+            .collect();
+        let mut probe = graph.clone();
+        let mut attempts = 0usize;
+        for i in 0..cut.len() {
+            for j in (i + 1)..cut.len() {
+                let (a, b) = cut[i];
+                let (c, d) = cut[j];
+                if a == c || b == d || probe.has_edge(a, c) || probe.has_edge(b, d) {
+                    continue;
+                }
+                attempts += 1;
+                if attempts > 2048 {
+                    return;
+                }
+                probe
+                    .apply_swap(a, b, c, d)
+                    .expect("candidate pre-validated");
+                if traversal::is_connected(&probe) {
+                    out.push(TopologyEvent::Swap { a, b, c, d });
+                    return;
+                }
+                probe
+                    .apply_swap(a, c, b, d)
+                    .expect("inverse of an applied swap is valid");
+            }
+        }
+    }
+}
+
+/// Concatenates the events of several schedules, in order. Children
+/// are consulted against the same pre-round graph but their events
+/// apply sequentially, so compose schedules whose events cannot
+/// invalidate each other (sleep/wake never invalidates a swap and vice
+/// versa; two independent swap emitters on the same round can collide
+/// and would surface as an engine `Topology` error on that round).
+pub struct Compose {
+    children: Vec<Box<dyn TopologySchedule>>,
+}
+
+impl Compose {
+    /// Composes `children` by concatenating their per-round events.
+    pub fn new(children: Vec<Box<dyn TopologySchedule>>) -> Self {
+        Compose { children }
+    }
+}
+
+impl TopologySchedule for Compose {
+    fn label(&self) -> String {
+        let parts: Vec<String> = self.children.iter().map(|c| c.label()).collect();
+        format!("compose({})", parts.join(" + "))
+    }
+
+    fn events(&mut self, round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>) {
+        for child in &mut self.children {
+            child.events(round, graph, out);
+        }
+    }
+
+    fn reset(&mut self) {
+        for child in &mut self.children {
+            child.reset();
+        }
+    }
+}
+
+/// A named schedule configuration — the churn axis of every topology
+/// experiment, mirroring `WorkloadSpec`: a spec is `Clone + Eq`,
+/// builds a fresh generator per engine path (identical event streams),
+/// and labels JSON rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleSpec {
+    /// No churn: the paper's fixed-graph regime.
+    Static,
+    /// [`PeriodicRewiring`].
+    Periodic {
+        /// Rounds between bursts.
+        period: usize,
+        /// Swaps per burst.
+        swaps: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`FailureRecovery`] (probabilities in percent, so the spec
+    /// stays `Eq`).
+    Failure {
+        /// Failure probability per round, in percent.
+        fail_pct: u32,
+        /// Recovery probability per round, in percent.
+        recover_pct: u32,
+        /// Maximum simultaneous failures.
+        max_down: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`FailureBurst`].
+    Burst {
+        /// Round the nodes go down.
+        fail_at: usize,
+        /// Round they all recover.
+        wake_at: usize,
+        /// How many go down.
+        count: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// [`AdversarialCut`].
+    CutTargeting {
+        /// Rounds between cut-thinning swaps.
+        period: usize,
+    },
+    /// [`Compose`] of [`PeriodicRewiring`] and [`FailureRecovery`]:
+    /// edges rewire while nodes crash and repair — full churn.
+    Churn {
+        /// Rewiring period.
+        period: usize,
+        /// Swaps per burst.
+        swaps: usize,
+        /// Failure probability per round, in percent.
+        fail_pct: u32,
+        /// Maximum simultaneous failures.
+        max_down: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl ScheduleSpec {
+    /// Instantiates the schedule. `None` for [`ScheduleSpec::Static`],
+    /// so closed-topology rows exercise the engine's genuinely static
+    /// entry points rather than an empty dynamic schedule.
+    pub fn build(&self) -> Option<Box<dyn TopologySchedule>> {
+        match *self {
+            ScheduleSpec::Static => None,
+            ScheduleSpec::Periodic {
+                period,
+                swaps,
+                seed,
+            } => Some(Box::new(PeriodicRewiring::new(period, swaps, seed))),
+            ScheduleSpec::Failure {
+                fail_pct,
+                recover_pct,
+                max_down,
+                seed,
+            } => Some(Box::new(FailureRecovery::new(
+                f64::from(fail_pct) / 100.0,
+                f64::from(recover_pct) / 100.0,
+                max_down,
+                seed,
+            ))),
+            ScheduleSpec::Burst {
+                fail_at,
+                wake_at,
+                count,
+                seed,
+            } => Some(Box::new(FailureBurst::new(fail_at, wake_at, count, seed))),
+            ScheduleSpec::CutTargeting { period } => Some(Box::new(AdversarialCut::new(period))),
+            ScheduleSpec::Churn {
+                period,
+                swaps,
+                fail_pct,
+                max_down,
+                seed,
+            } => Some(Box::new(Compose::new(vec![
+                Box::new(PeriodicRewiring::new(period, swaps, seed)),
+                Box::new(FailureRecovery::new(
+                    f64::from(fail_pct) / 100.0,
+                    f64::from(fail_pct) / 100.0,
+                    max_down,
+                    seed ^ 0x9e37_79b9,
+                )),
+            ]))),
+        }
+    }
+
+    /// A short label for tables and JSON rows.
+    pub fn label(&self) -> String {
+        match *self {
+            ScheduleSpec::Static => "static".into(),
+            ScheduleSpec::Periodic { period, swaps, .. } => {
+                format!("rewire({swaps}x/{period})")
+            }
+            ScheduleSpec::Failure {
+                fail_pct, max_down, ..
+            } => format!("failure({fail_pct}%,max {max_down})"),
+            ScheduleSpec::Burst {
+                fail_at,
+                wake_at,
+                count,
+                ..
+            } => format!("burst({count}@{fail_at}..{wake_at})"),
+            ScheduleSpec::CutTargeting { period } => format!("cut-target(/{period})"),
+            ScheduleSpec::Churn {
+                period,
+                swaps,
+                fail_pct,
+                ..
+            } => format!("churn({swaps}x/{period},{fail_pct}%)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlb_graph::generators;
+
+    fn collect(
+        s: &mut dyn TopologySchedule,
+        graph: &mut RegularGraph,
+        rounds: usize,
+    ) -> Vec<Vec<TopologyEvent>> {
+        let mut all = Vec::new();
+        for round in 1..=rounds {
+            let mut out = Vec::new();
+            s.events(round, graph, &mut out);
+            for ev in &out {
+                graph.apply_event(ev).expect("emitted events must apply");
+            }
+            all.push(out);
+        }
+        all
+    }
+
+    #[test]
+    fn periodic_rewiring_fires_on_period_and_replays_after_reset() {
+        let mut s = PeriodicRewiring::new(3, 2, 7);
+        let mut g = generators::torus(2, 4).unwrap();
+        let a = collect(&mut s, &mut g.clone(), 9);
+        assert!(a[0].is_empty() && a[1].is_empty());
+        assert!(!a[2].is_empty(), "round 3 must emit");
+        assert!(a[2].len() <= 2);
+        s.reset();
+        let b = collect(&mut s, &mut g, 9);
+        assert_eq!(a, b, "reset must replay the stream");
+    }
+
+    #[test]
+    fn periodic_rewiring_keeps_graphs_connected_and_regular() {
+        let mut s = PeriodicRewiring::new(1, 3, 11);
+        let mut g = generators::random_regular(32, 4, 5).unwrap();
+        let _ = collect(&mut s, &mut g, 20);
+        assert!(traversal::is_connected(&g));
+        // Revalidate the CSR wholesale.
+        let flat: Vec<u32> = (0..32).flat_map(|u| g.neighbors(u).to_vec()).collect();
+        assert!(RegularGraph::from_adjacency(32, 4, flat).is_ok());
+    }
+
+    #[test]
+    fn failure_recovery_respects_max_down_and_liveness() {
+        let mut s = FailureRecovery::new(0.9, 0.1, 3, 13);
+        let mut g = generators::cycle(16).unwrap();
+        for round in 1..=200 {
+            let mut out = Vec::new();
+            s.events(round, &g, &mut out);
+            for ev in &out {
+                g.apply_event(ev).expect("emitted events must apply");
+            }
+            assert!(g.asleep_count() <= 3, "max_down exceeded");
+            // Every asleep node must have been given a live neighbour
+            // at sleep time; with max_down 3 on a 16-cycle at least
+            // one node is always awake.
+            assert!(g.asleep_count() < g.num_nodes());
+        }
+        assert!(
+            g.asleep_count() > 0,
+            "p=0.9 over 200 rounds must fail someone"
+        );
+    }
+
+    #[test]
+    fn failure_burst_sleeps_then_wakes_the_same_set() {
+        let mut s = FailureBurst::new(2, 5, 3, 17);
+        let mut g = generators::torus(2, 4).unwrap();
+        let all = collect(&mut s, &mut g, 6);
+        assert!(all[0].is_empty());
+        assert_eq!(all[1].len(), 3, "three sleeps at round 2");
+        assert!(all[2].is_empty() && all[3].is_empty());
+        assert_eq!(all[4].len(), 3, "three wakes at round 5");
+        assert_eq!(g.asleep_count(), 0, "everyone is back");
+        let slept: Vec<_> = all[1]
+            .iter()
+            .map(|e| match e {
+                TopologyEvent::Sleep { node } => *node,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        let woken: Vec<_> = all[4]
+            .iter()
+            .map(|e| match e {
+                TopologyEvent::Wake { node } => *node,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(slept, woken);
+    }
+
+    #[test]
+    fn adversarial_cut_thins_the_bisection() {
+        let g0 = generators::random_regular(32, 4, 9).unwrap();
+        let half = 16;
+        let cut_size = |g: &RegularGraph| {
+            (0..half)
+                .flat_map(|u| g.neighbors(u).iter().filter(|&&v| (v as usize) >= half))
+                .count()
+        };
+        let mut s = AdversarialCut::new(1);
+        let mut g = g0.clone();
+        let before = cut_size(&g);
+        let _ = collect(&mut s, &mut g, 5);
+        let after = cut_size(&g);
+        assert!(after < before, "cut must shrink: {before} -> {after}");
+        assert!(traversal::is_connected(&g), "and stay connected");
+    }
+
+    #[test]
+    fn compose_concatenates_and_specs_build() {
+        let specs = [
+            ScheduleSpec::Static,
+            ScheduleSpec::Periodic {
+                period: 2,
+                swaps: 1,
+                seed: 1,
+            },
+            ScheduleSpec::Failure {
+                fail_pct: 50,
+                recover_pct: 50,
+                max_down: 2,
+                seed: 2,
+            },
+            ScheduleSpec::Burst {
+                fail_at: 1,
+                wake_at: 3,
+                count: 2,
+                seed: 3,
+            },
+            ScheduleSpec::CutTargeting { period: 4 },
+            ScheduleSpec::Churn {
+                period: 2,
+                swaps: 1,
+                fail_pct: 25,
+                max_down: 2,
+                seed: 4,
+            },
+        ];
+        assert!(specs[0].build().is_none(), "static builds no schedule");
+        for spec in &specs[1..] {
+            let mut s = spec.build().expect("dynamic specs build");
+            assert!(!spec.label().is_empty());
+            assert!(!s.label().is_empty());
+            let mut g = generators::torus(2, 4).unwrap();
+            let _ = collect(s.as_mut(), &mut g, 6);
+            s.reset();
+        }
+    }
+}

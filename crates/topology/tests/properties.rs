@@ -1,0 +1,130 @@
+//! Property tests for the topology-churn layer: schedule-generated
+//! double-edge swaps must preserve every invariant the balancing
+//! engine relies on, on all five graph families.
+
+use dlb_graph::{generators, traversal, RegularGraph, TopologyEvent};
+use dlb_topology::schedules::{FailureRecovery, PeriodicRewiring};
+use dlb_topology::TopologySchedule;
+use proptest::prelude::*;
+
+/// The five generator families at a parameterised size (`pick ∈ 0..5`),
+/// mirroring the graph crate's relabeling property suite.
+fn family_graph(pick: usize, size: usize, seed: u64) -> RegularGraph {
+    match pick {
+        0 => generators::cycle(4 + size).unwrap(),
+        1 => generators::torus(2, 3 + size % 8).unwrap(),
+        2 => generators::hypercube(2 + size % 6).unwrap(),
+        3 => generators::clique_circulant(12 + 2 * (size % 12), 4).unwrap(),
+        _ => {
+            let n = 10 + 2 * (size % 40);
+            generators::random_regular(n, 4, seed).unwrap()
+        }
+    }
+}
+
+/// Re-validates a mutated graph wholesale by round-tripping its
+/// adjacency through the validating constructor: d-regularity,
+/// symmetry and simplicity all checked from scratch.
+fn revalidate(g: &RegularGraph) -> Result<RegularGraph, dlb_graph::GraphError> {
+    let n = g.num_nodes();
+    let d = g.degree();
+    let flat: Vec<u32> = (0..n).flat_map(|u| g.neighbors(u).to_vec()).collect();
+    RegularGraph::from_adjacency(n, d, flat)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Schedule-generated double-edge swaps preserve d-regularity,
+    /// symmetry, simplicity, and — because the generator validates
+    /// candidates on a scratch copy — connectivity of graphs that
+    /// started connected, on every family.
+    #[test]
+    fn rewiring_preserves_regularity_and_connectivity(
+        pick in 0usize..5,
+        size in 0usize..32,
+        seed in 0u64..40,
+        swaps in 1usize..4,
+        rounds in 1usize..6,
+    ) {
+        let mut g = family_graph(pick, size, seed);
+        prop_assume!(traversal::is_connected(&g));
+        let d = g.degree();
+        let mut schedule = PeriodicRewiring::new(1, swaps, seed ^ 0xdead);
+        let mut out = Vec::new();
+        let mut applied = 0usize;
+        for round in 1..=rounds {
+            out.clear();
+            schedule.events(round, &g, &mut out);
+            for ev in &out {
+                g.apply_event(ev).expect("generator events must apply cleanly");
+                applied += 1;
+            }
+        }
+        prop_assert_eq!(g.degree(), d);
+        prop_assert!(revalidate(&g).is_ok(), "structural invariants broken");
+        prop_assert!(
+            traversal::is_connected(&g),
+            "connectivity lost after {} swaps (family {}, size {})",
+            applied, pick, size
+        );
+    }
+
+    /// Port-numbering round trip: applying a swap and then its inverse
+    /// restores the graph **bit for bit** — every neighbour list in its
+    /// exact original port order — on every family. (This is the
+    /// property that makes erroring-round rollback exact for
+    /// port-addressed schemes like the rotor-router.)
+    #[test]
+    fn swap_then_inverse_is_port_exact_identity(
+        pick in 0usize..5,
+        size in 0usize..32,
+        seed in 0u64..40,
+    ) {
+        let mut g = family_graph(pick, size, seed);
+        let original = g.clone();
+        let mut schedule = PeriodicRewiring::new(1, 3, seed ^ 0xbeef);
+        let mut out = Vec::new();
+        schedule.events(1, &g, &mut out);
+        prop_assume!(!out.is_empty());
+        let mut applied: Vec<TopologyEvent> = Vec::new();
+        for ev in &out {
+            g.apply_event(ev).expect("generator events must apply cleanly");
+            applied.push(ev.clone());
+        }
+        prop_assert_ne!(&g, &original, "swaps must actually change the graph");
+        for ev in applied.iter().rev() {
+            g.apply_event(&ev.inverted()).expect("inverses must apply");
+        }
+        prop_assert_eq!(&g, &original, "inverse must restore exact port order");
+    }
+
+    /// Failure/recovery churn keeps the sleep bookkeeping coherent on
+    /// every family: the asleep list stays sorted and duplicate-free,
+    /// never exceeds its bound, and every event the generator emits
+    /// applies cleanly.
+    #[test]
+    fn failure_recovery_bookkeeping_is_coherent(
+        pick in 0usize..5,
+        size in 0usize..32,
+        seed in 0u64..40,
+        rounds in 1usize..40,
+    ) {
+        let mut g = family_graph(pick, size, seed);
+        let max_down = (g.num_nodes() / 4).max(1);
+        let mut schedule = FailureRecovery::new(0.6, 0.3, max_down, seed ^ 0xfeed);
+        let mut out = Vec::new();
+        for round in 1..=rounds {
+            out.clear();
+            schedule.events(round, &g, &mut out);
+            for ev in &out {
+                g.apply_event(ev).expect("generator events must apply cleanly");
+            }
+            prop_assert!(g.asleep_count() <= max_down);
+            let asleep = g.asleep_nodes();
+            prop_assert!(asleep.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+            // Structure untouched by sleep/wake.
+            prop_assert_eq!(g.num_edges(), family_graph(pick, size, seed).num_edges());
+        }
+    }
+}

@@ -11,7 +11,12 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`graph`] — d-regular graphs, generators, the balancing graph
-//!   `G⁺` with self-loops and ports;
+//!   `G⁺` with self-loops and ports, and the in-place topology
+//!   mutation layer (double-edge swaps, port permutations, node
+//!   sleep/wake);
+//! * [`topology`] — dynamic-topology schedules: deterministic churn
+//!   generators (periodic rewiring, failure/recovery, failure bursts,
+//!   adversarial cut-targeting) driving the engine's `*_dyn` paths;
 //! * [`spectral`] — transition operators, spectral gaps, balancing
 //!   horizons, continuous diffusion;
 //! * [`core`] — the balancer framework, schemes, fairness
@@ -57,3 +62,4 @@ pub use dlb_harness as harness;
 pub use dlb_matching as matching;
 pub use dlb_scenario as scenario;
 pub use dlb_spectral as spectral;
+pub use dlb_topology as topology;

@@ -1,30 +1,37 @@
 //! Differential fuzzing of the engine's execution paths.
 //!
-//! One semantics, four implementations: the instrumented `step_with`
-//! loop, the fused `run_fast_with`, the plan-free `run_kernel_with`,
-//! and the sharded `run_parallel_with` at 1–4 threads. This suite
-//! drives randomized scheme × graph × load × workload combinations
-//! through every applicable path and asserts that the complete
-//! observable outcome is identical:
+//! One semantics, four implementations: the instrumented `step_dyn`
+//! loop, the fused `run_fast_dyn`, the plan-free `run_kernel_dyn`,
+//! and the sharded `run_parallel_dyn` at 1–4 threads. This suite
+//! drives randomized scheme × graph × load × workload × **topology
+//! schedule** combinations through every applicable path and asserts
+//! that the complete observable outcome is identical:
 //!
 //! * the final load vector, bit for bit,
+//! * the final graph — adjacency, port numbering and sleep state —
+//!   after all applied churn (swaps, port permutations, sleep/wake),
+//! * the rotor-router's rotor state, where the scheme has one,
 //! * the completed step count,
 //! * the negative-node-step accounting,
-//! * the net injected total, and
-//! * on divergence points — rounds rejected with `Overdraw` or
-//!   `NegativeLoad` — the *same error*, same node, same load, same
-//!   1-based step. The workload mix deliberately includes an unclamped
-//!   drain (drives loads negative mid-run) and the scheme mix a
-//!   constant-rate sender (overdraws once injection erodes its load),
-//!   so error rounds *caused by injection* are part of the fuzzed
-//!   space, not an untested corner.
+//! * the net injected total and the applied-event count, and
+//! * on divergence points — rounds rejected with `Overdraw`,
+//!   `NegativeLoad` or `Topology` — the *same error*, same node, same
+//!   load, same 1-based step. The workload mix deliberately includes
+//!   an unclamped drain (drives loads negative mid-run) and the scheme
+//!   mix a constant-rate sender (overdraws once injection erodes its
+//!   load), so error rounds *caused by injection while the topology
+//!   churns* are part of the fuzzed space — and the failed round must
+//!   roll back its topology events on every path, not just its
+//!   injection.
 
 use dlb::core::schemes::{RotorRouter, SendFloor, SendRound};
 use dlb::core::{
-    Balancer, Engine, EngineError, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer, Workload,
+    Balancer, Engine, EngineError, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer,
+    TopologySchedule, Workload,
 };
 use dlb::graph::{generators, BalancingGraph, PortOrder, RegularGraph};
 use dlb::scenario::WorkloadSpec;
+use dlb::topology::ScheduleSpec;
 use proptest::prelude::*;
 
 /// The structured generator families the paths are fuzzed on.
@@ -61,6 +68,39 @@ fn workload_for(idx: usize) -> Option<WorkloadSpec> {
         5 => Some(WorkloadSpec::DrainUnclamped { rate: 3 }),
         6 => Some(WorkloadSpec::Adversary { budget: 6 }),
         _ => Some(WorkloadSpec::ArriveAndDrain { rate: 8, seed: 7 }),
+    }
+}
+
+/// The churn mix: `None` is the fixed-graph system; every dynamic
+/// schedule composes with every workload above.
+fn schedule_for(idx: usize) -> Option<ScheduleSpec> {
+    match idx {
+        0 => None,
+        1 => Some(ScheduleSpec::Periodic {
+            period: 3,
+            swaps: 2,
+            seed: 8,
+        }),
+        2 => Some(ScheduleSpec::Failure {
+            fail_pct: 40,
+            recover_pct: 25,
+            max_down: 5,
+            seed: 9,
+        }),
+        3 => Some(ScheduleSpec::Burst {
+            fail_at: 3,
+            wake_at: 9,
+            count: 3,
+            seed: 10,
+        }),
+        4 => Some(ScheduleSpec::CutTargeting { period: 4 }),
+        _ => Some(ScheduleSpec::Churn {
+            period: 4,
+            swaps: 1,
+            fail_pct: 25,
+            max_down: 4,
+            seed: 11,
+        }),
     }
 }
 
@@ -148,17 +188,51 @@ struct Outcome {
     steps: usize,
     negative_node_steps: u64,
     injected_total: i64,
+    topology_events: u64,
+    graph: BalancingGraph,
+    /// Rotor positions, for the stateful scheme on the serial paths
+    /// (`None` where the driver could not observe them).
+    rotors: Option<Vec<usize>>,
     error: Option<EngineError>,
 }
 
 impl Outcome {
-    fn capture(engine: &Engine, error: Option<EngineError>) -> Self {
+    fn capture(engine: &Engine, rotors: Option<Vec<usize>>, error: Option<EngineError>) -> Self {
         Outcome {
             loads: engine.loads().as_slice().to_vec(),
             steps: engine.step_count(),
             negative_node_steps: engine.negative_node_steps(),
             injected_total: engine.injected_total(),
+            topology_events: engine.topology_events_applied(),
+            graph: engine.graph().clone(),
+            rotors,
             error,
+        }
+    }
+
+    /// Equality up to unobservable rotor state: drivers that cannot
+    /// extract rotors (the boxed planned paths for non-rotor schemes
+    /// always can — they report `None` consistently) compare them only
+    /// when both sides captured them.
+    fn assert_matches(&self, reference: &Self, label: &str) {
+        assert_eq!(self.loads, reference.loads, "{label}: loads");
+        assert_eq!(self.steps, reference.steps, "{label}: steps");
+        assert_eq!(
+            self.negative_node_steps, reference.negative_node_steps,
+            "{label}: negative accounting"
+        );
+        assert_eq!(
+            self.injected_total, reference.injected_total,
+            "{label}: injected"
+        );
+        assert_eq!(
+            self.topology_events, reference.topology_events,
+            "{label}: events"
+        );
+        assert_eq!(self.graph, reference.graph, "{label}: graph");
+        assert_eq!(self.error, reference.error, "{label}: error");
+        if let (Some(a), Some(b)) = (&self.rotors, &reference.rotors) {
+            assert_eq!(a, b, "{label}: rotor state");
         }
     }
 }
@@ -167,19 +241,37 @@ fn build_workload(spec: &Option<WorkloadSpec>, n: usize) -> Option<Box<dyn Workl
     spec.as_ref().map(|s| s.build(n))
 }
 
+fn build_schedule(spec: &Option<ScheduleSpec>) -> Option<Box<dyn TopologySchedule>> {
+    spec.as_ref().and_then(ScheduleSpec::build)
+}
+
+/// Builds the concrete rotor when the scheme is the rotor-router, so
+/// its state stays observable after the run.
+fn build_rotor(scheme: SchemeId, gp: &BalancingGraph) -> Option<RotorRouter> {
+    (scheme == SchemeId::Rotor).then(|| RotorRouter::new(gp, PortOrder::Sequential).unwrap())
+}
+
 fn drive_step_loop(
     gp: &BalancingGraph,
     scheme: SchemeId,
-    spec: &Option<WorkloadSpec>,
+    sspec: &Option<ScheduleSpec>,
+    wspec: &Option<WorkloadSpec>,
     initial: &LoadVector,
     steps: usize,
 ) -> Outcome {
-    let mut bal = scheme.build(gp);
-    let mut workload = build_workload(spec, gp.num_nodes());
+    let mut rotor = build_rotor(scheme, gp);
+    let mut boxed = rotor.is_none().then(|| scheme.build(gp));
+    let mut schedule = build_schedule(sspec);
+    let mut workload = build_workload(wspec, gp.num_nodes());
     let mut engine = Engine::new(gp.clone(), initial.clone());
     let mut error = None;
     for _ in 0..steps {
-        match engine.step_with(bal.as_mut(), workload.as_deref_mut()) {
+        let bal: &mut dyn Balancer = match (&mut rotor, &mut boxed) {
+            (Some(r), _) => r,
+            (None, Some(b)) => b.as_mut(),
+            _ => unreachable!(),
+        };
+        match engine.step_dyn(bal, schedule.as_deref_mut(), workload.as_deref_mut()) {
             Ok(_) => {}
             Err(e) => {
                 error = Some(e);
@@ -187,112 +279,138 @@ fn drive_step_loop(
             }
         }
     }
-    Outcome::capture(&engine, error)
+    Outcome::capture(&engine, rotor.map(|r| r.rotors().to_vec()), error)
 }
 
 fn drive_run_fast(
     gp: &BalancingGraph,
     scheme: SchemeId,
-    spec: &Option<WorkloadSpec>,
+    sspec: &Option<ScheduleSpec>,
+    wspec: &Option<WorkloadSpec>,
     initial: &LoadVector,
     steps: usize,
 ) -> Outcome {
-    let mut bal = scheme.build(gp);
-    let mut workload = build_workload(spec, gp.num_nodes());
+    let mut rotor = build_rotor(scheme, gp);
+    let mut boxed = rotor.is_none().then(|| scheme.build(gp));
+    let mut schedule = build_schedule(sspec);
+    let mut workload = build_workload(wspec, gp.num_nodes());
     let mut engine = Engine::new(gp.clone(), initial.clone());
+    let bal: &mut dyn Balancer = match (&mut rotor, &mut boxed) {
+        (Some(r), _) => r,
+        (None, Some(b)) => b.as_mut(),
+        _ => unreachable!(),
+    };
     let error = engine
-        .run_fast_with(bal.as_mut(), steps, workload.as_deref_mut())
+        .run_fast_dyn(bal, steps, schedule.as_deref_mut(), workload.as_deref_mut())
         .err();
-    Outcome::capture(&engine, error)
+    Outcome::capture(&engine, rotor.map(|r| r.rotors().to_vec()), error)
 }
 
 fn drive_run_kernel(
     gp: &BalancingGraph,
     scheme: SchemeId,
-    spec: &Option<WorkloadSpec>,
+    sspec: &Option<ScheduleSpec>,
+    wspec: &Option<WorkloadSpec>,
     initial: &LoadVector,
     steps: usize,
 ) -> Outcome {
-    let mut workload = build_workload(spec, gp.num_nodes());
-    let w = workload.as_deref_mut();
+    let mut schedule = build_schedule(sspec);
+    let mut workload = build_workload(wspec, gp.num_nodes());
     let mut engine = Engine::new(gp.clone(), initial.clone());
-    let error = match scheme {
-        SchemeId::SendFloor => engine
-            .run_kernel_with(&mut SendFloor::new(), steps, w)
-            .err(),
-        SchemeId::SendRound => engine
-            .run_kernel_with(&mut SendRound::new(), steps, w)
-            .err(),
+    let s = schedule.as_deref_mut();
+    let w = workload.as_deref_mut();
+    let (rotors, error) = match scheme {
+        SchemeId::SendFloor => (
+            None,
+            engine
+                .run_kernel_dyn(&mut SendFloor::new(), steps, s, w)
+                .err(),
+        ),
+        SchemeId::SendRound => (
+            None,
+            engine
+                .run_kernel_dyn(&mut SendRound::new(), steps, s, w)
+                .err(),
+        ),
         SchemeId::Rotor => {
             let mut rotor = RotorRouter::new(gp, PortOrder::Sequential).unwrap();
-            engine.run_kernel_with(&mut rotor, steps, w).err()
+            let err = engine.run_kernel_dyn(&mut rotor, steps, s, w).err();
+            (Some(rotor.rotors().to_vec()), err)
         }
-        SchemeId::Const3 => engine.run_kernel_with(&mut Const3, steps, w).err(),
+        SchemeId::Const3 => (None, engine.run_kernel_dyn(&mut Const3, steps, s, w).err()),
     };
-    Outcome::capture(&engine, error)
+    Outcome::capture(&engine, rotors, error)
 }
 
 fn drive_run_parallel(
     gp: &BalancingGraph,
     scheme: SchemeId,
-    spec: &Option<WorkloadSpec>,
+    sspec: &Option<ScheduleSpec>,
+    wspec: &Option<WorkloadSpec>,
     initial: &LoadVector,
     steps: usize,
     threads: usize,
 ) -> Option<Outcome> {
     let sharded = scheme.sharded()?;
-    let mut workload = build_workload(spec, gp.num_nodes());
+    let mut schedule = build_schedule(sspec);
+    let mut workload = build_workload(wspec, gp.num_nodes());
     let mut engine = Engine::new(gp.clone(), initial.clone());
     let error = engine
-        .run_parallel_with(sharded.as_ref(), steps, threads, workload.as_deref_mut())
+        .run_parallel_dyn(
+            sharded.as_ref(),
+            steps,
+            threads,
+            schedule.as_deref_mut(),
+            workload.as_deref_mut(),
+        )
         .err();
-    Some(Outcome::capture(&engine, error))
+    Some(Outcome::capture(&engine, None, error))
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// The differential property: for any (graph, scheme, loads,
-    /// workload, horizon), every execution path produces the same
-    /// outcome — loads, counters and, on divergence points, the exact
-    /// error.
+    /// schedule, workload, horizon), every execution path produces the
+    /// same outcome — loads, graph, rotor state, counters and, on
+    /// divergence points, the exact error.
     #[test]
     fn all_paths_agree_on_randomized_combos(
         graph_idx in 0usize..5,
         scheme_idx in 0usize..4,
+        schedule_idx in 0usize..6,
         workload_idx in 0usize..8,
-        pattern in proptest::collection::vec(0i64..120, 4..12),
+        // The range dips negative so negative-seed rounds — where the
+        // pre-plan check's ordering against `Overdraw` and `Topology`
+        // is decided — are part of the fuzzed space, not a blind spot.
+        pattern in proptest::collection::vec(-20i64..120, 4..12),
         steps in 1usize..30,
     ) {
         let (gname, graph) = graph_for(graph_idx);
         let n = graph.num_nodes();
         let gp = BalancingGraph::lazy(graph);
         let scheme = SchemeId::from_index(scheme_idx);
-        let spec = workload_for(workload_idx);
+        let sspec = schedule_for(schedule_idx);
+        let wspec = workload_for(workload_idx);
         let mut loads = vec![0i64; n];
         for (slot, &value) in loads.iter_mut().zip(pattern.iter().cycle()) {
             *slot = value;
         }
         let initial = LoadVector::new(loads);
-        let wname = spec.as_ref().map_or_else(|| "none".into(), |s| s.label());
+        let sname = sspec.as_ref().map_or_else(|| "static".into(), ScheduleSpec::label);
+        let wname = wspec.as_ref().map_or_else(|| "none".into(), WorkloadSpec::label);
+        let tag = format!("{gname}/{sname}/{wname}");
 
-        let reference = drive_step_loop(&gp, scheme, &spec, &initial, steps);
-        let fast = drive_run_fast(&gp, scheme, &spec, &initial, steps);
-        prop_assert_eq!(
-            &fast, &reference,
-            "run_fast diverged on {}/{}", gname, wname
-        );
-        let kernel = drive_run_kernel(&gp, scheme, &spec, &initial, steps);
-        prop_assert_eq!(
-            &kernel, &reference,
-            "run_kernel diverged on {}/{}", gname, wname
-        );
+        let reference = drive_step_loop(&gp, scheme, &sspec, &wspec, &initial, steps);
+        let fast = drive_run_fast(&gp, scheme, &sspec, &wspec, &initial, steps);
+        fast.assert_matches(&reference, &format!("run_fast on {tag}"));
+        let kernel = drive_run_kernel(&gp, scheme, &sspec, &wspec, &initial, steps);
+        kernel.assert_matches(&reference, &format!("run_kernel on {tag}"));
         for threads in [1usize, 2, 3, 4] {
-            if let Some(par) = drive_run_parallel(&gp, scheme, &spec, &initial, steps, threads) {
-                prop_assert_eq!(
-                    &par, &reference,
-                    "run_parallel({}) diverged on {}/{}", threads, gname, wname
-                );
+            if let Some(par) =
+                drive_run_parallel(&gp, scheme, &sspec, &wspec, &initial, steps, threads)
+            {
+                par.assert_matches(&reference, &format!("run_parallel({threads}) on {tag}"));
             }
         }
     }
@@ -300,14 +418,21 @@ proptest! {
 
 /// A deterministic anchor for the fuzzed property: the unclamped drain
 /// must actually produce mid-run `NegativeLoad` divergence points (not
-/// silently never fire), and all paths must agree on them.
+/// silently never fire) **while the topology churns**, and all paths
+/// must agree on them — the failed round's topology events rolled back
+/// included.
 #[test]
-fn unclamped_drain_produces_identical_negative_divergence() {
+fn unclamped_drain_under_churn_produces_identical_negative_divergence() {
     let gp = BalancingGraph::lazy(generators::cycle(16).unwrap());
-    let spec = Some(WorkloadSpec::DrainUnclamped { rate: 5 });
+    let sspec = Some(ScheduleSpec::Periodic {
+        period: 2,
+        swaps: 1,
+        seed: 12,
+    });
+    let wspec = Some(WorkloadSpec::DrainUnclamped { rate: 5 });
     let initial = LoadVector::uniform(16, 12);
     let steps = 40;
-    let reference = drive_step_loop(&gp, SchemeId::SendFloor, &spec, &initial, steps);
+    let reference = drive_step_loop(&gp, SchemeId::SendFloor, &sspec, &wspec, &initial, steps);
     let err = reference
         .error
         .as_ref()
@@ -317,37 +442,187 @@ fn unclamped_drain_produces_identical_negative_divergence() {
         "unexpected error {err:?}"
     );
     assert!(reference.steps < steps, "error must occur mid-run");
-    for outcome in [
-        drive_run_fast(&gp, SchemeId::SendFloor, &spec, &initial, steps),
-        drive_run_kernel(&gp, SchemeId::SendFloor, &spec, &initial, steps),
-        drive_run_parallel(&gp, SchemeId::SendFloor, &spec, &initial, steps, 3).unwrap(),
+    assert!(
+        reference.topology_events > 0,
+        "churn must have landed before the divergence point"
+    );
+    for (label, outcome) in [
+        (
+            "run_fast",
+            drive_run_fast(&gp, SchemeId::SendFloor, &sspec, &wspec, &initial, steps),
+        ),
+        (
+            "run_kernel",
+            drive_run_kernel(&gp, SchemeId::SendFloor, &sspec, &wspec, &initial, steps),
+        ),
+        (
+            "run_parallel(3)",
+            drive_run_parallel(&gp, SchemeId::SendFloor, &sspec, &wspec, &initial, steps, 3)
+                .unwrap(),
+        ),
     ] {
-        assert_eq!(outcome, reference);
+        outcome.assert_matches(&reference, label);
     }
 }
 
 /// Likewise for `Overdraw`: injection erodes a node below `Const3`'s
-/// fixed send rate and every path must reject the same round.
+/// fixed send rate while edges rewire, and every path must reject the
+/// same round, rolling back that round's swap.
 #[test]
-fn injection_eroded_overdraw_is_identical_on_every_path() {
+fn injection_eroded_overdraw_under_churn_is_identical_on_every_path() {
     let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
     // Clamped drain cannot go negative, but it starves the sinks until
     // Const3's fixed plan of 3 exceeds what a sink holds: a pure
-    // injection-triggered overdraw.
-    let spec = Some(WorkloadSpec::Drain { rate: 2 });
+    // injection-triggered overdraw — under continuous rewiring.
+    let sspec = Some(ScheduleSpec::Periodic {
+        period: 1,
+        swaps: 1,
+        seed: 13,
+    });
+    let wspec = Some(WorkloadSpec::Drain { rate: 2 });
     let initial = LoadVector::uniform(8, 9);
     let steps = 30;
-    let reference = drive_step_loop(&gp, SchemeId::Const3, &spec, &initial, steps);
+    let reference = drive_step_loop(&gp, SchemeId::Const3, &sspec, &wspec, &initial, steps);
     let err = reference.error.as_ref().expect("drain must starve a node");
     assert!(
         matches!(err, EngineError::Overdraw { planned: 3, .. }),
         "unexpected error {err:?}"
     );
-    for outcome in [
-        drive_run_fast(&gp, SchemeId::Const3, &spec, &initial, steps),
-        drive_run_kernel(&gp, SchemeId::Const3, &spec, &initial, steps),
-        drive_run_parallel(&gp, SchemeId::Const3, &spec, &initial, steps, 2).unwrap(),
+    for (label, outcome) in [
+        (
+            "run_fast",
+            drive_run_fast(&gp, SchemeId::Const3, &sspec, &wspec, &initial, steps),
+        ),
+        (
+            "run_kernel",
+            drive_run_kernel(&gp, SchemeId::Const3, &sspec, &wspec, &initial, steps),
+        ),
+        (
+            "run_parallel(2)",
+            drive_run_parallel(&gp, SchemeId::Const3, &sspec, &wspec, &initial, steps, 2).unwrap(),
+        ),
     ] {
-        assert_eq!(outcome, reference);
+        outcome.assert_matches(&reference, label);
+    }
+}
+
+/// The rotor-router's rotor state must agree between the planned and
+/// kernel paths under full churn — sleeps must freeze exactly the
+/// asleep rotors (drained nodes never plan), swaps must not perturb
+/// any rotor, and a woken node's rotor must resume from where it
+/// stopped.
+#[test]
+fn rotor_state_is_identical_under_full_churn() {
+    let gp = BalancingGraph::lazy(generators::torus(2, 5).unwrap());
+    let sspec = Some(ScheduleSpec::Churn {
+        period: 3,
+        swaps: 1,
+        fail_pct: 30,
+        max_down: 5,
+        seed: 14,
+    });
+    let wspec = Some(WorkloadSpec::Hotspot { rate: 9 });
+    let initial = LoadVector::point_mass(25, 500);
+    let reference = drive_step_loop(&gp, SchemeId::Rotor, &sspec, &wspec, &initial, 40);
+    assert!(reference.error.is_none());
+    assert!(reference.topology_events > 0, "churn must land");
+    assert!(reference.rotors.is_some());
+    let kernel = drive_run_kernel(&gp, SchemeId::Rotor, &sspec, &wspec, &initial, 40);
+    kernel.assert_matches(&reference, "run_kernel rotor state");
+    let fast = drive_run_fast(&gp, SchemeId::Rotor, &sspec, &wspec, &initial, 40);
+    fast.assert_matches(&reference, "run_fast rotor state");
+}
+
+/// Regression (PR 5): an `Overdraw` arising in a **churning round
+/// without injection phases** used to strand the sharded workers — a
+/// fast worker could record the error and set the shared failure flag
+/// while a slow worker was still at the topology barrier, whose abort
+/// check mistook the plan-phase error for a rejected event and
+/// returned early, deadlocking its peer at round barrier #1. The
+/// topology abort now reads a flag only the topology phase can set.
+/// This exact combination (erroring scheme × swap-only schedule × no
+/// workload × several thread counts) must terminate and agree with
+/// the serial paths.
+#[test]
+fn overdraw_in_a_churning_round_without_injection_terminates_sharded() {
+    let gp = BalancingGraph::lazy(generators::cycle(24).unwrap());
+    let sspec = Some(ScheduleSpec::Periodic {
+        period: 3,
+        swaps: 2,
+        seed: 8,
+    });
+    let wspec = None;
+    // Uniform 7 under Const3 is stable on the pristine cycle (3 out,
+    // 3 in per round); the swaps break the in/out pairing and some
+    // node drifts below 3 — a churn-caused Overdraw in a round with
+    // no injection phases at all.
+    let initial = LoadVector::uniform(24, 7);
+    let steps = 30;
+    let reference = drive_step_loop(&gp, SchemeId::Const3, &sspec, &wspec, &initial, steps);
+    let err = reference.error.as_ref().expect("churn must break Const3");
+    assert!(
+        matches!(err, EngineError::Overdraw { planned: 3, .. }),
+        "unexpected error {err:?}"
+    );
+    for threads in [2usize, 3, 4] {
+        let par = drive_run_parallel(
+            &gp,
+            SchemeId::Const3,
+            &sspec,
+            &wspec,
+            &initial,
+            steps,
+            threads,
+        )
+        .expect("Const3 shards");
+        par.assert_matches(&reference, &format!("run_parallel({threads})"));
+    }
+}
+
+/// Regression (PR 5 review): in a churning round with no injection
+/// phases, the sharded pre-plan negative check must still run before
+/// any planning — otherwise a lower-id `Overdraw` (Const3 at a node
+/// below 3) found mid-plan could shadow a higher-id negative seed and
+/// diverge from the serial error ordering.
+#[test]
+fn negative_seed_is_not_shadowed_by_overdraw_in_churning_rounds() {
+    let gp = BalancingGraph::lazy(generators::cycle(16).unwrap());
+    let sspec = Some(ScheduleSpec::Periodic {
+        period: 2,
+        swaps: 1,
+        seed: 15,
+    });
+    let wspec = None;
+    // Node 2 overdraws under Const3 (load 2 < 3) and node 11 is a
+    // negative seed: the serial pre-plan check reports node 11 before
+    // planning ever reaches node 2.
+    let mut loads = vec![7i64; 16];
+    loads[2] = 2;
+    loads[11] = -4;
+    let initial = LoadVector::new(loads);
+    let reference = drive_step_loop(&gp, SchemeId::Const3, &sspec, &wspec, &initial, 10);
+    assert_eq!(
+        reference.error,
+        Some(EngineError::NegativeLoad {
+            node: 11,
+            load: -4,
+            step: 1
+        })
+    );
+    for (label, outcome) in [
+        (
+            "run_kernel",
+            drive_run_kernel(&gp, SchemeId::Const3, &sspec, &wspec, &initial, 10),
+        ),
+        (
+            "run_parallel(2)",
+            drive_run_parallel(&gp, SchemeId::Const3, &sspec, &wspec, &initial, 10, 2).unwrap(),
+        ),
+        (
+            "run_parallel(3)",
+            drive_run_parallel(&gp, SchemeId::Const3, &sspec, &wspec, &initial, 10, 3).unwrap(),
+        ),
+    ] {
+        outcome.assert_matches(&reference, label);
     }
 }
