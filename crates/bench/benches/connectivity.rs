@@ -1,0 +1,92 @@
+//! S3 — dynamic-connectivity cost: the price of validating a candidate
+//! swap, incremental structure versus from-scratch BFS.
+//!
+//! PR 5's generators re-ran a full `traversal::is_connected` (O(n·d))
+//! after every candidate; PR 6's [`dlb_graph::DynamicConnectivity`]
+//! answers `would_disconnect` in amortised near-O(d). These benchmarks
+//! pin the three components of that trade on the churn sweep's
+//! throughput graph (a large cycle — the worst case, where every edge
+//! is a cut edge and every probe pays a real replacement search):
+//!
+//! * `build` / `rebuild` — the once-per-burst cost of (re)anchoring the
+//!   structure to the current graph (`rebuild` reuses allocations);
+//! * `probe_*` — one candidate validation, incremental versus oracle,
+//!   for both verdicts (a cycle-preserving crossing swap and a
+//!   cycle-splitting parallel swap);
+//! * `rewiring_burst` — an end-to-end `PeriodicRewiring` emitting
+//!   round (structure rebuild + all candidate probes), the quantity
+//!   the harness reports as `validation_ns`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dlb_graph::{generators, traversal, DynamicConnectivity};
+use dlb_topology::schedules::PeriodicRewiring;
+use dlb_topology::TopologySchedule;
+use std::hint::black_box;
+
+/// The churn sweep's throughput graph size (full mode).
+const N: usize = 65_536;
+
+fn bench_connectivity(c: &mut Criterion) {
+    let g = generators::cycle(N).expect("graph builds");
+    // Crossing orientation {a,c},{a+1,c+1}: reconnects the two arcs —
+    // the cycle stays connected. Parallel orientation {a,c+1},{a+1,c}:
+    // splits it. Both probes pay a replacement search over an arc.
+    let (a, b, cc, d) = (0, 1, N / 2, N / 2 + 1);
+
+    let mut group = c.benchmark_group("connectivity");
+    group.sample_size(20);
+
+    group.bench_function("build", |bch| {
+        bch.iter(|| black_box(DynamicConnectivity::new(&g)));
+    });
+
+    group.bench_function("rebuild", |bch| {
+        let mut dc = DynamicConnectivity::new(&g);
+        bch.iter(|| {
+            dc.rebuild(&g);
+            black_box(dc.is_connected())
+        });
+    });
+
+    group.bench_function("probe_incremental_keeps_connected", |bch| {
+        let mut dc = DynamicConnectivity::new(&g);
+        bch.iter(|| black_box(dc.would_disconnect(a, b, cc, d)));
+    });
+
+    group.bench_function("probe_incremental_splits", |bch| {
+        let mut dc = DynamicConnectivity::new(&g);
+        bch.iter(|| black_box(dc.would_disconnect(a, b, d, cc)));
+    });
+
+    group.bench_function("probe_bfs_oracle", |bch| {
+        let mut scratch = g.clone();
+        bch.iter(|| {
+            scratch.apply_swap(a, b, cc, d).expect("simple swap");
+            let verdict = !traversal::is_connected(&scratch);
+            scratch.apply_swap(a, cc, b, d).expect("inverse swap");
+            black_box(verdict)
+        });
+    });
+
+    group.finish();
+
+    let mut burst = c.benchmark_group("connectivity_rewiring_burst");
+    // The churn-rate cell's burst shape: 8 swaps per emitting round.
+    let swaps = 8;
+    burst.throughput(Throughput::Elements(swaps as u64));
+    burst.sample_size(20);
+    burst.bench_function("emitting_round", |bch| {
+        let mut out = Vec::new();
+        bch.iter(|| {
+            let mut schedule = PeriodicRewiring::new(1, swaps, 32);
+            out.clear();
+            schedule.events(1, &g, &mut out);
+            assert_eq!(out.len(), swaps);
+            black_box(schedule.validation_nanos())
+        });
+    });
+    burst.finish();
+}
+
+criterion_group!(benches, bench_connectivity);
+criterion_main!(benches);

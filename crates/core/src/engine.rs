@@ -1,6 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 
-use dlb_graph::{mutate, BalancingGraph, TopologyEvent};
+use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
 use dlb_topology::{self as topology, StaticTopology, TopologySchedule};
 
 use crate::fairness::FairnessMonitor;
@@ -195,6 +195,12 @@ pub struct Engine {
     /// Topology events applied over all completed rounds (an erroring
     /// round's events are undone and not counted).
     topology_events: u64,
+    /// Incrementally maintained connectivity over the engine's graph,
+    /// while [`track_connectivity`](Engine::track_connectivity) is
+    /// active: every execution path mirrors its applied (and rolled
+    /// back) topology events into it, so `is_connected` is `O(1)` at
+    /// any round boundary without re-deriving from scratch.
+    connectivity: Option<DynamicConnectivity>,
 }
 
 impl Engine {
@@ -230,7 +236,29 @@ impl Engine {
             ev_scratch: Vec::new(),
             ev_applied: Vec::new(),
             topology_events: 0,
+            connectivity: None,
         }
+    }
+
+    /// Starts maintaining a [`DynamicConnectivity`] structure anchored
+    /// to the current graph. Every execution path (serial, kernel,
+    /// sharded) keeps it coherent through applied topology events and
+    /// erroring-round rollbacks, so
+    /// [`is_connected`](Engine::is_connected) answers in `O(1)` at any
+    /// round boundary — the sharded driver in particular reuses this
+    /// one structure across rounds instead of re-cloning per round.
+    pub fn track_connectivity(&mut self) {
+        self.connectivity = Some(DynamicConnectivity::new(self.gp.graph()));
+    }
+
+    /// Whether the engine's graph is currently connected, per the
+    /// tracked structure; `None` unless
+    /// [`track_connectivity`](Engine::track_connectivity) was called.
+    #[must_use]
+    pub fn is_connected(&self) -> Option<bool> {
+        self.connectivity
+            .as_ref()
+            .map(DynamicConnectivity::is_connected)
     }
 
     /// Attaches a [`FairnessMonitor`] that will observe every subsequent
@@ -513,12 +541,13 @@ impl Engine {
         // any load moved (the graph is already rolled back).
         self.ev_applied.clear();
         if let Some(s) = schedule {
-            if let Err(e) = topology::drive_events(
+            if let Err(e) = topology::drive_events_checked(
                 s,
                 self.step + 1,
                 self.gp.graph_mut(),
                 &mut self.ev_scratch,
                 &mut self.ev_applied,
+                self.connectivity.as_mut(),
             ) {
                 return Err(EngineError::Topology {
                     step: self.step + 1,
@@ -557,7 +586,11 @@ impl Engine {
                 if injected.is_some() {
                     self.undo_injection();
                 }
-                topology::undo_events(self.gp.graph_mut(), &self.ev_applied);
+                topology::undo_events_checked(
+                    self.gp.graph_mut(),
+                    &self.ev_applied,
+                    self.connectivity.as_mut(),
+                );
                 Err(e)
             }
         }
@@ -842,6 +875,7 @@ impl Engine {
             },
             schedule,
             workload,
+            self.connectivity.as_mut(),
             |gp, u, x, fl| per_node(gp, u, x, fl),
         );
         self.step += stats.steps_done;
@@ -963,6 +997,7 @@ impl Engine {
             base_step,
             schedule,
             workload,
+            self.connectivity.as_mut(),
         );
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
@@ -1534,6 +1569,109 @@ mod tests {
             assert_eq!(par.graph(), reference.graph(), "parallel({threads})");
             assert_eq!(par.topology_events_applied(), 3);
         }
+    }
+
+    #[test]
+    fn tracked_connectivity_stays_coherent_on_every_path() {
+        use dlb_graph::traversal;
+        use dlb_topology::schedules::PeriodicRewiring;
+
+        // Serial, kernel and sharded churn runs must all keep the
+        // tracked structure in agreement with the BFS oracle on the
+        // engine's own graph — the whole point of threading the
+        // checker through `drive_events_checked`.
+        let run = |mode: usize| {
+            let gp = BalancingGraph::lazy(generators::cycle(64).unwrap());
+            let mut e = Engine::new(gp, LoadVector::point_mass(64, 640));
+            e.track_connectivity();
+            assert_eq!(e.is_connected(), Some(true));
+            let mut sched = PeriodicRewiring::new(2, 3, 23);
+            match mode {
+                0 => {
+                    for _ in 0..12 {
+                        e.step_dyn(&mut SendFloor::new(), Some(&mut sched), None)
+                            .unwrap();
+                        assert_eq!(
+                            e.is_connected(),
+                            Some(traversal::is_connected(e.graph().graph())),
+                            "serial drift"
+                        );
+                    }
+                }
+                1 => {
+                    e.run_kernel_dyn::<_, _, crate::workload::NoWorkload>(
+                        &mut SendFloor::new(),
+                        12,
+                        Some(&mut sched),
+                        None,
+                    )
+                    .unwrap();
+                }
+                _ => {
+                    e.run_parallel_dyn::<_, crate::workload::NoWorkload>(
+                        &SendFloor::new(),
+                        12,
+                        3,
+                        Some(&mut sched),
+                        None,
+                    )
+                    .unwrap();
+                }
+            }
+            assert_eq!(
+                e.is_connected(),
+                Some(traversal::is_connected(e.graph().graph())),
+                "post-run drift (mode {mode})"
+            );
+            assert_eq!(
+                e.is_connected(),
+                Some(true),
+                "rewiring preserves connectivity"
+            );
+        };
+        run(0);
+        run(1);
+        run(2);
+    }
+
+    #[test]
+    fn tracked_connectivity_survives_rejected_round_rollback() {
+        // A schedule whose second event is invalid: the round errors,
+        // the graph rolls back, and the checker must roll back with it.
+        struct SwapThenBad;
+        impl TopologySchedule for SwapThenBad {
+            fn label(&self) -> String {
+                "swap-then-bad".into()
+            }
+            fn events(
+                &mut self,
+                _round: usize,
+                _g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                out.push(TopologyEvent::Swap {
+                    a: 0,
+                    b: 1,
+                    c: 4,
+                    d: 5,
+                });
+                // Invalid: {0,1} no longer exists after the first swap.
+                out.push(TopologyEvent::Swap {
+                    a: 0,
+                    b: 1,
+                    c: 3,
+                    d: 4,
+                });
+            }
+        }
+        let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
+        let mut e = Engine::new(gp, LoadVector::point_mass(8, 80));
+        e.track_connectivity();
+        let before = e.graph().clone();
+        let err = e.step_dyn(&mut SendFloor::new(), Some(&mut SwapThenBad), None);
+        assert!(matches!(err, Err(EngineError::Topology { .. })));
+        assert_eq!(e.graph(), &before, "graph rolled back");
+        assert_eq!(e.is_connected(), Some(true), "checker rolled back with it");
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! topology events, so on error both loads and graph are those after
 //! the last fully completed round.
 
-use dlb_graph::{mutate, BalancingGraph, TopologyEvent};
+use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
 use dlb_topology::{self as topology, TopologySchedule};
 
 use crate::workload::Workload;
@@ -212,6 +212,7 @@ pub(crate) fn apply_deltas(
 /// Dispatches to a degree-monomorphised round loop. On return, `loads`
 /// holds the state after the last fully completed round, and so does
 /// the graph (an erroring round's events are undone).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_rounds<F, S, W>(
     gp: &mut BalancingGraph,
     loads: &mut [i64],
@@ -219,6 +220,7 @@ pub(crate) fn run_rounds<F, S, W>(
     run: KernelRun,
     schedule: Option<&mut S>,
     workload: Option<&mut W>,
+    checker: Option<&mut DynamicConnectivity>,
     kernel: F,
 ) -> (KernelRunStats, Option<EngineError>)
 where
@@ -227,11 +229,21 @@ where
     W: Workload + ?Sized,
 {
     match gp.degree_plus() {
-        2 => rounds_impl::<F, [u64; 2], S, W>(gp, loads, back, run, schedule, workload, kernel),
-        4 => rounds_impl::<F, [u64; 4], S, W>(gp, loads, back, run, schedule, workload, kernel),
-        6 => rounds_impl::<F, [u64; 6], S, W>(gp, loads, back, run, schedule, workload, kernel),
-        8 => rounds_impl::<F, [u64; 8], S, W>(gp, loads, back, run, schedule, workload, kernel),
-        _ => rounds_impl::<F, Vec<u64>, S, W>(gp, loads, back, run, schedule, workload, kernel),
+        2 => rounds_impl::<F, [u64; 2], S, W>(
+            gp, loads, back, run, schedule, workload, checker, kernel,
+        ),
+        4 => rounds_impl::<F, [u64; 4], S, W>(
+            gp, loads, back, run, schedule, workload, checker, kernel,
+        ),
+        6 => rounds_impl::<F, [u64; 6], S, W>(
+            gp, loads, back, run, schedule, workload, checker, kernel,
+        ),
+        8 => rounds_impl::<F, [u64; 8], S, W>(
+            gp, loads, back, run, schedule, workload, checker, kernel,
+        ),
+        _ => rounds_impl::<F, Vec<u64>, S, W>(
+            gp, loads, back, run, schedule, workload, checker, kernel,
+        ),
     }
 }
 
@@ -240,7 +252,7 @@ where
 /// the schedule type and the workload type — so the
 /// `StaticTopology`/`NoWorkload` instantiation folds the churn and
 /// injection branches away and compiles to the closed-system loop.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn rounds_impl<F, B, S, W>(
     gp: &mut BalancingGraph,
     loads: &mut [i64],
@@ -248,6 +260,7 @@ fn rounds_impl<F, B, S, W>(
     run: KernelRun,
     mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
+    mut checker: Option<&mut DynamicConnectivity>,
     mut kernel: F,
 ) -> (KernelRunStats, Option<EngineError>)
 where
@@ -311,12 +324,13 @@ where
         if dynamic {
             ev_applied.clear();
             if let Some(s) = schedule.as_mut() {
-                if let Err(e) = topology::drive_events(
+                if let Err(e) = topology::drive_events_checked(
                     &mut **s,
                     step_no,
                     gp.graph_mut(),
                     &mut ev_scratch,
                     &mut ev_applied,
+                    checker.as_deref_mut(),
                 ) {
                     error = Some(EngineError::Topology {
                         step: step_no,
@@ -430,7 +444,7 @@ where
         if round_applied {
             apply_deltas(cur, &inj, true, &mut negative);
         }
-        topology::undo_events(gp.graph_mut(), &ev_applied);
+        topology::undo_events_checked(gp.graph_mut(), &ev_applied, checker);
     }
 
     // `loads` must end up holding the final state: after an odd number

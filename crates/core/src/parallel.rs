@@ -52,7 +52,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 
-use dlb_graph::{mutate, BalancingGraph, TopologyEvent};
+use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
 use dlb_topology::{self as topology, TopologySchedule};
 
 use crate::kernel;
@@ -167,6 +167,7 @@ pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     base_step: usize,
     mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
+    mut checker: Option<&mut DynamicConnectivity>,
 ) -> (ShardRunStats, Option<EngineError>) {
     let n = loads.len();
     let nthreads = threads;
@@ -288,10 +289,11 @@ pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                 error: &error,
             };
             // Worker 0 is the driver: it alone holds the (stateful,
-            // `&mut`) schedule and workload.
+            // `&mut`) schedule, workload and connectivity checker.
             let sc = if me == 0 { schedule.take() } else { None };
             let wl = if me == 0 { workload.take() } else { None };
-            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads, my_gp, sc, wl)));
+            let ck = if me == 0 { checker.take() } else { None };
+            handles.push(scope.spawn(move || shard_worker(&ctx, my_loads, my_gp, sc, wl, ck)));
         }
         handles
             .into_iter()
@@ -387,6 +389,7 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     mut my_gp: Option<BalancingGraph>,
     mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
+    mut checker: Option<&mut DynamicConnectivity>,
 ) -> ShardOutcome {
     let len = w.hi - w.lo;
     let n = *w.bounds.last().expect("bounds non-empty");
@@ -433,12 +436,13 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                         .as_mut()
                         .expect("dynamic workers own a graph")
                         .graph_mut();
-                    match topology::drive_events(
+                    match topology::drive_events_checked(
                         &mut **s,
                         step_no,
                         graph,
                         &mut ev_scratch,
                         &mut ev_applied,
+                        checker.as_deref_mut(),
                     ) {
                         Ok(()) => {
                             bc.extend(ev_applied.iter().cloned());
@@ -653,7 +657,7 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                 kernel::apply_deltas(my_loads, &inj_applied, true, &mut negative);
             }
             if let Some(g) = my_gp.as_mut() {
-                topology::undo_events(g.graph_mut(), &my_events);
+                topology::undo_events_checked(g.graph_mut(), &my_events, checker.as_deref_mut());
             }
             return ShardOutcome {
                 steps_done: iter,

@@ -1,0 +1,1139 @@
+//! Incrementally maintained dynamic connectivity for the churn layer.
+//!
+//! The rewiring generators in `dlb-topology` must guarantee that every
+//! emitted double-edge swap preserves connectivity. Until PR 6 they
+//! validated each candidate with a full [`crate::traversal::is_connected`]
+//! BFS on a scratch graph — `O(n·d)` **per candidate**, the cost that
+//! collapsed churn throughput in the PR 5 sweep. This module replaces
+//! that oracle with an incrementally maintained spanning structure in
+//! the spirit of Holm–de Lichtenberg–Thorup ("HDT-lite"):
+//!
+//! * a **spanning forest** with per-edge tree/non-tree classification,
+//!   stored flat: every node owns exactly `d` edge slots (a d-regular
+//!   graph never holds more, and the swap primitive deletes before it
+//!   inserts), so the whole structure is two cache-friendly arrays;
+//! * **edge levels** `0..=⌈log₂ n⌉`: on a tree-edge deletion the
+//!   replacement search walks the smaller side of the split at the
+//!   edge's level via a lockstep (alternating) bidirectional BFS,
+//!   promotes the smaller side's tree and same-side non-tree edges one
+//!   level up, and descends a level when no crossing edge is found —
+//!   the standard amortisation argument that makes repeated deletions
+//!   in the same region cheap;
+//! * **union-by-size component labels**: `is_connected` is a counter
+//!   compare, and merging on tree-edge insertion relabels only the
+//!   smaller component.
+//!
+//! The structure answers [`DynamicConnectivity::would_disconnect`] for
+//! a candidate swap in amortised near-`O(d)` by applying the swap,
+//! comparing the component count, and undoing it. Undo restores a
+//! *correct* state (a valid spanning forest and exact component
+//! count), not a bit-identical one: level promotions are monotone and
+//! persist across undos, which is exactly what keeps the global
+//! amortisation valid under the generators' apply/rollback probing.
+//!
+//! **2-regular fast path.** A 2-regular graph is a disjoint union of
+//! simple cycles, and it is exactly the regime where the forest walk
+//! degenerates (every edge is essentially a tree edge and replacements
+//! sit half a cycle away). For `d == 2` the structure therefore keeps
+//! each ring as a circular list of **arcs** over a fixed anchor tour
+//! (`ring_node_at` / `ring_pos`, built once per rebuild): an arc is a
+//! contiguous anchor segment walked forward or backward. A swap only
+//! ever cuts two edges and splices two, so it touches at most two arc
+//! boundaries: a candidate probe orients both cut edges along the
+//! traversal (`O(arcs)` to locate, `O(1)` to classify — a same-ring
+//! swap splits iff the chain between the cuts has both endpoints on
+//! one inserted edge, and a cross-ring swap always merges), and an
+//! *applied* swap is pure segment bookkeeping — a 2-opt flips
+//! direction flags instead of rewriting `O(min side)` pointers, so no
+//! per-node work is ever paid. The arc count grows by at most two per
+//! applied swap (shrinking again under compaction when an undo
+//! restores contiguity), so a burst of `k` swaps costs `O(k²)` tiny
+//! vector ops rather than `O(k·n)` walks. The representation is chosen
+//! per snapshot in [`DynamicConnectivity::rebuild`].
+//!
+//! Sleep and wake events do not touch adjacency, so they are no-ops
+//! here — mirroring how [`crate::traversal::is_connected`] treats
+//! asleep nodes as still physically wired.
+
+use crate::mutate::TopologyEvent;
+use crate::regular::{NodeId, RegularGraph};
+
+/// One directed copy of an edge in the flat per-node slot table.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// The neighbour this slot leads to.
+    to: u32,
+    /// HDT level of the (undirected) edge; kept equal on both copies.
+    level: u8,
+    /// Whether the edge is in the spanning forest.
+    tree: bool,
+}
+
+const NO_COMP: u32 = u32::MAX;
+
+/// Incremental dynamic connectivity over a [`RegularGraph`]'s edge set.
+///
+/// Built from a graph snapshot with [`DynamicConnectivity::new`] (or
+/// re-anchored in place with [`DynamicConnectivity::rebuild`], which
+/// reuses every allocation), then kept coherent by mirroring each
+/// applied swap with [`DynamicConnectivity::apply_swap`] and each
+/// rolled-back swap with [`DynamicConnectivity::undo_swap`].
+///
+/// All swap mutators share the preconditions of
+/// [`RegularGraph::apply_swap`]: `a, b, c, d` pairwise distinct, edges
+/// `{a,b}` and `{c,d}` present, edges `{a,c}` and `{b,d}` absent.
+/// Callers (the topology generators and the engine's checked drive
+/// path) validate candidates against the graph first, so violations
+/// are programming errors and panic in debug builds.
+#[derive(Debug, Clone)]
+pub struct DynamicConnectivity {
+    n: usize,
+    /// Slots per node — the graph degree.
+    cap: usize,
+    /// Highest level an edge may be promoted to (`⌈log₂ n⌉`).
+    max_level: u8,
+    /// `n × cap` slot table; per-node prefix of length `len[u]` is live.
+    slots: Vec<Slot>,
+    len: Vec<u32>,
+    /// Component label per node, indexing `comp_size`.
+    comp: Vec<u32>,
+    comp_size: Vec<u32>,
+    free_labels: Vec<u32>,
+    components: usize,
+    /// Epoch-stamped visit marks for the lockstep searches.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Reusable BFS queues / side lists.
+    qa: Vec<u32>,
+    qb: Vec<u32>,
+    /// BFS parent scratch for `rebuild`'s tree classification.
+    parent: Vec<u32>,
+    /// Whether the 2-regular ring representation is active (chosen by
+    /// `rebuild` when the snapshot has degree 2). When set, the arc
+    /// lists are authoritative and the slot table stays empty.
+    cycle_rep: bool,
+    /// Anchor tour for the ring representation: one contiguous block
+    /// of `ring_node_at` per original ring; `ring_pos` inverts it.
+    ring_node_at: Vec<u32>,
+    ring_pos: Vec<u32>,
+    /// Live rings as circular arc lists, indexed by component label
+    /// (freed labels keep an empty list). `comp` is *not* maintained
+    /// in this representation — `same_component` locates instead.
+    rings: Vec<Vec<Arc>>,
+    /// Chain-extraction scratch.
+    scratch_p: Vec<Arc>,
+    scratch_q: Vec<Arc>,
+}
+
+/// One contiguous segment of the anchor tour, walked forward
+/// (`rev == false`: positions `start..start+len`) or backward.
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    start: u32,
+    len: u32,
+    rev: bool,
+}
+
+impl Arc {
+    /// Anchor position of the first node in traversal order.
+    #[inline]
+    fn head_pos(self) -> u32 {
+        if self.rev {
+            self.start + self.len - 1
+        } else {
+            self.start
+        }
+    }
+
+    /// Anchor position of the last node in traversal order.
+    #[inline]
+    fn tail_pos(self) -> u32 {
+        if self.rev {
+            self.start
+        } else {
+            self.start + self.len - 1
+        }
+    }
+}
+
+/// Writes `src` into `dst`, merging adjacent arcs that are contiguous
+/// on the anchor tour and share a direction — the compaction that lets
+/// an undo shrink the arc list back instead of fragmenting forever.
+fn compact_into(dst: &mut Vec<Arc>, src: &[Arc]) {
+    dst.clear();
+    for &arc in src {
+        if let Some(last) = dst.last_mut() {
+            if !last.rev && !arc.rev && last.start + last.len == arc.start {
+                last.len += arc.len;
+                continue;
+            }
+            if last.rev && arc.rev && arc.start + arc.len == last.start {
+                last.start = arc.start;
+                last.len += arc.len;
+                continue;
+            }
+        }
+        dst.push(arc);
+    }
+}
+
+/// Reverses a chain in place: arc order flips and every arc's
+/// direction toggles; the chain's head and tail trade places.
+fn flip_chain(chain: &mut [Arc]) {
+    chain.reverse();
+    for arc in chain {
+        arc.rev = !arc.rev;
+    }
+}
+
+impl DynamicConnectivity {
+    /// Builds the structure from a graph snapshot in `O(n·d)`.
+    #[must_use]
+    pub fn new(graph: &RegularGraph) -> Self {
+        let mut dc = DynamicConnectivity {
+            n: 0,
+            cap: 0,
+            max_level: 0,
+            slots: Vec::new(),
+            len: Vec::new(),
+            comp: Vec::new(),
+            comp_size: Vec::new(),
+            free_labels: Vec::new(),
+            components: 0,
+            mark: Vec::new(),
+            epoch: 0,
+            qa: Vec::new(),
+            qb: Vec::new(),
+            parent: Vec::new(),
+            cycle_rep: false,
+            ring_node_at: Vec::new(),
+            ring_pos: Vec::new(),
+            rings: Vec::new(),
+            scratch_p: Vec::new(),
+            scratch_q: Vec::new(),
+        };
+        dc.rebuild(graph);
+        dc
+    }
+
+    /// Re-anchors the structure to a (possibly different) graph
+    /// snapshot, reusing every allocation — the per-emitting-round
+    /// path in the rewiring generators.
+    pub fn rebuild(&mut self, graph: &RegularGraph) {
+        let n = graph.num_nodes();
+        let d = graph.degree();
+        self.n = n;
+        self.cap = d;
+        // ⌈log₂ n⌉, the classic HDT level bound (promotion halves the
+        // side it runs on, so a level-l tree spans ≥ 2^l nodes).
+        self.max_level = if n <= 1 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as u8
+        };
+        if d == 2 {
+            self.rebuild_cycles(graph);
+        } else {
+            self.rebuild_forest(graph);
+        }
+    }
+
+    /// General-degree rebuild path: BFS spanning forest plus level-0
+    /// non-tree classification. `O(n·d)`.
+    fn rebuild_forest(&mut self, graph: &RegularGraph) {
+        let n = self.n;
+        let d = self.cap;
+        self.cycle_rep = false;
+        self.ring_node_at.clear();
+        self.ring_pos.clear();
+        self.rings.clear();
+        self.slots.clear();
+        self.slots.resize(
+            n * d,
+            Slot {
+                to: 0,
+                level: 0,
+                tree: false,
+            },
+        );
+        self.len.clear();
+        self.len.resize(n, 0);
+        self.comp.clear();
+        self.comp.resize(n, NO_COMP);
+        self.comp_size.clear();
+        self.free_labels.clear();
+        self.components = 0;
+        self.mark.clear();
+        self.mark.resize(n, 0);
+        self.epoch = 0;
+        self.parent.clear();
+        self.parent.resize(n, NO_COMP);
+
+        // One BFS per component: discovery edges are tree edges.
+        let mut queue = std::mem::take(&mut self.qa);
+        for root in 0..n {
+            if self.comp[root] != NO_COMP {
+                continue;
+            }
+            let label = self.comp_size.len() as u32;
+            self.comp_size.push(0);
+            self.components += 1;
+            queue.clear();
+            queue.push(root as u32);
+            self.comp[root] = label;
+            let mut head = 0usize;
+            let mut size = 0u32;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                size += 1;
+                for &v in graph.neighbors(u) {
+                    let vu = v as usize;
+                    if self.comp[vu] == NO_COMP {
+                        self.comp[vu] = label;
+                        self.parent[vu] = u as u32;
+                        self.push_slot(u, v, 0, true);
+                        self.push_slot(vu, u as u32, 0, true);
+                        queue.push(v);
+                    }
+                }
+            }
+            self.comp_size[label as usize] = size;
+        }
+        self.qa = queue;
+
+        // Second pass: every edge not claimed by a BFS discovery is a
+        // non-tree edge at level 0. `parent` makes the test O(1).
+        for u in 0..n {
+            for &v in graph.neighbors(u) {
+                let vu = v as usize;
+                if vu > u && self.parent[vu] != u as u32 && self.parent[u] != v {
+                    self.push_slot(u, v, 0, false);
+                    self.push_slot(vu, u as u32, 0, false);
+                }
+            }
+        }
+    }
+
+    /// Rebuild path for 2-regular snapshots: lay the rings out as the
+    /// anchor tour (one contiguous block each) and represent every
+    /// ring by a single forward arc. `O(n)`.
+    fn rebuild_cycles(&mut self, graph: &RegularGraph) {
+        let n = self.n;
+        self.cycle_rep = true;
+        self.slots.clear();
+        self.len.clear();
+        self.mark.clear();
+        self.parent.clear();
+        self.comp.clear();
+        self.comp.resize(n, NO_COMP);
+        self.comp_size.clear();
+        self.free_labels.clear();
+        self.components = 0;
+        self.rings.clear();
+        self.ring_node_at.clear();
+        self.ring_node_at.resize(n, 0);
+        self.ring_pos.clear();
+        self.ring_pos.resize(n, 0);
+        let mut cursor = 0u32;
+        for root in 0..n {
+            if self.comp[root] != NO_COMP {
+                continue;
+            }
+            let label = self.comp_size.len() as u32;
+            self.components += 1;
+            let start = cursor;
+            // Walk the ring: the successor of `cur` is whichever
+            // neighbour we did not just come from (port 0 seeds the
+            // orientation at the root).
+            let mut prev_node = root;
+            let mut cur = root;
+            loop {
+                let nb = graph.neighbors(cur);
+                let nxt = if cursor == start || nb[0] as usize != prev_node {
+                    nb[0] as usize
+                } else {
+                    nb[1] as usize
+                };
+                self.comp[cur] = label;
+                self.ring_node_at[cursor as usize] = cur as u32;
+                self.ring_pos[cur] = cursor;
+                cursor += 1;
+                prev_node = cur;
+                cur = nxt;
+                if cur == root {
+                    break;
+                }
+            }
+            let size = cursor - start;
+            self.comp_size.push(size);
+            self.rings.push(vec![Arc {
+                start,
+                len: size,
+                rev: false,
+            }]);
+        }
+        debug_assert_eq!(cursor as usize, n);
+    }
+
+    /// Ring label and arc index holding `v`. `O(total arcs)`.
+    fn ring_locate(&self, v: NodeId) -> (usize, usize) {
+        let p = self.ring_pos[v];
+        for (label, arcs) in self.rings.iter().enumerate() {
+            for (i, arc) in arcs.iter().enumerate() {
+                if p >= arc.start && p < arc.start + arc.len {
+                    return (label, i);
+                }
+            }
+        }
+        unreachable!("node {v} not on any ring")
+    }
+
+    /// Traversal successor of `v`, which sits in `rings[label][arc_idx]`.
+    fn ring_succ(&self, label: usize, arc_idx: usize, v: NodeId) -> usize {
+        let arcs = &self.rings[label];
+        let arc = arcs[arc_idx];
+        let p = self.ring_pos[v];
+        if arc.rev {
+            if p > arc.start {
+                return self.ring_node_at[p as usize - 1] as usize;
+            }
+        } else if p + 1 < arc.start + arc.len {
+            return self.ring_node_at[p as usize + 1] as usize;
+        }
+        let next = arcs[(arc_idx + 1) % arcs.len()];
+        self.ring_node_at[next.head_pos() as usize] as usize
+    }
+
+    /// Orients the tracked edge `{u, v}` along the traversal:
+    /// returns `(pred, other, ring label)` with pred → other.
+    fn ring_orient_edge(&self, u: NodeId, v: NodeId) -> (usize, usize, usize) {
+        let (label, i) = self.ring_locate(u);
+        if self.ring_succ(label, i, u) == v {
+            (u, v, label)
+        } else {
+            debug_assert_eq!(
+                {
+                    let (lv, iv) = self.ring_locate(v);
+                    self.ring_succ(lv, iv, v)
+                },
+                u,
+                "edge {{{u},{v}}} not tracked"
+            );
+            (v, u, label)
+        }
+    }
+
+    /// Whether the swap splits a ring, given the oriented cut edges:
+    /// the chain between the two cut boundaries runs other1 → … →
+    /// pred2, and it closes on itself exactly when its endpoints are
+    /// one of the inserted pairs `{a,c}` / `{b,d}`.
+    #[inline]
+    fn ring_splits(o1: usize, p2: usize, a: NodeId, b: NodeId, c: NodeId, d: NodeId) -> bool {
+        (o1 == a && p2 == c) || (o1 == c && p2 == a) || (o1 == b && p2 == d) || (o1 == d && p2 == b)
+    }
+
+    /// Component-count delta of the swap on the ring representation —
+    /// pure, `O(arcs)`.
+    fn ring_delta(&self, a: NodeId, b: NodeId, c: NodeId, d: NodeId) -> isize {
+        let (_p1, o1, l1) = self.ring_orient_edge(a, b);
+        let (p2, _o2, l2) = self.ring_orient_edge(c, d);
+        if l1 != l2 {
+            -1
+        } else if Self::ring_splits(o1, p2, a, b, c, d) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Ensures an arc boundary immediately after `pred` in its ring's
+    /// traversal, splitting `pred`'s arc if the boundary is interior.
+    fn ring_cut_after(&mut self, label: usize, pred: NodeId) {
+        let p = self.ring_pos[pred];
+        let arcs = &mut self.rings[label];
+        let i = arcs
+            .iter()
+            .position(|arc| p >= arc.start && p < arc.start + arc.len)
+            .expect("pred on its ring");
+        let arc = arcs[i];
+        if p == arc.tail_pos() {
+            return;
+        }
+        let (first, second) = if arc.rev {
+            (
+                Arc {
+                    start: p,
+                    len: arc.start + arc.len - p,
+                    rev: true,
+                },
+                Arc {
+                    start: arc.start,
+                    len: p - arc.start,
+                    rev: true,
+                },
+            )
+        } else {
+            (
+                Arc {
+                    start: arc.start,
+                    len: p - arc.start + 1,
+                    rev: false,
+                },
+                Arc {
+                    start: p + 1,
+                    len: arc.start + arc.len - (p + 1),
+                    rev: false,
+                },
+            )
+        };
+        arcs[i] = first;
+        arcs.insert(i + 1, second);
+    }
+
+    /// Index of the arc in `rings[label]` whose traversal tail is
+    /// `pred` (which must sit at an arc boundary, see `ring_cut_after`).
+    fn ring_boundary_index(&self, label: usize, pred: NodeId) -> usize {
+        let p = self.ring_pos[pred];
+        self.rings[label]
+            .iter()
+            .position(|arc| arc.tail_pos() == p)
+            .expect("pred at an arc boundary")
+    }
+
+    /// Ring-representation swap: cut the two edges at their arc
+    /// boundaries, then rearrange whole arcs — `O(arcs)`, no per-node
+    /// work.
+    fn ring_apply_swap(&mut self, a: NodeId, b: NodeId, c: NodeId, d: NodeId) {
+        let (p1, o1, l1) = self.ring_orient_edge(a, b);
+        self.ring_cut_after(l1, p1);
+        let (p2, o2, l2) = self.ring_orient_edge(c, d);
+        self.ring_cut_after(l2, p2);
+        let i1 = self.ring_boundary_index(l1, p1);
+        let i2 = self.ring_boundary_index(l2, p2);
+        let mut pa = std::mem::take(&mut self.scratch_p);
+        let mut qa = std::mem::take(&mut self.scratch_q);
+
+        if l1 != l2 {
+            // Cross-ring merge. Linearize both rings at their cuts:
+            // chain A = o1 … p1, chain C = o2 … p2. The inserted edge
+            // at A's tail decides C's orientation in the merged ring.
+            Self::chain_from(&self.rings[l1], i1, &mut pa);
+            Self::chain_from(&self.rings[l2], i2, &mut qa);
+            let partner = if p1 == a { c } else { d };
+            if partner == o2 {
+                // a → c or b → d junction lines up: A ++ C.
+            } else {
+                debug_assert_eq!(partner, p2, "inserted edge must meet chain C at an end");
+                // Tail meets tail: reverse the chain with fewer arcs.
+                if qa.len() <= pa.len() {
+                    flip_chain(&mut qa);
+                } else {
+                    flip_chain(&mut pa);
+                    std::mem::swap(&mut pa, &mut qa);
+                }
+            }
+            pa.extend_from_slice(&qa);
+            let (keep, absorbed) = if self.comp_size[l1] >= self.comp_size[l2] {
+                (l1, l2)
+            } else {
+                (l2, l1)
+            };
+            compact_into(&mut self.rings[keep], &pa);
+            self.rings[absorbed].clear();
+            self.comp_size[keep] += self.comp_size[absorbed];
+            self.free_labels.push(absorbed as u32);
+            self.components -= 1;
+        } else {
+            // Same ring: the two cuts leave chains P = o1 … p2 and
+            // Q = o2 … p1 (arc index ranges (i1, i2] and (i2, i1]).
+            let arcs = &self.rings[l1];
+            let m = arcs.len();
+            pa.clear();
+            qa.clear();
+            let (mut psize, mut qsize) = (0u32, 0u32);
+            let mut k = (i1 + 1) % m;
+            loop {
+                pa.push(arcs[k]);
+                psize += arcs[k].len;
+                if k == i2 {
+                    break;
+                }
+                k = (k + 1) % m;
+            }
+            let mut k = (i2 + 1) % m;
+            loop {
+                qa.push(arcs[k]);
+                qsize += arcs[k].len;
+                if k == i1 {
+                    break;
+                }
+                k = (k + 1) % m;
+            }
+            if Self::ring_splits(o1, p2, a, b, c, d) {
+                // P and Q each close on an inserted edge: split. The
+                // smaller ring takes a fresh label (mirroring the
+                // forest's union-by-size convention).
+                let fresh = self.alloc_label() as usize;
+                if self.rings.len() <= fresh {
+                    self.rings.resize_with(fresh + 1, Vec::new);
+                }
+                let (big, big_size, small, small_size) = if psize >= qsize {
+                    (&pa, psize, &qa, qsize)
+                } else {
+                    (&qa, qsize, &pa, psize)
+                };
+                compact_into(&mut self.rings[l1], big);
+                let mut freshly = std::mem::take(&mut self.rings[fresh]);
+                compact_into(&mut freshly, small);
+                self.rings[fresh] = freshly;
+                self.comp_size[l1] = big_size;
+                self.comp_size[fresh] = small_size;
+                self.components += 1;
+            } else {
+                // 2-opt: the inserted edges are {p1,p2} and {o1,o2},
+                // so the new ring is Q ++ flip(P) (equivalently
+                // flip(Q) ++ P) — reverse whichever has fewer arcs.
+                if pa.len() <= qa.len() {
+                    flip_chain(&mut pa);
+                    qa.extend_from_slice(&pa);
+                    compact_into(&mut self.rings[l1], &qa);
+                } else {
+                    flip_chain(&mut qa);
+                    qa.extend_from_slice(&pa);
+                    compact_into(&mut self.rings[l1], &qa);
+                }
+            }
+        }
+        self.scratch_p = pa;
+        self.scratch_q = qa;
+    }
+
+    /// The whole circular arc list of a ring, linearized to start
+    /// right after arc `j` (so the chain's tail is arc `j`'s tail).
+    fn chain_from(arcs: &[Arc], j: usize, out: &mut Vec<Arc>) {
+        out.clear();
+        let m = arcs.len();
+        for k in 1..=m {
+            out.push(arcs[(j + k) % m]);
+        }
+    }
+
+    /// Whether the tracked edge set forms a single connected component.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.components == 1
+    }
+
+    /// The number of connected components.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Whether `u` and `v` are currently in the same component.
+    #[must_use]
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        if self.cycle_rep {
+            return self.ring_locate(u).0 == self.ring_locate(v).0;
+        }
+        self.comp[u] == self.comp[v]
+    }
+
+    /// Mirrors a double-edge swap `{a,b},{c,d} → {a,c},{b,d}`.
+    ///
+    /// See the type docs for preconditions.
+    pub fn apply_swap(&mut self, a: NodeId, b: NodeId, c: NodeId, d: NodeId) {
+        if self.cycle_rep {
+            self.ring_apply_swap(a, b, c, d);
+            return;
+        }
+        self.delete_edge(a, b);
+        self.delete_edge(c, d);
+        self.insert_edge(a, c);
+        self.insert_edge(b, d);
+    }
+
+    /// Rolls back a previously applied swap: removes `{a,c},{b,d}` and
+    /// restores `{a,b},{c,d}` (the slot-level inverse used by
+    /// [`TopologyEvent::inverted`]).
+    ///
+    /// Undo restores semantic state — the exact component partition
+    /// and a valid spanning forest — not bit-identical internals:
+    /// level promotions performed while the swap was live persist,
+    /// keeping the global amortisation monotone.
+    pub fn undo_swap(&mut self, a: NodeId, b: NodeId, c: NodeId, d: NodeId) {
+        self.apply_swap(a, c, b, d);
+    }
+
+    /// Whether the swap `{a,b},{c,d} → {a,c},{b,d}` would increase the
+    /// number of components, by applying it and rolling it back.
+    ///
+    /// Amortised near-`O(d)`; the candidate must satisfy the swap
+    /// preconditions (in particular simplicity) against the tracked
+    /// edge set.
+    pub fn would_disconnect(&mut self, a: NodeId, b: NodeId, c: NodeId, d: NodeId) -> bool {
+        if self.cycle_rep {
+            return self.ring_delta(a, b, c, d) > 0;
+        }
+        let before = self.components;
+        self.apply_swap(a, b, c, d);
+        let disconnects = self.components > before;
+        self.undo_swap(a, b, c, d);
+        disconnects
+    }
+
+    /// Whether the graph would be disconnected (more than one
+    /// component) *after* the swap `{a,b},{c,d} → {a,c},{b,d}` —
+    /// exactly the accept/reject test of the connectivity-checked
+    /// generators (post-swap `!is_connected`), which differs from
+    /// [`DynamicConnectivity::would_disconnect`] only on graphs that
+    /// are already disconnected: a merge there can still leave several
+    /// components, and a split of a side ring never *increases* the
+    /// answer past "disconnected".
+    ///
+    /// `O(1)` on the 2-regular ring representation; apply-and-roll-back
+    /// (amortised near-`O(d)`) on the spanning forest.
+    pub fn would_leave_disconnected(&mut self, a: NodeId, b: NodeId, c: NodeId, d: NodeId) -> bool {
+        if self.cycle_rep {
+            let after = self.components as isize + self.ring_delta(a, b, c, d);
+            return after != 1;
+        }
+        self.apply_swap(a, b, c, d);
+        let disconnected = self.components != 1;
+        self.undo_swap(a, b, c, d);
+        disconnected
+    }
+
+    /// Mirrors one applied [`TopologyEvent`]. Port permutations and
+    /// sleep/wake do not change the edge set and are no-ops.
+    pub fn apply_event(&mut self, event: &TopologyEvent) {
+        if let TopologyEvent::Swap { a, b, c, d } = *event {
+            self.apply_swap(a, b, c, d);
+        }
+    }
+
+    /// Mirrors the rollback of one applied [`TopologyEvent`].
+    pub fn undo_event(&mut self, event: &TopologyEvent) {
+        self.apply_event(&event.inverted());
+    }
+
+    #[inline]
+    fn push_slot(&mut self, u: usize, to: u32, level: u8, tree: bool) {
+        let l = self.len[u] as usize;
+        debug_assert!(l < self.cap, "slot overflow at node {u}");
+        self.slots[u * self.cap + l] = Slot { to, level, tree };
+        self.len[u] += 1;
+    }
+
+    /// Removes the directed slot `u → v` (swap-remove) and returns it.
+    #[inline]
+    fn remove_slot(&mut self, u: usize, v: u32) -> Slot {
+        let base = u * self.cap;
+        let l = self.len[u] as usize;
+        for i in 0..l {
+            if self.slots[base + i].to == v {
+                let slot = self.slots[base + i];
+                self.slots[base + i] = self.slots[base + l - 1];
+                self.len[u] -= 1;
+                return slot;
+            }
+        }
+        panic!("edge {u}->{v} not tracked");
+    }
+
+    /// Updates the level of the directed slot `u → v` (which must
+    /// exist).
+    #[inline]
+    fn set_slot_level(&mut self, u: usize, v: u32, level: u8) {
+        let base = u * self.cap;
+        for i in 0..self.len[u] as usize {
+            if self.slots[base + i].to == v {
+                self.slots[base + i].level = level;
+                return;
+            }
+        }
+        panic!("edge {u}->{v} not tracked");
+    }
+
+    /// Promotes the directed slot `u → v` to a tree edge at `level`.
+    #[inline]
+    fn make_tree(&mut self, u: usize, v: u32, level: u8) {
+        let base = u * self.cap;
+        for i in 0..self.len[u] as usize {
+            if self.slots[base + i].to == v {
+                self.slots[base + i].level = level;
+                self.slots[base + i].tree = true;
+                return;
+            }
+        }
+        panic!("edge {u}->{v} not tracked");
+    }
+
+    fn alloc_label(&mut self) -> u32 {
+        if let Some(label) = self.free_labels.pop() {
+            label
+        } else {
+            self.comp_size.push(0);
+            (self.comp_size.len() - 1) as u32
+        }
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+        let (cu, cv) = (self.comp[u], self.comp[v]);
+        if cu == cv {
+            // Same component: a non-tree edge at level 0.
+            self.push_slot(u, v as u32, 0, false);
+            self.push_slot(v, u as u32, 0, false);
+            return;
+        }
+        // Tree edge joining two components: relabel the smaller one
+        // (union by size), then link.
+        let (keep, absorbed, absorbed_root) =
+            if self.comp_size[cu as usize] >= self.comp_size[cv as usize] {
+                (cu, cv, v)
+            } else {
+                (cv, cu, u)
+            };
+        let mut queue = std::mem::take(&mut self.qa);
+        queue.clear();
+        queue.push(absorbed_root as u32);
+        self.comp[absorbed_root] = keep;
+        let mut head = 0usize;
+        while head < queue.len() {
+            let x = queue[head] as usize;
+            head += 1;
+            let base = x * self.cap;
+            for i in 0..self.len[x] as usize {
+                let slot = self.slots[base + i];
+                if slot.tree && self.comp[slot.to as usize] != keep {
+                    self.comp[slot.to as usize] = keep;
+                    queue.push(slot.to);
+                }
+            }
+        }
+        self.qa = queue;
+        self.comp_size[keep as usize] += self.comp_size[absorbed as usize];
+        self.free_labels.push(absorbed);
+        self.components -= 1;
+        self.push_slot(u, v as u32, 0, true);
+        self.push_slot(v, u as u32, 0, true);
+    }
+
+    fn delete_edge(&mut self, u: NodeId, v: NodeId) {
+        let slot = self.remove_slot(u, v as u32);
+        let back = self.remove_slot(v, u as u32);
+        debug_assert_eq!(slot.tree, back.tree, "asymmetric tree flag");
+        if slot.tree {
+            self.replace_or_split(u, v, slot.level);
+        }
+    }
+
+    /// The HDT replacement search after deleting the tree edge
+    /// `{u, v}` of level `lvl`: descends level by level, each time
+    /// walking the smaller side of the split in lockstep, promoting
+    /// its level-`i` edges, and rewiring the first crossing non-tree
+    /// edge found into the forest. If no level yields a replacement
+    /// the component splits in two.
+    // Index loops: `side` borrows a queue moved out of `self`, and the
+    // scan bodies mutate `self` (and re-seat the queues on early
+    // return), so iterator forms would fight the borrow checker.
+    #[allow(clippy::needless_range_loop)]
+    fn replace_or_split(&mut self, u: NodeId, v: NodeId, lvl: u8) {
+        let mut qa = std::mem::take(&mut self.qa);
+        let mut qb = std::mem::take(&mut self.qb);
+        for i in (0..=lvl).rev() {
+            // Fresh pair of visit tags (wrap-safe).
+            if self.epoch >= u32::MAX - 2 {
+                self.mark.fill(0);
+                self.epoch = 0;
+            }
+            let tag_a = self.epoch + 1;
+            let tag_b = self.epoch + 2;
+            self.epoch += 2;
+
+            // Lockstep BFS over tree edges of level ≥ i from both
+            // endpoints; the first side to exhaust is (approximately)
+            // the smaller one and is fully enumerated in its queue.
+            qa.clear();
+            qb.clear();
+            qa.push(u as u32);
+            self.mark[u] = tag_a;
+            qb.push(v as u32);
+            self.mark[v] = tag_b;
+            let (mut ia, mut ib) = (0usize, 0usize);
+            let a_side = loop {
+                if ia == qa.len() {
+                    break true;
+                }
+                let x = qa[ia] as usize;
+                ia += 1;
+                let base = x * self.cap;
+                for s in 0..self.len[x] as usize {
+                    let slot = self.slots[base + s];
+                    if slot.tree && slot.level >= i && self.mark[slot.to as usize] != tag_a {
+                        self.mark[slot.to as usize] = tag_a;
+                        qa.push(slot.to);
+                    }
+                }
+                if ib == qb.len() {
+                    break false;
+                }
+                let y = qb[ib] as usize;
+                ib += 1;
+                let base = y * self.cap;
+                for s in 0..self.len[y] as usize {
+                    let slot = self.slots[base + s];
+                    if slot.tree && slot.level >= i && self.mark[slot.to as usize] != tag_b {
+                        self.mark[slot.to as usize] = tag_b;
+                        qb.push(slot.to);
+                    }
+                }
+            };
+            let (side, tag) = if a_side { (&qa, tag_a) } else { (&qb, tag_b) };
+
+            // Promote the smaller side's level-i tree edges to i+1
+            // (both endpoints are inside the side, so each edge is
+            // seen at level i exactly once).
+            if i < self.max_level {
+                for si in 0..side.len() {
+                    let x = side[si] as usize;
+                    let base = x * self.cap;
+                    for s in 0..self.len[x] as usize {
+                        let slot = self.slots[base + s];
+                        if slot.tree && slot.level == i {
+                            self.slots[base + s].level = i + 1;
+                            self.set_slot_level(slot.to as usize, x as u32, i + 1);
+                        }
+                    }
+                }
+            }
+
+            // Scan the side's level-i non-tree edges: a crossing edge
+            // is the replacement (re-linked at level i); a same-side
+            // edge is promoted, paying for the walk.
+            for si in 0..side.len() {
+                let x = side[si] as usize;
+                let base = x * self.cap;
+                let mut s = 0usize;
+                while s < self.len[x] as usize {
+                    let slot = self.slots[base + s];
+                    if !slot.tree && slot.level == i {
+                        let y = slot.to as usize;
+                        if self.mark[y] != tag {
+                            // Crossing edge: splice it into the forest
+                            // at level i and we are reconnected.
+                            self.make_tree(x, slot.to, i);
+                            self.make_tree(y, x as u32, i);
+                            self.qa = qa;
+                            self.qb = qb;
+                            return;
+                        }
+                        if i < self.max_level {
+                            self.slots[base + s].level = i + 1;
+                            self.set_slot_level(y, x as u32, i + 1);
+                        }
+                    }
+                    s += 1;
+                }
+            }
+        }
+
+        // No replacement at any level: the deletion splits the
+        // component. The level-0 walk fully enumerated the smaller
+        // side — give it a fresh label. The exhausted queue is the
+        // shorter one (the lockstep expands both sides node for node,
+        // so the surviving side's queue is never shorter than a fully
+        // enumerated one; on a tie both are complete).
+        let side = if qa.len() <= qb.len() { &qa } else { &qb };
+        let old = self.comp[side[0] as usize];
+        let fresh = self.alloc_label();
+        for &x in side.iter() {
+            self.comp[x as usize] = fresh;
+        }
+        self.comp_size[fresh as usize] = side.len() as u32;
+        self.comp_size[old as usize] -= side.len() as u32;
+        self.components += 1;
+        self.qa = qa;
+        self.qb = qb;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, traversal};
+
+    /// Exhaustive swap candidates on a small graph, checked against
+    /// the BFS oracle through apply / query / undo.
+    fn check_all_swaps(g: &RegularGraph) {
+        let mut dc = DynamicConnectivity::new(g);
+        check_all_swaps_with(g, &mut dc);
+    }
+
+    fn check_all_swaps_with(g: &RegularGraph, dc: &mut DynamicConnectivity) {
+        assert_eq!(dc.is_connected(), traversal::is_connected(g));
+        let n = g.num_nodes();
+        let d = g.degree();
+        let mut probe = g.clone();
+        for a in 0..n {
+            for pa in 0..d {
+                let b = g.neighbor(a, pa);
+                for c in 0..n {
+                    for pc in 0..d {
+                        let dd = g.neighbor(c, pc);
+                        let simple = a != c
+                            && a != dd
+                            && b != c
+                            && b != dd
+                            && !g.has_edge(a, c)
+                            && !g.has_edge(b, dd);
+                        if !simple {
+                            continue;
+                        }
+                        probe.apply_swap(a, b, c, dd).unwrap();
+                        let oracle = !traversal::is_connected(&probe);
+                        assert_eq!(
+                            dc.would_disconnect(a, b, c, dd),
+                            oracle,
+                            "swap ({a},{b})x({c},{dd})"
+                        );
+                        // On a connected graph the generators' accept
+                        // test coincides with the split test.
+                        assert_eq!(
+                            dc.would_leave_disconnected(a, b, c, dd),
+                            oracle,
+                            "leave-disconnected ({a},{b})x({c},{dd})"
+                        );
+                        // Apply and roll back for real (the ring
+                        // representation answers probes without
+                        // mutating, so this is what exercises its
+                        // merge / 2-opt / split pointer surgery).
+                        dc.apply_swap(a, b, c, dd);
+                        assert_eq!(dc.is_connected(), !oracle, "applied ({a},{b})x({c},{dd})");
+                        dc.undo_swap(a, b, c, dd);
+                        probe.apply_swap(a, c, b, dd).unwrap();
+                        assert_eq!(dc.is_connected(), traversal::is_connected(&probe));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bfs_oracle_on_cycle() {
+        // d == 2: exercises the ring representation exhaustively.
+        check_all_swaps(&generators::cycle(12).unwrap());
+    }
+
+    #[test]
+    fn forest_rep_matches_bfs_oracle_on_cycle() {
+        // Force the general-degree spanning forest onto a 2-regular
+        // graph so the HDT path keeps its degenerate-cycle coverage.
+        let g = generators::cycle(12).unwrap();
+        let mut dc = DynamicConnectivity::new(&g);
+        dc.rebuild_forest(&g);
+        assert!(!dc.cycle_rep);
+        check_all_swaps_with(&g, &mut dc);
+    }
+
+    #[test]
+    fn matches_bfs_oracle_on_torus() {
+        check_all_swaps(&generators::torus(2, 4).unwrap());
+    }
+
+    #[test]
+    fn matches_bfs_oracle_on_clique_circulant() {
+        check_all_swaps(&generators::clique_circulant(14, 4).unwrap());
+    }
+
+    #[test]
+    fn tracks_splits_and_rejoins_across_applied_swaps() {
+        // Swapping two "parallel" cycle edges splits it into two
+        // cycles; the inverse swap rejoins them.
+        let g = generators::cycle(16).unwrap();
+        let mut dc = DynamicConnectivity::new(&g);
+        assert!(dc.is_connected());
+        assert_eq!(dc.num_components(), 1);
+        // Edges {0,1} and {9,8}: adding 0-9 / 1-8 closes each arc on
+        // itself and splits the cycle in two.
+        dc.apply_swap(0, 1, 9, 8);
+        assert!(!dc.is_connected());
+        assert_eq!(dc.num_components(), 2);
+        assert!(dc.same_component(0, 9));
+        assert!(!dc.same_component(0, 1));
+        dc.undo_swap(0, 1, 9, 8);
+        assert!(dc.is_connected());
+        assert!(dc.same_component(0, 1));
+    }
+
+    #[test]
+    fn rebuild_reanchors_to_a_new_snapshot() {
+        let g1 = generators::cycle(10).unwrap();
+        let mut g2 = generators::cycle(10).unwrap();
+        // Disconnect g2 into two 5-cycles.
+        g2.apply_swap(0, 1, 6, 5).unwrap();
+        let mut dc = DynamicConnectivity::new(&g1);
+        assert!(dc.is_connected());
+        dc.rebuild(&g2);
+        assert!(!dc.is_connected());
+        assert_eq!(dc.num_components(), 2);
+        dc.rebuild(&g1);
+        assert!(dc.is_connected());
+    }
+
+    #[test]
+    fn sleep_wake_and_port_events_are_noops() {
+        let g = generators::torus(2, 3).unwrap();
+        let mut dc = DynamicConnectivity::new(&g);
+        dc.apply_event(&TopologyEvent::Sleep { node: 3 });
+        dc.apply_event(&TopologyEvent::Wake { node: 3 });
+        dc.apply_event(&TopologyEvent::PermutePorts {
+            node: 1,
+            perm: vec![1, 0, 3, 2],
+        });
+        assert!(dc.is_connected());
+        assert_eq!(dc.num_components(), 1);
+    }
+
+    #[test]
+    fn long_apply_undo_sequence_stays_coherent() {
+        // A deterministic churn tape on a hypercube: apply a swap,
+        // sometimes undo it, always compare against the BFS oracle.
+        let mut g = generators::hypercube(5).unwrap();
+        let mut dc = DynamicConnectivity::new(&g);
+        let n = g.num_nodes();
+        let d = g.degree();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut applied = 0;
+        let mut attempts = 0;
+        while applied < 200 && attempts < 40_000 {
+            attempts += 1;
+            let a = step() % n;
+            let b = g.neighbor(a, step() % d);
+            let c = step() % n;
+            let dd = g.neighbor(c, step() % d);
+            let simple =
+                a != c && a != dd && b != c && b != dd && !g.has_edge(a, c) && !g.has_edge(b, dd);
+            if !simple {
+                continue;
+            }
+            dc.apply_swap(a, b, c, dd);
+            g.apply_swap(a, b, c, dd).unwrap();
+            assert_eq!(dc.is_connected(), traversal::is_connected(&g));
+            if step() % 3 == 0 {
+                dc.undo_swap(a, b, c, dd);
+                g.apply_swap(a, c, b, dd).unwrap();
+                assert_eq!(dc.is_connected(), traversal::is_connected(&g));
+            }
+            applied += 1;
+        }
+        assert!(applied >= 200, "tape too short: {applied}");
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`traversal`] and [`properties`] — BFS distances, diameter, odd
 //!   girth and bipartiteness, needed by the lower-bound constructions of
 //!   Section 4;
+//! * [`connectivity`] — incrementally maintained dynamic connectivity
+//!   (an HDT-style spanning forest with leveled replacement search), so
+//!   churn generators validate candidate swaps in amortised near-`O(d)`
+//!   instead of a full BFS per candidate;
 //! * [`relabel`] — locality-aware node relabelings (BFS and reverse
 //!   Cuthill–McKee) with exact inverse mapping, so cache-conscious runs
 //!   report results in original ids.
@@ -40,6 +44,7 @@
 
 mod balancing;
 mod builder;
+pub mod connectivity;
 mod error;
 pub mod generators;
 pub mod mutate;
@@ -50,6 +55,7 @@ pub mod traversal;
 
 pub use balancing::{BalancingGraph, PortKind, PortOrder};
 pub use builder::GraphBuilder;
+pub use connectivity::DynamicConnectivity;
 pub use error::GraphError;
 pub use mutate::TopologyEvent;
 pub use regular::{NodeId, RegularGraph};

@@ -153,6 +153,17 @@ impl RegularGraph {
         &self.adjacency[u * self.d..(u + 1) * self.d]
     }
 
+    /// The whole flat port-ordered adjacency array (`n·d` slots,
+    /// node-major: slot `u·d + p` is `neighbor(u, p)`). Two graphs
+    /// with equal slot arrays present identical adjacency *and* port
+    /// numbering — the one-comparison staleness test incremental
+    /// validators use to detect topology drift.
+    #[inline]
+    #[must_use]
+    pub fn adjacency_slots(&self) -> &[u32] {
+        &self.adjacency
+    }
+
     /// The neighbour of `u` behind original port `p`.
     ///
     /// # Panics

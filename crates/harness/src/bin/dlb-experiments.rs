@@ -72,8 +72,9 @@ fn parse_args() -> Result<Args, String> {
                      scenarios  dynamic workloads: steady-state discrepancy, recovery,\n\
                                 cross-path bit-identity under injection (writes BENCH_PR4.json)\n\
                      churn      dynamic topology: discrepancy under churn, recovery after\n\
-                                failure bursts, throughput vs churn rate, cross-path\n\
-                                bit-identity under churn x workload (writes BENCH_PR5.json)"
+                                failure bursts, throughput vs churn rate with validation\n\
+                                and swap-shortfall accounting, cross-path bit-identity\n\
+                                under churn x workload (writes BENCH_PR6.json)"
                 );
                 std::process::exit(0);
             }

@@ -32,8 +32,17 @@
 //! genuinely closed `run_kernel` entry point and doubles as the
 //! fixed-topology regression witness against the PR 4 record.
 //!
+//! Since PR 6 every row also reports `validation_ns` — the cumulative
+//! time the schedule spent generating and connectivity-validating
+//! candidate events (the dynamic-connectivity structure's cost, broken
+//! out of the balancing time) — and the swap-delivery accounting
+//! (`swap_shortfall` = requested − emitted, with the simplicity and
+//! connectivity reject totals alongside). CI gates on
+//! `swap_shortfall == 0` for the default schedules: a burst that
+//! silently under-delivers is the regression the PR 6 bugfix removed.
+//!
 //! Besides the text/CSV table the sweep writes machine-readable JSON
-//! (schema `dlb-churn/v4`, default path `BENCH_PR5.json`, overridden
+//! (schema `dlb-churn/v5`, default path `BENCH_PR6.json`, overridden
 //! by the `DLB_CHURN_JSON` environment variable) with the
 //! `bit_identical` field CI gates on.
 
@@ -43,7 +52,7 @@ use dlb_core::schemes::{RotorRouter, SendFloor, SendRound};
 use dlb_core::{Engine, LoadVector, ShardedBalancer, Workload};
 use dlb_graph::{BalancingGraph, PortOrder};
 use dlb_scenario::{Scenario, ScenarioRecorder, ScenarioReport, WorkloadSpec};
-use dlb_topology::ScheduleSpec;
+use dlb_topology::{ScheduleSpec, SwapShortfall, TopologySchedule};
 
 use crate::report::Table;
 use crate::runner::RunError;
@@ -63,6 +72,8 @@ struct ChurnRow {
     paths: usize,
     bit_identical: bool,
     elapsed_sec: f64,
+    shortfall: Option<SwapShortfall>,
+    validation_ns: u64,
 }
 
 struct ThroughputRow {
@@ -74,6 +85,8 @@ struct ThroughputRow {
     topology_events: u64,
     elapsed_sec: f64,
     bit_identical: bool,
+    shortfall: Option<SwapShortfall>,
+    validation_ns: u64,
 }
 
 /// The churn axis of the sweep. Rates scale with `n` so the event
@@ -228,7 +241,7 @@ fn drive_path(
     })
 }
 
-/// Runs the churn sweep and writes `BENCH_PR5.json` (path overridable
+/// Runs the churn sweep and writes `BENCH_PR6.json` (path overridable
 /// with the `DLB_CHURN_JSON` environment variable).
 ///
 /// # Errors
@@ -236,7 +249,7 @@ fn drive_path(
 /// Propagates instance-construction and engine errors (the sweep's
 /// schedules and workloads are the error-free configurations).
 pub fn churn(quick: bool) -> Result<Table, RunError> {
-    let json_path = std::env::var("DLB_CHURN_JSON").unwrap_or_else(|_| "BENCH_PR5.json".into());
+    let json_path = std::env::var("DLB_CHURN_JSON").unwrap_or_else(|_| "BENCH_PR6.json".into());
     churn_to(quick, std::path::Path::new(&json_path))
 }
 
@@ -348,6 +361,12 @@ fn churn_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunError>
                         paths,
                         bit_identical: identical,
                         elapsed_sec: started.elapsed().as_secs_f64(),
+                        shortfall: schedule
+                            .as_deref()
+                            .and_then(TopologySchedule::swap_shortfall),
+                        validation_ns: schedule
+                            .as_deref()
+                            .map_or(0, TopologySchedule::validation_nanos),
                     });
                 }
             }
@@ -384,13 +403,14 @@ fn churn_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunError>
     for sspec in &tschedules {
         let gp = BalancingGraph::lazy(tgraph.build()?);
         let mut engine = Engine::new(gp.clone(), tinitial.clone());
+        let mut schedule = sspec.build();
         let started = Instant::now();
-        match sspec.build() {
+        match schedule.as_deref_mut() {
             None => engine.run_kernel(&mut SendFloor::new(), tsteps)?,
-            Some(mut schedule) => engine.run_kernel_dyn(
+            Some(s) => engine.run_kernel_dyn(
                 &mut SendFloor::new(),
                 tsteps,
-                Some(schedule.as_mut()),
+                Some(s),
                 Option::<&mut dyn Workload>::None,
             )?,
         }
@@ -415,6 +435,12 @@ fn churn_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunError>
             bit_identical: engine.loads() == &reference.loads
                 && engine.topology_events_applied() == reference.events
                 && engine.graph() == &reference.graph,
+            shortfall: schedule
+                .as_deref()
+                .and_then(TopologySchedule::swap_shortfall),
+            validation_ns: schedule
+                .as_deref()
+                .map_or(0, TopologySchedule::validation_nanos),
         });
     }
 
@@ -455,11 +481,12 @@ fn churn_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunError>
     }
     for t in &tput {
         let rate = t.n as f64 * t.steps as f64 / t.elapsed_sec / 1e6;
+        let val_ms = t.validation_ns as f64 / 1e6;
         table.push_row(vec![
             t.scheme.clone(),
             t.graph.clone(),
             t.schedule.clone(),
-            format!("kernel {rate:.1} Mnode-steps/s"),
+            format!("kernel {rate:.1} Mnode-steps/s (val {val_ms:.1}ms)"),
             t.steps.to_string(),
             t.topology_events.to_string(),
             "-".into(),
@@ -476,11 +503,28 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The PR 6 accounting fields shared by both JSON sections.
+/// `swap_shortfall` is the headline deficit CI greps for; rows whose
+/// schedule emits no random swaps report all-zero accounting.
+fn accounting_json(shortfall: Option<&SwapShortfall>, validation_ns: u64) -> String {
+    let s = shortfall.copied().unwrap_or_default();
+    format!(
+        "\"validation_ns\": {}, \"swap_shortfall\": {}, \"swap_requested\": {}, \
+         \"swap_emitted\": {}, \"simplicity_rejects\": {}, \"connectivity_rejects\": {}",
+        validation_ns,
+        s.deficit(),
+        s.requested,
+        s.emitted,
+        s.simplicity_rejects,
+        s.connectivity_rejects,
+    )
+}
+
 /// Writes the machine-readable sweep. Failures to write are reported on
 /// stderr but do not fail the experiment.
 fn write_json(path: &std::path::Path, rows: &[ChurnRow], tput: &[ThroughputRow], quick: bool) {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"dlb-churn/v4\",\n");
+    out.push_str("  \"schema\": \"dlb-churn/v5\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -494,7 +538,7 @@ fn write_json(path: &std::path::Path, rows: &[ChurnRow], tput: &[ThroughputRow],
              \"steady_discrepancy_max\": {}, \"steady_discrepancy_mean\": {:.2}, \
              \"peak_load\": {}, \"peak_discrepancy\": {}, \"recovery_rounds\": {}, \
              \"injected_total\": {}, \"final_total\": {}, \"paths_compared\": {}, \
-             \"elapsed_sec\": {:.6}, \"bit_identical\": {}}}{}\n",
+             \"elapsed_sec\": {:.6}, {}, \"bit_identical\": {}}}{}\n",
             json_escape(&r.scheme),
             json_escape(&r.graph),
             r.n,
@@ -513,6 +557,7 @@ fn write_json(path: &std::path::Path, rows: &[ChurnRow], tput: &[ThroughputRow],
             r.report.final_total,
             r.paths,
             r.elapsed_sec,
+            accounting_json(r.shortfall.as_ref(), r.validation_ns),
             r.bit_identical,
             if i + 1 == rows.len() { "" } else { "," },
         ));
@@ -523,7 +568,8 @@ fn write_json(path: &std::path::Path, rows: &[ChurnRow], tput: &[ThroughputRow],
         out.push_str(&format!(
             "    {{\"graph\": \"{}\", \"n\": {}, \"scheme\": \"{}\", \"schedule\": \"{}\", \
              \"path\": \"run_kernel\", \"steps\": {}, \"topology_events\": {}, \
-             \"elapsed_sec\": {:.6}, \"node_steps_per_sec\": {:.1}, \"bit_identical\": {}}}{}\n",
+             \"elapsed_sec\": {:.6}, \"node_steps_per_sec\": {:.1}, {}, \
+             \"bit_identical\": {}}}{}\n",
             json_escape(&t.graph),
             t.n,
             json_escape(&t.scheme),
@@ -532,6 +578,7 @@ fn write_json(path: &std::path::Path, rows: &[ChurnRow], tput: &[ThroughputRow],
             t.topology_events,
             t.elapsed_sec,
             t.n as f64 * t.steps as f64 / t.elapsed_sec,
+            accounting_json(t.shortfall.as_ref(), t.validation_ns),
             t.bit_identical,
             if i + 1 == tput.len() { "" } else { "," },
         ));
@@ -547,10 +594,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_sweep_is_bit_identical_and_writes_v4_json() {
+    fn quick_sweep_is_bit_identical_and_writes_v5_json() {
         let dir = std::env::temp_dir().join("dlb-churn-test");
         let _ = std::fs::create_dir_all(&dir);
-        let json_path = dir.join("BENCH_PR5.json");
+        let json_path = dir.join("BENCH_PR6.json");
         let table = churn_to(true, &json_path).expect("quick sweep runs");
 
         // 3 graphs × 3 schemes × 6 schedules × 3 workloads, plus the
@@ -563,7 +610,7 @@ mod tests {
         );
 
         let json = std::fs::read_to_string(&json_path).expect("json written");
-        assert!(json.contains("\"schema\": \"dlb-churn/v4\""));
+        assert!(json.contains("\"schema\": \"dlb-churn/v5\""));
         assert!(json.contains("\"schedule\": \"static\""));
         assert!(json.contains("\"schedule\": \"burst("));
         assert!(json.contains("\"schedule\": \"cut-target(/8)\""));
@@ -571,6 +618,29 @@ mod tests {
         assert!(json.contains("\"node_steps_per_sec\""));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(!json.contains("\"bit_identical\": false"));
+
+        // PR 6 accounting: every default schedule must deliver its
+        // bursts in full (the shortfall bugfix's regression gate) …
+        assert!(json.contains("\"swap_shortfall\": "));
+        assert!(
+            !json.lines().any(
+                |l| l.contains("\"swap_shortfall\": ") && !l.contains("\"swap_shortfall\": 0,")
+            ),
+            "a default schedule under-delivered swaps"
+        );
+        // … and the rewiring rows must actually account their
+        // connectivity-validation time.
+        let rewire_validated = json
+            .lines()
+            .filter(|l| l.contains("\"schedule\": \"rewire(") && l.contains("\"swap_requested\": "))
+            .all(|l| !l.contains("\"validation_ns\": 0,"));
+        assert!(
+            rewire_validated,
+            "rewiring rows must report nonzero validation_ns"
+        );
+        assert!(json.contains("\"swap_requested\": "));
+        assert!(json.contains("\"simplicity_rejects\": "));
+        assert!(json.contains("\"connectivity_rejects\": "));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -578,7 +648,7 @@ mod tests {
     fn churn_rows_actually_apply_events_and_conserve() {
         let dir = std::env::temp_dir().join("dlb-churn-conservation");
         let _ = std::fs::create_dir_all(&dir);
-        let json_path = dir.join("BENCH_PR5.json");
+        let json_path = dir.join("BENCH_PR6.json");
         let _ = churn_to(true, &json_path).expect("quick sweep runs");
         let json = std::fs::read_to_string(&json_path).expect("json written");
         let mut dynamic_rows = 0usize;

@@ -17,7 +17,12 @@
 //! * [`drive_events`] / [`undo_events`] — the shared application
 //!   plumbing every engine execution path uses, so serial, kernel and
 //!   sharded rounds cannot drift apart in how churn lands or rolls
-//!   back;
+//!   back; the `_checked` variants keep an optional
+//!   [`dlb_graph::DynamicConnectivity`] structure coherent alongside
+//!   the graph, including across rejected-round rollbacks;
+//! * [`SwapShortfall`] — delivered-versus-requested accounting for
+//!   swap bursts, surfaced per schedule via
+//!   [`TopologySchedule::swap_shortfall`];
 //! * [`schedules`] — concrete deterministic generators: periodic
 //!   random rewiring ([`schedules::PeriodicRewiring`]),
 //!   failure/recovery churn at rate p ([`schedules::FailureRecovery`]),
@@ -34,11 +39,50 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dlb_graph::{GraphError, RegularGraph, TopologyEvent};
+use dlb_graph::{DynamicConnectivity, GraphError, RegularGraph, TopologyEvent};
 
 pub mod schedules;
 
 pub use schedules::ScheduleSpec;
+
+/// Delivered-versus-requested accounting for swap-emitting schedules.
+///
+/// PR 6's bugfix target: the old shared retry budget let bursts
+/// silently under-deliver swaps on dense (simplicity-starved) or
+/// churn-hostile (connectivity-starved) graphs. Schedules that emit
+/// random swaps now track both reject classes separately and surface
+/// the running totals via [`TopologySchedule::swap_shortfall`]; the
+/// churn harness and CI gate on `deficit() == 0` for the default
+/// schedules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapShortfall {
+    /// Swaps the schedule was asked to deliver.
+    pub requested: u64,
+    /// Swaps actually emitted.
+    pub emitted: u64,
+    /// Candidates rejected for violating simplicity (self-loop or
+    /// duplicate edge).
+    pub simplicity_rejects: u64,
+    /// Candidates rejected because they would disconnect the graph.
+    pub connectivity_rejects: u64,
+}
+
+impl SwapShortfall {
+    /// Requested swaps that were never delivered.
+    #[must_use]
+    pub fn deficit(&self) -> u64 {
+        self.requested - self.emitted
+    }
+
+    /// Accumulates another counter into this one (used by
+    /// [`schedules::Compose`] to aggregate its children).
+    pub fn absorb(&mut self, other: &SwapShortfall) {
+        self.requested += other.requested;
+        self.emitted += other.emitted;
+        self.simplicity_rejects += other.simplicity_rejects;
+        self.connectivity_rejects += other.connectivity_rejects;
+    }
+}
 
 /// A dynamic-topology schedule: a deterministic per-round source of
 /// [`TopologyEvent`]s.
@@ -65,10 +109,25 @@ pub trait TopologySchedule: Send {
     fn events(&mut self, round: usize, graph: &RegularGraph, out: &mut Vec<TopologyEvent>);
 
     /// Restores the post-construction state (RNG position, burst
-    /// bookkeeping), so one instance can replay the identical event
-    /// stream — the churn harness uses this to drive every execution
-    /// path with the same churn.
+    /// bookkeeping, shortfall and timing counters), so one instance
+    /// can replay the identical event stream — the churn harness uses
+    /// this to drive every execution path with the same churn.
     fn reset(&mut self) {}
+
+    /// Running delivered-versus-requested swap accounting, for
+    /// schedules that emit random swaps; `None` for schedules with no
+    /// burst semantics.
+    fn swap_shortfall(&self) -> Option<SwapShortfall> {
+        None
+    }
+
+    /// Cumulative nanoseconds this schedule has spent generating and
+    /// validating candidate events (the churn-validation overhead the
+    /// harness reports as `validation_ns`); `0` for event-free
+    /// schedules.
+    fn validation_nanos(&self) -> u64 {
+        0
+    }
 }
 
 /// The empty schedule: never emits an event.
@@ -120,13 +179,40 @@ pub fn drive_events<S: TopologySchedule + ?Sized>(
     scratch: &mut Vec<TopologyEvent>,
     applied: &mut Vec<TopologyEvent>,
 ) -> Result<(), GraphError> {
+    drive_events_checked(schedule, round, graph, scratch, applied, None)
+}
+
+/// [`drive_events`] with an optional [`DynamicConnectivity`] checker
+/// kept coherent with the graph: every applied event is mirrored into
+/// the checker and a rejected round rolls the checker back alongside
+/// the graph. This is what lets an engine (in particular the sharded
+/// driver worker) reuse one incrementally maintained structure across
+/// rounds instead of re-deriving connectivity from scratch.
+///
+/// # Errors
+///
+/// Propagates the first event's validation error; graph *and* checker
+/// are restored before returning.
+pub fn drive_events_checked<S: TopologySchedule + ?Sized>(
+    schedule: &mut S,
+    round: usize,
+    graph: &mut RegularGraph,
+    scratch: &mut Vec<TopologyEvent>,
+    applied: &mut Vec<TopologyEvent>,
+    mut checker: Option<&mut DynamicConnectivity>,
+) -> Result<(), GraphError> {
     scratch.clear();
     schedule.events(round, graph, scratch);
     for event in scratch.iter() {
         match graph.apply_event(event) {
-            Ok(()) => applied.push(event.clone()),
+            Ok(()) => {
+                if let Some(dc) = checker.as_deref_mut() {
+                    dc.apply_event(event);
+                }
+                applied.push(event.clone());
+            }
             Err(e) => {
-                undo_events(graph, applied);
+                undo_events_checked(graph, applied, checker);
                 applied.clear();
                 return Err(e);
             }
@@ -139,10 +225,23 @@ pub fn drive_events<S: TopologySchedule + ?Sized>(
 /// restoring the graph bit for bit (see
 /// [`TopologyEvent::inverted`]).
 pub fn undo_events(graph: &mut RegularGraph, applied: &[TopologyEvent]) {
+    undo_events_checked(graph, applied, None);
+}
+
+/// [`undo_events`] that also rolls an optional connectivity checker
+/// back in lockstep with the graph.
+pub fn undo_events_checked(
+    graph: &mut RegularGraph,
+    applied: &[TopologyEvent],
+    mut checker: Option<&mut DynamicConnectivity>,
+) {
     for event in applied.iter().rev() {
         graph
             .apply_event(&event.inverted())
             .expect("the inverse of an applied event is always valid");
+        if let Some(dc) = checker.as_deref_mut() {
+            dc.undo_event(event);
+        }
     }
 }
 

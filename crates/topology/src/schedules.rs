@@ -7,60 +7,105 @@
 //! — the property the differential tests and the churn harness use to
 //! drive every engine path with identical churn.
 //!
-//! Generators that emit swaps validate each candidate on a scratch
-//! copy of the graph — simplicity *and* (by default) connectivity —
-//! before emitting it, so the events reaching the engine are always
-//! applicable and a connected graph stays connected under churn. The
-//! scratch copy costs `O(n·d)` per emitting round; rewiring schedules
-//! are periodic precisely so that cost amortises away.
+//! Generators that emit swaps validate each candidate — simplicity
+//! against a tracked probe copy of the graph, connectivity against an
+//! incrementally maintained [`DynamicConnectivity`] structure updated
+//! or rolled back per candidate — so the events reaching the engine
+//! are always applicable and a connected graph stays connected under
+//! churn. A candidate costs amortised near-`O(d)` instead of the full
+//! `O(n·d)` BFS the pre-PR 6 generators paid per candidate; both
+//! structures persist across rounds and re-anchor themselves only when
+//! the observed graph drifts from the tracked probe (one flat
+//! adjacency compare per emitting round).
 
-use dlb_graph::{traversal, RegularGraph, TopologyEvent};
+use std::time::Instant;
+
+use dlb_graph::{DynamicConnectivity, RegularGraph, TopologyEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::TopologySchedule;
+use crate::{SwapShortfall, TopologySchedule};
+
+/// Per-requested-swap retry budget for simplicity rejections.
+const SIMPLICITY_RETRIES: u64 = 64;
+/// Per-requested-swap retry budget for connectivity rejections.
+const CONNECTIVITY_RETRIES: u64 = 64;
 
 /// Proposes one random double-edge swap on `probe` that keeps the
-/// graph simple and (when `check_connectivity`) connected, applying it
-/// to `probe` and returning the event. Bounded retries; `None` when no
-/// valid candidate was found (e.g. the graph is a single clique).
+/// graph simple and (when `conn` is present) connected, applying it to
+/// `probe` (and mirroring it into `conn`) and returning the event.
+///
+/// Each requested swap gets its own pair of bounded retry budgets —
+/// simplicity and connectivity rejections are charged separately, so a
+/// dense graph burning simplicity retries cannot silently starve the
+/// connectivity search (and vice versa). All rejects and the final
+/// outcome are recorded in `shortfall`. The candidate draw sequence (4
+/// RNG draws per attempt) and the accept/reject decisions are exactly
+/// those of the pre-PR 6 shared-budget loop, so any burst that was
+/// delivered in full keeps its emitted event stream bit-identical; the
+/// split budgets only extend the search where the old loop silently
+/// under-delivered. `None` when a budget is exhausted (e.g. the graph
+/// is a single clique).
 fn random_swap(
     probe: &mut RegularGraph,
+    mut conn: Option<&mut DynamicConnectivity>,
     rng: &mut StdRng,
-    check_connectivity: bool,
+    shortfall: &mut SwapShortfall,
 ) -> Option<TopologyEvent> {
     let n = probe.num_nodes();
     let deg = probe.degree();
-    for _ in 0..64 {
+    shortfall.requested += 1;
+    let (mut simplicity, mut connectivity) = (0u64, 0u64);
+    while simplicity < SIMPLICITY_RETRIES && connectivity < CONNECTIVITY_RETRIES {
         let a = rng.gen_range(0..n);
         let b = probe.neighbor(a, rng.gen_range(0..deg));
         let c = rng.gen_range(0..n);
         let d = probe.neighbor(c, rng.gen_range(0..deg));
-        if a == c || a == d || b == c || b == d {
+        if a == c || a == d || b == c || b == d || probe.has_edge(a, c) || probe.has_edge(b, d) {
+            simplicity += 1;
             continue;
         }
-        if probe.has_edge(a, c) || probe.has_edge(b, d) {
-            continue;
+        if let Some(dc) = conn.as_deref_mut() {
+            // `would_leave_disconnected` is the exact accept test the
+            // old apply/check/undo loop computed, but O(1) on the
+            // 2-regular ring representation — only accepted swaps pay
+            // for structural surgery.
+            if dc.would_leave_disconnected(a, b, c, d) {
+                connectivity += 1;
+                continue;
+            }
+            dc.apply_swap(a, b, c, d);
         }
         probe
             .apply_swap(a, b, c, d)
             .expect("candidate pre-validated");
-        if check_connectivity && !traversal::is_connected(probe) {
-            // Undo and keep looking: this swap would split the graph.
-            probe
-                .apply_swap(a, c, b, d)
-                .expect("inverse of an applied swap is valid");
-            continue;
-        }
+        shortfall.emitted += 1;
+        shortfall.simplicity_rejects += simplicity;
+        shortfall.connectivity_rejects += connectivity;
         return Some(TopologyEvent::Swap { a, b, c, d });
     }
+    shortfall.simplicity_rejects += simplicity;
+    shortfall.connectivity_rejects += connectivity;
     None
 }
 
 /// Periodic random rewiring: every `period` rounds, a burst of random
 /// double-edge swaps — the "edges move but the graph stays d-regular"
-/// churn model. Swaps are validated on a scratch copy (simplicity and,
-/// by default, connectivity), so every emitted event applies cleanly.
+/// churn model. Simplicity is validated on a probe copy of the graph;
+/// connectivity (on by default) against a [`DynamicConnectivity`]
+/// structure updated incrementally per candidate, so every emitted
+/// event applies cleanly and a connected graph stays connected.
+///
+/// Probe and connectivity structure **persist across rounds**: as long
+/// as the engine applies exactly the events this schedule emitted (the
+/// normal case — the probe then matches the pre-round graph slot for
+/// slot), an emitting round costs one `O(n·d)` slice compare plus the
+/// amortised near-`O(d)` candidate probes, and the HDT level
+/// amortisation keeps accruing instead of resetting with a fresh
+/// `O(n·d)` rebuild per round. Any drift — a rolled-back round, a
+/// composed sibling schedule swapping edges, a port permutation —
+/// fails the slot compare and re-anchors both structures to the
+/// observed graph.
 #[derive(Debug, Clone)]
 pub struct PeriodicRewiring {
     period: usize,
@@ -68,6 +113,13 @@ pub struct PeriodicRewiring {
     seed: u64,
     check_connectivity: bool,
     rng: StdRng,
+    /// Tracked copy of the graph, kept current by applying accepted
+    /// swaps; re-cloned (allocation reused) only on drift.
+    probe: Option<RegularGraph>,
+    /// Persistent alongside `probe`; `rebuild` reuses allocations.
+    conn: Option<DynamicConnectivity>,
+    shortfall: SwapShortfall,
+    validation_ns: u64,
 }
 
 impl PeriodicRewiring {
@@ -86,6 +138,10 @@ impl PeriodicRewiring {
             seed,
             check_connectivity: true,
             rng: StdRng::seed_from_u64(seed),
+            probe: None,
+            conn: None,
+            shortfall: SwapShortfall::default(),
+            validation_ns: 0,
         }
     }
 
@@ -107,16 +163,56 @@ impl TopologySchedule for PeriodicRewiring {
         if !round.is_multiple_of(self.period) {
             return;
         }
-        let mut probe = graph.clone();
+        let started = Instant::now();
+        let stale = self
+            .probe
+            .as_ref()
+            .is_none_or(|p| p.adjacency_slots() != graph.adjacency_slots());
+        if stale {
+            match self.probe.as_mut() {
+                Some(p) => p.clone_from(graph),
+                None => self.probe = Some(graph.clone()),
+            }
+            if self.check_connectivity {
+                match self.conn.as_mut() {
+                    Some(dc) => dc.rebuild(graph),
+                    None => self.conn = Some(DynamicConnectivity::new(graph)),
+                }
+            }
+        }
+        let probe = self.probe.as_mut().expect("tracked above");
+        let mut conn = if self.check_connectivity {
+            self.conn.as_mut()
+        } else {
+            None
+        };
         for _ in 0..self.swaps {
-            if let Some(ev) = random_swap(&mut probe, &mut self.rng, self.check_connectivity) {
+            if let Some(ev) = random_swap(
+                probe,
+                conn.as_deref_mut(),
+                &mut self.rng,
+                &mut self.shortfall,
+            ) {
                 out.push(ev);
             }
         }
+        self.validation_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+        self.probe = None;
+        self.conn = None;
+        self.shortfall = SwapShortfall::default();
+        self.validation_ns = 0;
+    }
+
+    fn swap_shortfall(&self) -> Option<SwapShortfall> {
+        Some(self.shortfall)
+    }
+
+    fn validation_nanos(&self) -> u64 {
+        self.validation_ns
     }
 }
 
@@ -305,11 +401,21 @@ impl TopologySchedule for FailureBurst {
 ///
 /// Fully deterministic: candidate cut-edge pairs are scanned in
 /// lexicographic order and the first valid, connectivity-preserving
-/// pair wins. When the cut cannot be thinned further without
-/// disconnecting the graph, the schedule goes quiet.
+/// pair wins — probed via
+/// [`DynamicConnectivity::would_leave_disconnected`] (`O(1)` on
+/// 2-regular rings, amortised near-`O(d)` otherwise) against a
+/// structure rebuilt once per emitting round (no scratch graph, no
+/// per-candidate BFS).
+/// When the cut cannot be thinned further without disconnecting the
+/// graph, the schedule goes quiet.
 #[derive(Debug, Clone)]
 pub struct AdversarialCut {
     period: usize,
+    /// Reused across emitting rounds (`rebuild` keeps allocations).
+    conn: Option<DynamicConnectivity>,
+    scans: u64,
+    probes: u64,
+    validation_ns: u64,
 }
 
 impl AdversarialCut {
@@ -320,7 +426,28 @@ impl AdversarialCut {
     /// Panics if `period == 0`.
     pub fn new(period: usize) -> Self {
         assert!(period > 0, "cut-targeting period must be positive");
-        AdversarialCut { period }
+        AdversarialCut {
+            period,
+            conn: None,
+            scans: 0,
+            probes: 0,
+            validation_ns: 0,
+        }
+    }
+
+    /// Full-graph `O(n·d)` passes performed so far (cut enumeration
+    /// plus connectivity-structure rebuild — exactly two per emitting
+    /// round). Test hook: regression tests pin that this does **not**
+    /// scale with the number of probed candidates.
+    #[must_use]
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// Candidate pairs probed via `would_leave_disconnected` so far.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
     }
 }
 
@@ -337,7 +464,9 @@ impl TopologySchedule for AdversarialCut {
         if half < 2 {
             return;
         }
+        let started = Instant::now();
         // Directed cut edges left → right, in (node, port) order.
+        self.scans += 1;
         let cut: Vec<(usize, usize)> = (0..half)
             .flat_map(|u| {
                 graph
@@ -347,31 +476,48 @@ impl TopologySchedule for AdversarialCut {
                     .map(move |&v| (u, v as usize))
             })
             .collect();
-        let mut probe = graph.clone();
+        self.scans += 1;
+        let dc = match self.conn.as_mut() {
+            Some(dc) => {
+                dc.rebuild(graph);
+                dc
+            }
+            None => self.conn.insert(DynamicConnectivity::new(graph)),
+        };
         let mut attempts = 0usize;
         for i in 0..cut.len() {
             for j in (i + 1)..cut.len() {
                 let (a, b) = cut[i];
                 let (c, d) = cut[j];
-                if a == c || b == d || probe.has_edge(a, c) || probe.has_edge(b, d) {
+                if a == c || b == d || graph.has_edge(a, c) || graph.has_edge(b, d) {
                     continue;
                 }
                 attempts += 1;
                 if attempts > 2048 {
+                    self.validation_ns +=
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     return;
                 }
-                probe
-                    .apply_swap(a, b, c, d)
-                    .expect("candidate pre-validated");
-                if traversal::is_connected(&probe) {
+                self.probes += 1;
+                if !dc.would_leave_disconnected(a, b, c, d) {
                     out.push(TopologyEvent::Swap { a, b, c, d });
+                    self.validation_ns +=
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     return;
                 }
-                probe
-                    .apply_swap(a, c, b, d)
-                    .expect("inverse of an applied swap is valid");
             }
         }
+        self.validation_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    fn reset(&mut self) {
+        self.scans = 0;
+        self.probes = 0;
+        self.validation_ns = 0;
+    }
+
+    fn validation_nanos(&self) -> u64 {
+        self.validation_ns
     }
 }
 
@@ -408,6 +554,22 @@ impl TopologySchedule for Compose {
         for child in &mut self.children {
             child.reset();
         }
+    }
+
+    fn swap_shortfall(&self) -> Option<SwapShortfall> {
+        let mut total = SwapShortfall::default();
+        let mut any = false;
+        for child in &self.children {
+            if let Some(s) = child.swap_shortfall() {
+                total.absorb(&s);
+                any = true;
+            }
+        }
+        any.then_some(total)
+    }
+
+    fn validation_nanos(&self) -> u64 {
+        self.children.iter().map(|c| c.validation_nanos()).sum()
     }
 }
 
@@ -550,7 +712,7 @@ impl ScheduleSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlb_graph::generators;
+    use dlb_graph::{generators, traversal};
 
     fn collect(
         s: &mut dyn TopologySchedule,
@@ -658,6 +820,135 @@ mod tests {
         let after = cut_size(&g);
         assert!(after < before, "cut must shrink: {before} -> {after}");
         assert!(traversal::is_connected(&g), "and stay connected");
+    }
+
+    #[test]
+    fn shortfall_accounts_for_simplicity_starvation_on_clique_circulant() {
+        // Clique-circulants are locally dense: most candidate pairs
+        // collide with an existing edge, so the simplicity budget does
+        // real work. The counter must account for every requested swap
+        // exactly.
+        let g = generators::clique_circulant(20, 4).unwrap();
+        let mut s = PeriodicRewiring::new(1, 4, 21);
+        let mut probe = g.clone();
+        let mut emitted = 0u64;
+        for round in 1..=8 {
+            let mut out = Vec::new();
+            s.events(round, &probe, &mut out);
+            emitted += out.len() as u64;
+            for ev in &out {
+                probe.apply_event(ev).expect("emitted events must apply");
+            }
+        }
+        let sf = s.swap_shortfall().expect("rewiring tracks shortfall");
+        assert_eq!(sf.requested, 8 * 4);
+        assert_eq!(sf.emitted, emitted);
+        assert_eq!(sf.deficit(), sf.requested - emitted);
+        assert!(
+            sf.simplicity_rejects > 0,
+            "a dense graph must burn simplicity retries: {sf:?}"
+        );
+    }
+
+    #[test]
+    fn shortfall_pins_full_starvation_on_the_complete_graph() {
+        // On a clique every simple-swap candidate hits an existing
+        // edge: nothing can ever be emitted, and the regression is
+        // that this used to happen *silently*. The counter must report
+        // the full deficit.
+        let g = generators::complete(8).unwrap();
+        let mut s = PeriodicRewiring::new(1, 3, 5);
+        let mut out = Vec::new();
+        s.events(1, &g, &mut out);
+        assert!(out.is_empty(), "no simple swap exists on a clique");
+        let sf = s.swap_shortfall().unwrap();
+        assert_eq!(sf.requested, 3);
+        assert_eq!(sf.emitted, 0);
+        assert_eq!(sf.deficit(), 3);
+        assert_eq!(sf.simplicity_rejects, 3 * 64, "full budget per swap");
+        assert_eq!(sf.connectivity_rejects, 0);
+    }
+
+    #[test]
+    fn shortfall_separates_connectivity_rejects_on_the_cycle() {
+        // On a cycle roughly half of all simple candidates split the
+        // graph, so the connectivity budget does real work — and with
+        // its own budget the burst still delivers in full.
+        let g = generators::cycle(64).unwrap();
+        let mut s = PeriodicRewiring::new(1, 6, 3);
+        let mut probe = g.clone();
+        for round in 1..=6 {
+            let mut out = Vec::new();
+            s.events(round, &probe, &mut out);
+            for ev in &out {
+                probe.apply_event(ev).expect("emitted events must apply");
+            }
+        }
+        let sf = s.swap_shortfall().unwrap();
+        assert_eq!(sf.requested, 6 * 6);
+        assert_eq!(
+            sf.deficit(),
+            0,
+            "default cycle bursts deliver in full: {sf:?}"
+        );
+        assert!(
+            sf.connectivity_rejects > 0,
+            "cycle churn must hit connectivity rejects: {sf:?}"
+        );
+        assert!(traversal::is_connected(&probe));
+        // Timing is tracked for the harness's validation_ns column.
+        assert!(s.validation_nanos() > 0);
+        // Reset restores the post-construction counters.
+        s.reset();
+        assert_eq!(s.swap_shortfall().unwrap(), SwapShortfall::default());
+        assert_eq!(s.validation_nanos(), 0);
+    }
+
+    #[test]
+    fn adversarial_cut_probe_cost_is_scan_free_per_candidate() {
+        // The PR 6 migration: candidates are probed via
+        // `would_leave_disconnected` on one per-round structure, so the
+        // of full-graph O(n·d) passes is exactly two per emitting
+        // round (cut enumeration + rebuild) no matter how many
+        // candidates the lexicographic search probes.
+        let g0 = generators::random_regular(64, 4, 9).unwrap();
+        let mut s = AdversarialCut::new(1);
+        let mut g = g0.clone();
+        let rounds = 6u64;
+        for round in 1..=rounds as usize {
+            let mut out = Vec::new();
+            s.events(round, &g, &mut out);
+            for ev in &out {
+                g.apply_event(ev).expect("emitted events must apply");
+            }
+        }
+        assert_eq!(
+            s.scans(),
+            2 * rounds,
+            "full-graph passes must scale with rounds, not candidates"
+        );
+        assert!(
+            s.probes() >= rounds,
+            "every emitting round probes at least one candidate"
+        );
+        assert!(s.validation_nanos() > 0);
+        s.reset();
+        assert_eq!((s.scans(), s.probes(), s.validation_nanos()), (0, 0, 0));
+    }
+
+    #[test]
+    fn compose_aggregates_shortfall_and_validation_time() {
+        let mut s = Compose::new(vec![
+            Box::new(PeriodicRewiring::new(1, 2, 7)),
+            Box::new(FailureRecovery::new(0.5, 0.5, 2, 8)),
+        ]);
+        let mut g = generators::cycle(32).unwrap();
+        let _ = collect(&mut s, &mut g, 4);
+        let sf = s
+            .swap_shortfall()
+            .expect("periodic child surfaces shortfall");
+        assert_eq!(sf.requested, 4 * 2);
+        assert!(s.validation_nanos() > 0);
     }
 
     #[test]
