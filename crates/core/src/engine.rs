@@ -2019,6 +2019,120 @@ mod tests {
         }
     }
 
+    /// A scheme or workload that panics (violating its documented
+    /// no-panic contract) must surface as a clean
+    /// [`EngineError::WorkerPanic`] with the round rolled back whole —
+    /// never a stranded peer at a round barrier, never a propagated
+    /// panic tearing the caller down. Deterministic: the panic fires
+    /// on round 1 on every schedule.
+    #[test]
+    fn worker_panic_surfaces_as_error_with_round_rolled_back() {
+        struct PanicAtNode(usize);
+        impl Balancer for PanicAtNode {
+            fn name(&self) -> &'static str {
+                "panic-at-node"
+            }
+            fn plan(&mut self, gp: &BalancingGraph, loads: &LoadVector, plan: &mut FlowPlan) {
+                for u in 0..gp.num_nodes() {
+                    let x = loads.get(u);
+                    if x != 0 {
+                        self.plan_node(gp, u, x, plan.node_mut(u));
+                    }
+                }
+            }
+        }
+        impl crate::ShardedBalancer for PanicAtNode {
+            fn plan_node(&self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]) {
+                assert!(u != self.0, "injected panic at node {u}");
+                SendFloor::new().plan_node(gp, u, load, flows);
+            }
+        }
+        struct SwapAt1;
+        impl TopologySchedule for SwapAt1 {
+            fn label(&self) -> String {
+                "swap-at-1".into()
+            }
+            fn events(
+                &mut self,
+                round: usize,
+                g: &dlb_graph::RegularGraph,
+                out: &mut Vec<TopologyEvent>,
+            ) {
+                if round == 1 && g.has_edge(4, 5) && g.has_edge(8, 9) {
+                    out.push(TopologyEvent::Swap {
+                        a: 4,
+                        b: 5,
+                        c: 8,
+                        d: 9,
+                    });
+                }
+            }
+        }
+        struct PanicWorkload;
+        impl crate::Workload for PanicWorkload {
+            fn label(&self) -> String {
+                "panic-workload".into()
+            }
+            fn inject(&mut self, _round: usize, _loads: &[i64], _deltas: &mut [i64]) {
+                panic!("injected workload panic");
+            }
+        }
+
+        let initial = LoadVector::new(vec![7i64; 12]);
+        let check = |err: EngineError, engine: &Engine, needle: &str, label: &str| {
+            match &err {
+                EngineError::WorkerPanic { step: 1, message } => {
+                    assert!(message.contains(needle), "{label}: message {message:?}");
+                }
+                other => panic!("{label}: expected WorkerPanic, got {other:?}"),
+            }
+            assert_eq!(engine.step_count(), 0, "{label}");
+            assert_eq!(
+                engine.loads(),
+                &initial,
+                "{label}: failed round must not mutate"
+            );
+            assert_eq!(
+                engine.graph(),
+                &lazy_cycle(12),
+                "{label}: failed round must roll its events back"
+            );
+        };
+
+        // Node 5 sits in shard 0 of a 2-way split and shard 1 of a
+        // 3-way split, so both driver and non-driver workers panic.
+        for threads in [2usize, 3] {
+            // Fixed topology, plan-phase panic.
+            let mut engine = Engine::new(lazy_cycle(12), initial.clone());
+            let err = engine
+                .run_parallel(&PanicAtNode(5), 5, threads)
+                .unwrap_err();
+            check(err, &engine, "injected panic at node 5", "fixed plan");
+
+            // Churn round, plan-phase panic: the round's swap must be
+            // rolled back along with the loads.
+            let mut engine = Engine::new(lazy_cycle(12), initial.clone());
+            let err = engine
+                .run_parallel_dyn(
+                    &PanicAtNode(5),
+                    5,
+                    threads,
+                    Some(&mut SwapAt1),
+                    Option::<&mut NoWorkload>::None,
+                )
+                .unwrap_err();
+            check(err, &engine, "injected panic at node 5", "churn plan");
+
+            // Driver-side workload panic: stale or half-written deltas
+            // are undone exactly by the per-worker rollback.
+            let mut engine = Engine::new(lazy_cycle(12), initial.clone());
+            let err = engine
+                .run_parallel_with(&SendFloor::new(), 5, threads, Some(&mut PanicWorkload))
+                .unwrap_err();
+            check(err, &engine, "injected workload panic", "workload");
+        }
+    }
+
     /// An argmax-hungry workload that records which hints it got, so
     /// the tests below can pin the engine-side index behaviour.
     struct HintProbe {

@@ -47,6 +47,18 @@ pub enum EngineError {
         /// The graph layer's description of the violation.
         reason: String,
     },
+    /// A worker thread of the sharded runner panicked mid-round — a
+    /// balancer, workload or schedule implementation violated its
+    /// no-panic contract. The round is rolled back whole (loads, graph
+    /// and injection restored to the last completed round) and every
+    /// peer exits cleanly through the abort path instead of deadlocking
+    /// at a round barrier.
+    WorkerPanic {
+        /// The step during which the panic unwound (1-based).
+        step: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +86,9 @@ impl fmt::Display for EngineError {
             ),
             EngineError::Topology { step, reason } => {
                 write!(f, "topology event rejected at step {step}: {reason}")
+            }
+            EngineError::WorkerPanic { step, message } => {
+                write!(f, "worker thread panicked at step {step}: {message}")
             }
         }
     }
@@ -108,6 +123,12 @@ mod tests {
             step: 5,
         };
         assert!(e.to_string().contains("-2"));
+
+        let e = EngineError::WorkerPanic {
+            step: 4,
+            message: String::from("boom"),
+        };
+        assert!(e.to_string().contains("step 4") && e.to_string().contains("boom"));
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod load;
 pub mod parallel;
 pub mod potential;
 pub mod schemes;
+pub mod sync;
 pub mod workload;
 
 pub use balancer::Balancer;

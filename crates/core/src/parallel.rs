@@ -48,9 +48,23 @@
 //! in by implementing [`ShardedBalancer`]. With `threads == 1` the
 //! engine bypasses this module entirely and runs the serial kernel
 //! path — one thread never pays shard overhead.
+//!
+//! # Verification
+//!
+//! Every primitive here comes from [`crate::sync`], the facade that is
+//! plain `std` re-exports under normal builds and the vendored `loom`
+//! model checker under `--cfg dlb_model`. The `dlb-model` crate drives
+//! small configurations of this exact code through every interleaving
+//! within a preemption bound, asserting bit-identity with the serial
+//! engine, absence of deadlock, and that every worker exits on every
+//! abort path. The Acquire/Release orderings on the abort flags below
+//! are the weakest the model suite validates — see each access's
+//! comment for the pairing it relies on.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{thread, Barrier, Mutex, MutexGuard};
 
 use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
 use dlb_topology::{self as topology, TopologySchedule};
@@ -66,12 +80,14 @@ use crate::{Balancer, EngineError};
 ///
 /// Implementations must write **every** port of `flows` (the buffer is
 /// reused across steps and arrives dirty), must be deterministic in
-/// `(u, load)`, and must not panic for non-negative loads — a worker
-/// thread that panics mid-round would strand its peers at the round
-/// barrier. Structural class violations (e.g. SEND(\[x/d⁺\]) on a graph
-/// with `d° < d`) must therefore surface as over-planned flows, which
-/// the engine turns into a clean [`EngineError::Overdraw`], never as a
-/// panic.
+/// `(u, load)`, and should not panic for non-negative loads.
+/// Structural class violations (e.g. SEND(\[x/d⁺\]) on a graph with
+/// `d° < d`) must surface as over-planned flows, which the engine
+/// turns into a clean [`EngineError::Overdraw`]. A panic that slips
+/// through anyway is contained: the worker catches it, records
+/// [`EngineError::WorkerPanic`], and the round aborts through the same
+/// flag-and-barrier path as any other error — peers exit cleanly, the
+/// loads and graph roll back to the last completed round.
 pub trait ShardedBalancer: Balancer + Sync {
     /// Writes node `u`'s complete `d⁺`-port flow assignment for load
     /// `load` into `flows` (`flows.len() == d⁺`).
@@ -129,6 +145,44 @@ fn shard_bounds(n: usize, t: usize) -> Vec<usize> {
         bounds.push(bounds[i] + base + usize::from(i < rem));
     }
     bounds
+}
+
+/// Stringifies a caught panic payload for [`EngineError::WorkerPanic`].
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// Under the model checker, the runtime tears executions down by
+/// unwinding a private payload through every thread; the worker-panic
+/// guards must re-raise it, not convert it into an engine error.
+#[cfg(dlb_model)]
+fn is_model_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<loom::ModelAbort>()
+}
+
+#[cfg(not(dlb_model))]
+fn is_model_abort(_payload: &(dyn std::any::Any + Send)) -> bool {
+    false
+}
+
+/// [`std::panic::catch_unwind`] that lets model-teardown unwinds pass
+/// through untouched.
+fn catch_worker_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            if is_model_abort(payload.as_ref()) {
+                panic::resume_unwind(payload);
+            }
+            Err(payload_message(payload.as_ref()))
+        }
+    }
 }
 
 /// Runs `steps` synchronous rounds of `balancer` over `loads`, sharded
@@ -255,7 +309,7 @@ pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     // of thread scheduling.
     let error: Mutex<Option<(usize, EngineError)>> = Mutex::new(None);
 
-    let mut outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+    let mut outcomes: Vec<ShardOutcome> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(nthreads);
         for (me, (my_loads, my_gp)) in shard_loads
             .into_iter()
@@ -355,7 +409,13 @@ struct ShardCtx<'a> {
 
 impl ShardCtx<'_> {
     fn record_error(&self, e: EngineError) {
-        self.failed.store(true, Ordering::SeqCst);
+        // Release: pairs with the Acquire load at round barrier #1 (and
+        // the topology check's Acquire under the model mutant), so any
+        // worker that observes the abort also observes everything this
+        // worker did before recording — the weakest pair the model
+        // suite validates; nothing here needs a single total order
+        // across flags, so SeqCst would buy nothing.
+        self.failed.store(true, Ordering::Release);
         // All recorded errors belong to the same (first failing) round
         // — the barriers keep workers in lockstep — so the winner is
         // chosen by the serial engine's in-round ordering: topology
@@ -365,10 +425,14 @@ impl ShardCtx<'_> {
         // outranks an `Overdraw` from any other; within a kind the
         // lowest shard wins (each worker reports its lowest-id hit,
         // and shards are ordered, so that is the globally lowest
-        // node). The result is independent of thread scheduling.
+        // node). A `WorkerPanic` ranks below everything: a round that
+        // both errored and panicked reports the protocol error, since
+        // that is what the serial engine would have raised. The result
+        // is independent of thread scheduling.
         let rank = |err: &EngineError| match err {
             EngineError::Topology { .. } => 0u8,
             EngineError::NegativeLoad { .. } => 1,
+            EngineError::WorkerPanic { .. } => 3,
             _ => 2,
         };
         let mut slot = self.error.lock().expect("error mutex not poisoned");
@@ -436,34 +500,82 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                         .as_mut()
                         .expect("dynamic workers own a graph")
                         .graph_mut();
-                    match topology::drive_events_checked(
-                        &mut **s,
-                        step_no,
-                        graph,
-                        &mut ev_scratch,
-                        &mut ev_applied,
-                        checker.as_deref_mut(),
-                    ) {
-                        Ok(()) => {
+                    // A schedule that panics mid-drive is contained
+                    // like any other worker panic; `ev_applied` holds
+                    // exactly the already-applied prefix, so the
+                    // replica (and checker) roll back precisely.
+                    let drive = catch_worker_panic(|| {
+                        topology::drive_events_checked(
+                            &mut **s,
+                            step_no,
+                            graph,
+                            &mut ev_scratch,
+                            &mut ev_applied,
+                            checker.as_deref_mut(),
+                        )
+                    });
+                    match drive {
+                        Ok(Ok(())) => {
                             bc.extend(ev_applied.iter().cloned());
                             my_events.extend(ev_applied.iter().cloned());
                         }
-                        Err(e) => {
+                        Ok(Err(e)) => {
                             // drive_events already rolled the replica
                             // back; nothing was broadcast. The
                             // dedicated flag aborts the round at the
                             // barrier below for every worker at once.
-                            w.topo_failed.store(true, Ordering::SeqCst);
+                            // Release: pairs with the Acquire load
+                            // after the barrier — observers of the
+                            // flag see the restored replica state.
+                            w.topo_failed.store(true, Ordering::Release);
                             w.record_error(EngineError::Topology {
                                 step: step_no,
                                 reason: e.to_string(),
+                            });
+                        }
+                        Err(message) => {
+                            let graph = my_gp
+                                .as_mut()
+                                .expect("dynamic workers own a graph")
+                                .graph_mut();
+                            topology::undo_events_checked(
+                                graph,
+                                &ev_applied,
+                                checker.as_deref_mut(),
+                            );
+                            // Release: same pairing as the rejected-
+                            // event store above.
+                            w.topo_failed.store(true, Ordering::Release);
+                            w.record_error(EngineError::WorkerPanic {
+                                step: step_no,
+                                message,
                             });
                         }
                     }
                 }
             }
             w.barrier.wait();
-            if w.topo_failed.load(Ordering::SeqCst) {
+            // Acquire: pairs with worker 0's Release store before the
+            // barrier (the barrier alone already orders the phases;
+            // the pair keeps the flag self-contained and is what the
+            // model suite checks). Under the model build the historic
+            // mutant can be switched in: reading the general `failed`
+            // flag here races with plan-phase errors a fast peer
+            // records in this same round — the bug PR 5 fixed, kept
+            // reproducible for the checker.
+            #[cfg(dlb_model)]
+            let topo_abort = if crate::sync::model_hooks::topo_abort_reads_failed() {
+                w.failed.load(Ordering::Acquire)
+            } else {
+                // Acquire: pairs with the driver's Release stores in
+                // T0, same as the un-modelled line below.
+                w.topo_failed.load(Ordering::Acquire)
+            };
+            #[cfg(not(dlb_model))]
+            // Acquire: pairs with the driver's Release stores in T0 —
+            // an aborting worker sees the rolled-back replica state.
+            let topo_abort = w.topo_failed.load(Ordering::Acquire);
+            if topo_abort {
                 // A rejected event aborts before any load or replica
                 // (other than worker 0's, already restored) changed.
                 // Checking the topology-specific flag (not `failed`)
@@ -537,8 +649,21 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                     // No argmax hint on the sharded path: the driver
                     // assembles the full vector anyway, so the
                     // workload's own scan reads what it already paid
-                    // to gather.
-                    wl.inject_with_hint(step_no, full_loads, None, full_deltas);
+                    // to gather. A panicking workload is contained: no
+                    // lock is held here (both vectors are driver-
+                    // local), the possibly half-written deltas are
+                    // scattered and applied as usual, and the round's
+                    // abort at barrier #1 undoes them exactly via each
+                    // worker's `inj_applied` copy.
+                    let inj = catch_worker_panic(|| {
+                        wl.inject_with_hint(step_no, full_loads, None, full_deltas);
+                    });
+                    if let Err(message) = inj {
+                        w.record_error(EngineError::WorkerPanic {
+                            step: step_no,
+                            message,
+                        });
+                    }
                 }
                 let g = graph_ref(&my_gp, w.gp);
                 if g.graph().asleep_count() > 0 {
@@ -589,57 +714,79 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
         // no one else touches until the barrier.
         let graph = graph_ref(&my_gp, w.gp);
         let csr = graph.graph();
-        let mut out: Vec<Option<std::sync::MutexGuard<'_, Vec<i64>>>> = (0..w.nthreads)
+        let mut out: Vec<Option<MutexGuard<'_, Vec<i64>>>> = (0..w.nthreads)
             .map(|dest| {
                 (dest != w.me).then(|| w.segments[w.me][dest].lock().expect("segment not poisoned"))
             })
             .collect();
-        'plan: for v in 0..len {
-            if local_error {
-                // This shard already failed the pre-plan check; the
-                // serial engine would not have planned any node.
-                break 'plan;
-            }
-            let x = my_loads[v];
-            if x == 0 {
-                continue;
-            }
-            if w.check && x < 0 {
-                w.record_error(EngineError::NegativeLoad {
-                    node: w.lo + v,
-                    load: x,
-                    step: step_no,
-                });
-                break 'plan;
-            }
-            w.balancer.plan_node(graph, w.lo + v, x, &mut flows);
-            let orig = match kernel::validate_outflow(&flows, d, w.check, w.lo + v, x, step_no) {
-                Ok(orig) => orig,
-                Err(e) => {
-                    w.record_error(e);
+        // The whole plan loop runs under a panic guard: `plan_node` is
+        // the engine's widest entry into scheme code. The guard holds
+        // no std lock across the unwind — the `out` guards live
+        // outside the closure and survive a caught panic — so nothing
+        // poisons; partially accumulated deltas are simply abandoned
+        // when the round aborts at barrier #1 (loads are untouched
+        // until phase B).
+        let planned = catch_worker_panic(|| {
+            'plan: for v in 0..len {
+                if local_error {
+                    // This shard already failed the pre-plan check; the
+                    // serial engine would not have planned any node.
                     break 'plan;
                 }
-            };
-            if orig != 0 {
-                interior[v] -= orig as i64;
-            }
-            for (p, &f) in flows[..d].iter().enumerate() {
-                if f == 0 {
+                let x = my_loads[v];
+                if x == 0 {
                     continue;
                 }
-                let t = csr.neighbor(w.lo + v, p);
-                if (w.lo..w.hi).contains(&t) {
-                    interior[t - w.lo] += f as i64;
-                } else {
-                    let dest = shard_of(t, w.base, w.rem);
-                    let seg = out[dest].as_mut().expect("off-diagonal segment exists");
-                    seg[t - w.bounds[dest]] += f as i64;
-                    wrote[dest] = true;
+                if w.check && x < 0 {
+                    w.record_error(EngineError::NegativeLoad {
+                        node: w.lo + v,
+                        load: x,
+                        step: step_no,
+                    });
+                    break 'plan;
+                }
+                w.balancer.plan_node(graph, w.lo + v, x, &mut flows);
+                let orig = match kernel::validate_outflow(&flows, d, w.check, w.lo + v, x, step_no)
+                {
+                    Ok(orig) => orig,
+                    Err(e) => {
+                        w.record_error(e);
+                        break 'plan;
+                    }
+                };
+                if orig != 0 {
+                    interior[v] -= orig as i64;
+                }
+                for (p, &f) in flows[..d].iter().enumerate() {
+                    if f == 0 {
+                        continue;
+                    }
+                    let t = csr.neighbor(w.lo + v, p);
+                    if (w.lo..w.hi).contains(&t) {
+                        interior[t - w.lo] += f as i64;
+                    } else {
+                        let dest = shard_of(t, w.base, w.rem);
+                        let seg = out[dest].as_mut().expect("off-diagonal segment exists");
+                        seg[t - w.bounds[dest]] += f as i64;
+                        wrote[dest] = true;
+                    }
                 }
             }
+        });
+        if let Err(message) = planned {
+            w.record_error(EngineError::WorkerPanic {
+                step: step_no,
+                message,
+            });
         }
         for (dest, touched) in wrote.iter_mut().enumerate() {
             if *touched {
+                // Release: pairs with the merger's Acquire swap in
+                // phase B, publishing this worker's segment writes to
+                // whichever thread merges them (the round barrier in
+                // between also orders this; the pair keeps the flag
+                // protocol valid on its own, which the model suite
+                // checks by running it).
                 w.dirty[w.me * w.nthreads + dest].store(true, Ordering::Release);
                 *touched = false;
             }
@@ -652,7 +799,11 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
         // (An erroring round's injection and topology events are
         // undone for the same reason.)
         w.barrier.wait();
-        if w.failed.load(Ordering::SeqCst) {
+        // Acquire: pairs with `record_error`'s Release store, so a
+        // worker taking the abort path also sees the recorder's writes
+        // (every worker reaches this barrier in every round — errors
+        // recorded in any earlier phase funnel here).
+        if w.failed.load(Ordering::Acquire) {
             if injecting_round {
                 kernel::apply_deltas(my_loads, &inj_applied, true, &mut negative);
             }
@@ -684,6 +835,12 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
             }
         }
         for from in 0..w.nthreads {
+            // Acquire (on the swap's load half): pairs with the
+            // writer's Release store above — observing `true` makes
+            // the writer's segment contents visible before the merge
+            // reads them. The store half needs no ordering (the writer
+            // re-checks only after barrier #2), so AcqRel would be
+            // stronger than the protocol requires.
             if from == w.me || !w.dirty[from * w.nthreads + w.me].swap(false, Ordering::Acquire) {
                 continue;
             }

@@ -43,9 +43,11 @@
 ///
 /// Implementations must be deterministic functions of their own state
 /// and the `(round, loads)` arguments — the engine relies on that to
-/// keep its execution paths bit-identical — and must not panic: on the
-/// sharded path a panicking workload would strand the other workers at
-/// a round barrier (the same contract as
+/// keep its execution paths bit-identical — and should not panic. A
+/// panic that happens anyway is contained on every path: the sharded
+/// runner catches it, aborts the round through the normal error
+/// machinery as [`WorkerPanic`](crate::EngineError::WorkerPanic), and
+/// rolls the round back whole (the same contract as
 /// [`ShardedBalancer`](crate::ShardedBalancer)).
 pub trait Workload: Send {
     /// A short label for reports and JSON rows.

@@ -1,0 +1,589 @@
+//! `dlb-tidy`: a dependency-free, source-level lint for this
+//! workspace's concurrency and robustness invariants.
+//!
+//! `cargo clippy` checks general Rust hygiene; this tool checks the
+//! *repo-specific* contracts that keep the model-checking story sound:
+//!
+//! * **sync-facade** — `crates/core` must reach every synchronisation
+//!   primitive through the `dlb_core::sync` facade, never `std::sync`
+//!   or `std::thread` directly. One un-facaded `Mutex` is a blind spot
+//!   the model checker cannot schedule around.
+//! * **atomic-ordering** — every atomic access in `crates/core` names
+//!   its `Ordering` *and* carries a justifying comment (same line or
+//!   the three lines above) saying which Release/Acquire pair it
+//!   belongs to. Orderings without written pairings rot into cargo-cult
+//!   `SeqCst`.
+//! * **unwrap** — no `.unwrap()` in non-test library code anywhere in
+//!   `crates/*/src`; library errors must flow through `Result` (the
+//!   engine's whole error-ordering contract depends on it).
+//! * **kernel-assert** — the fused kernels (`crates/core/src/kernel.rs`
+//!   and the per-node kernels in `crates/core/src/schemes/`) use
+//!   `debug_assert!` in hot paths; a release-mode `assert!` there needs
+//!   an allowlist entry arguing it is outside the per-node loop.
+//!
+//! Test regions (`#[cfg(test)]` modules) and comments are masked out
+//! before linting, so tests may unwrap and assert freely. The masking
+//! is a line-level heuristic (string-aware comment stripping, brace
+//! counting for module extents), which is exactly as strong as this
+//! codebase's conventional layout needs — it is a tidy check, not a
+//! parser.
+//!
+//! Deliberate exceptions live in `tools/tidy/allowlist.txt`, one per
+//! line: `<class> <path> <substring>`, where `<substring>` must occur
+//! in the offending line. Entries that stop matching anything are
+//! themselves reported (`stale-allow`), so the file cannot accumulate
+//! dead grants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintClass {
+    /// Direct `std::sync`/`std::thread` use in `crates/core` outside
+    /// the facade module.
+    SyncFacade,
+    /// Atomic access without a justifying ordering comment.
+    AtomicOrdering,
+    /// `.unwrap()` in non-test library code.
+    Unwrap,
+    /// Release-mode `assert!` in kernel code.
+    KernelAssert,
+    /// Allowlist entry that no longer matches anything.
+    StaleAllow,
+}
+
+impl LintClass {
+    /// The class name used in reports and in the allowlist file.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintClass::SyncFacade => "sync-facade",
+            LintClass::AtomicOrdering => "atomic-ordering",
+            LintClass::Unwrap => "unwrap",
+            LintClass::KernelAssert => "kernel-assert",
+            LintClass::StaleAllow => "stale-allow",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<LintClass> {
+        match name {
+            "sync-facade" => Some(LintClass::SyncFacade),
+            "atomic-ordering" => Some(LintClass::AtomicOrdering),
+            "unwrap" => Some(LintClass::Unwrap),
+            "kernel-assert" => Some(LintClass::KernelAssert),
+            _ => None,
+        }
+    }
+}
+
+/// One broken invariant at one source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which lint fired.
+    pub class: LintClass,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// What went wrong, with the offending excerpt.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.class.name(),
+            self.message
+        )
+    }
+}
+
+/// Strips comments from one line, tracking whether a `/* */` block
+/// comment is open across lines. String literals are honoured so a
+/// `//` inside one does not truncate the line.
+fn strip_comments(line: &str, in_block: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        if *in_block {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        let c = bytes[i];
+        if in_string {
+            // String bodies are dropped from the mask: literal text
+            // must not look like code to any lint (or to the brace
+            // counter).
+            if c == b'\\' {
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_string = false;
+                out.push('"');
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            b'"' => {
+                in_string = true;
+                out.push('"');
+                i += 1;
+            }
+            // A double-quote *character literal* would otherwise open a
+            // phantom string.
+            b'\'' if i + 2 < bytes.len() && bytes[i + 1] == b'"' && bytes[i + 2] == b'\'' => {
+                out.push_str("'\"'");
+                i += 3;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block = true;
+                i += 2;
+            }
+            _ => {
+                out.push(c as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Masks a source file for linting: comments stripped everywhere, and
+/// every line belonging to a `#[cfg(test)]` item blanked. Returns one
+/// entry per input line.
+#[must_use]
+pub fn mask_source(source: &str) -> Vec<String> {
+    let mut in_block = false;
+    let mut masked: Vec<String> = source
+        .lines()
+        .map(|l| strip_comments(l, &mut in_block))
+        .collect();
+
+    let mut i = 0;
+    while i < masked.len() {
+        if masked[i].contains("#[cfg(test)]") || masked[i].contains("#[cfg(all(test") {
+            // Blank from the attribute through the end of the item it
+            // gates: brace-count the item body, or stop at a `;` that
+            // arrives before any brace (brace-less items).
+            let start = i;
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut end = masked.len() - 1;
+            for (j, line) in masked.iter().enumerate().skip(start) {
+                for b in line.bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                if opened && depth == 0 {
+                    end = j;
+                    break;
+                }
+                if !opened && line.contains(';') {
+                    end = j;
+                    break;
+                }
+            }
+            for line in masked.iter_mut().take(end + 1).skip(start) {
+                line.clear();
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    masked
+}
+
+fn excerpt(line: &str) -> String {
+    let t = line.trim();
+    let mut cut = t.len().min(90);
+    while !t.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    if cut < t.len() {
+        format!("{}…", &t[..cut])
+    } else {
+        t.to_string()
+    }
+}
+
+/// Whether the raw line at `idx` carries a justifying comment: a
+/// trailing `//` on the line itself, or a comment line within the
+/// three lines above.
+fn has_nearby_comment(raw: &[&str], idx: usize) -> bool {
+    if raw[idx].contains("//") {
+        return true;
+    }
+    raw[..idx]
+        .iter()
+        .rev()
+        .take(3)
+        .any(|l| l.trim_start().starts_with("//"))
+}
+
+const ATOMIC_OPS: [&str; 6] = [
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_",
+    ".compare_exchange",
+    ".compare_and_swap",
+];
+
+/// Lints one file's source. `rel` is the repo-relative path (forward
+/// slashes), which decides which lint classes apply.
+#[must_use]
+pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
+    let masked = mask_source(source);
+    let raw: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    let in_core = rel.starts_with("crates/core/src/");
+    let is_facade = rel == "crates/core/src/sync.rs";
+    let is_kernel =
+        rel == "crates/core/src/kernel.rs" || rel.starts_with("crates/core/src/schemes/");
+
+    for (i, line) in masked.iter().enumerate() {
+        let lineno = i + 1;
+
+        if in_core && !is_facade && (line.contains("std::sync") || line.contains("std::thread")) {
+            out.push(Violation {
+                class: LintClass::SyncFacade,
+                file: rel.to_string(),
+                line: lineno,
+                message: format!(
+                    "use crate::sync, not std, so the model checker sees this \
+                     synchronisation: `{}`",
+                    excerpt(raw[i])
+                ),
+            });
+        }
+
+        if in_core
+            && line.contains("Ordering::")
+            && ATOMIC_OPS.iter().any(|op| line.contains(op))
+            && !has_nearby_comment(&raw, i)
+        {
+            out.push(Violation {
+                class: LintClass::AtomicOrdering,
+                file: rel.to_string(),
+                line: lineno,
+                message: format!(
+                    "atomic access needs a justifying ordering comment (same line \
+                     or the 3 lines above): `{}`",
+                    excerpt(raw[i])
+                ),
+            });
+        }
+
+        if line.contains(".unwrap()") {
+            out.push(Violation {
+                class: LintClass::Unwrap,
+                file: rel.to_string(),
+                line: lineno,
+                message: format!(
+                    "no unwrap() in library code — return the error or use \
+                     expect with an invariant message: `{}`",
+                    excerpt(raw[i])
+                ),
+            });
+        }
+
+        if is_kernel {
+            let fired = ["assert!(", "assert_eq!(", "assert_ne!("].iter().any(|m| {
+                line.match_indices(m)
+                    .any(|(pos, _)| !line[..pos].ends_with("debug_"))
+            });
+            if fired {
+                out.push(Violation {
+                    class: LintClass::KernelAssert,
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "kernel code pays for assert! in release builds — use \
+                         debug_assert! or allowlist with a hot-path argument: `{}`",
+                        excerpt(raw[i])
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+struct AllowEntry {
+    class: LintClass,
+    file: String,
+    needle: String,
+    line_in_allowlist: usize,
+    used: bool,
+}
+
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.splitn(3, ' ');
+        let (class, file, needle) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(c), Some(f), Some(n)) => (c, f, n),
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `<class> <path> <substring>`, got `{t}`",
+                    i + 1
+                ))
+            }
+        };
+        let class = LintClass::from_name(class)
+            .ok_or_else(|| format!("allowlist line {}: unknown lint class `{class}`", i + 1))?;
+        entries.push(AllowEntry {
+            class,
+            file: file.to_string(),
+            needle: needle.to_string(),
+            line_in_allowlist: i + 1,
+            used: false,
+        });
+    }
+    Ok(entries)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every library source under `root/crates/*/src`, applies the
+/// allowlist at `root/tools/tidy/allowlist.txt` (if present), and
+/// returns the surviving violations plus the number of files scanned.
+///
+/// # Errors
+///
+/// I/O failures reading the tree, or an unparseable allowlist.
+pub fn lint_tree(root: &Path) -> Result<(Vec<Violation>, usize), String> {
+    let allow_path = root.join("tools/tidy/allowlist.txt");
+    let mut allow = match fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", allow_path.display())),
+    };
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("{}: {e}", crates_dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for dir in &crate_dirs {
+        walk(&dir.join("src"), &mut files).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        scanned += 1;
+        let lines: Vec<&str> = source.lines().collect();
+        'violation: for v in lint_source(&rel, &source) {
+            // Multi-line statements fire on their first line; let the
+            // allowlist needle match anywhere in a short window so it
+            // can quote the distinctive part (the condition), not the
+            // bare macro name.
+            let start = v.line.saturating_sub(1);
+            let offending = lines[start..lines.len().min(start + 3)].join("\n");
+            for entry in &mut allow {
+                if entry.class == v.class && entry.file == rel && offending.contains(&entry.needle)
+                {
+                    entry.used = true;
+                    continue 'violation;
+                }
+            }
+            violations.push(v);
+        }
+    }
+
+    for entry in &allow {
+        if !entry.used {
+            violations.push(Violation {
+                class: LintClass::StaleAllow,
+                file: "tools/tidy/allowlist.txt".to_string(),
+                line: entry.line_in_allowlist,
+                message: format!(
+                    "entry matches nothing — remove it ({} {} {})",
+                    entry.class.name(),
+                    entry.file,
+                    entry.needle
+                ),
+            });
+        }
+    }
+
+    Ok((violations, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes(violations: &[Violation]) -> Vec<LintClass> {
+        violations.iter().map(|v| v.class).collect()
+    }
+
+    #[test]
+    fn facade_lint_fires_on_std_sync_in_core_and_nowhere_else() {
+        let bad = "use std::sync::Mutex;\nfn f() { let _ = std::thread::spawn(|| ()); }\n";
+        let v = lint_source("crates/core/src/parallel.rs", bad);
+        assert_eq!(
+            classes(&v),
+            vec![LintClass::SyncFacade, LintClass::SyncFacade]
+        );
+        assert!(lint_source("crates/core/src/sync.rs", bad).is_empty());
+        assert!(lint_source("crates/graph/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn ordering_lint_wants_a_nearby_comment() {
+        let bare = "fn f(a: &AtomicBool) -> bool { a.load(Ordering::Acquire) }\n";
+        let v = lint_source("crates/core/src/parallel.rs", bare);
+        assert_eq!(classes(&v), vec![LintClass::AtomicOrdering]);
+
+        let same_line =
+            "fn f(a: &AtomicBool) -> bool { a.load(Ordering::Acquire) } // pairs with X\n";
+        assert!(lint_source("crates/core/src/parallel.rs", same_line).is_empty());
+
+        let above = "// Acquire: pairs with the Release store in g.\n\
+                     fn f(a: &AtomicBool) -> bool { a.load(Ordering::Acquire) }\n";
+        assert!(lint_source("crates/core/src/parallel.rs", above).is_empty());
+
+        let too_far = "// Acquire: pairs with the Release store in g.\n\n\n\n\
+                       fn f(a: &AtomicBool) -> bool { a.load(Ordering::Acquire) }\n";
+        assert_eq!(
+            classes(&lint_source("crates/core/src/parallel.rs", too_far)),
+            vec![LintClass::AtomicOrdering]
+        );
+    }
+
+    #[test]
+    fn unwrap_lint_skips_tests_comments_and_strings() {
+        let bad = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            classes(&lint_source("crates/graph/src/lib.rs", bad)),
+            vec![LintClass::Unwrap]
+        );
+
+        let in_test = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/graph/src/lib.rs", in_test).is_empty());
+
+        let in_comment = "/// let y = x.unwrap();\nfn f() {}\n// x.unwrap()\n";
+        assert!(lint_source("crates/graph/src/lib.rs", in_comment).is_empty());
+
+        let in_string = "fn f() -> &'static str { \"call .unwrap() at home\" }\n";
+        assert!(lint_source("crates/graph/src/lib.rs", in_string).is_empty());
+    }
+
+    #[test]
+    fn kernel_assert_lint_allows_debug_assert() {
+        let bad = "fn kernel() { assert!(x > 0, \"hot\"); }\n";
+        assert_eq!(
+            classes(&lint_source("crates/core/src/kernel.rs", bad)),
+            vec![LintClass::KernelAssert]
+        );
+        assert_eq!(
+            classes(&lint_source("crates/core/src/schemes/send.rs", bad)),
+            vec![LintClass::KernelAssert]
+        );
+        // Same text outside kernel scope: fine.
+        assert!(lint_source("crates/core/src/flow.rs", bad).is_empty());
+
+        let good = "fn kernel() { debug_assert!(x > 0); debug_assert_eq!(a, b); }\n";
+        assert!(lint_source("crates/core/src/kernel.rs", good).is_empty());
+    }
+
+    #[test]
+    fn test_region_masking_handles_nested_braces() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       mod inner { fn f() { if a { b() } } }\n\
+                       fn g() { y.unwrap(); }\n\
+                   }\n\
+                   fn live2() { z.unwrap(); }\n";
+        let v = lint_source("crates/graph/src/lib.rs", src);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 7);
+    }
+
+    #[test]
+    fn allowlist_grants_and_reports_stale_entries() {
+        let entries =
+            parse_allowlist("# comment\nunwrap crates/x/src/lib.rs .unwrap()\n").expect("parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].class, LintClass::Unwrap);
+        assert!(parse_allowlist("nonsense-class a b\n").is_err());
+        assert!(parse_allowlist("unwrap only-two-fields\n").is_err());
+    }
+
+    #[test]
+    fn the_tree_is_clean() {
+        // tools/tidy -> repo root is two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("tools/tidy sits two levels below the root");
+        let (violations, scanned) = lint_tree(root).expect("tree lints");
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        assert!(violations.is_empty(), "{} violation(s)", violations.len());
+        assert!(
+            scanned > 40,
+            "expected to scan the whole workspace, saw {scanned}"
+        );
+    }
+}

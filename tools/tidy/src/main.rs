@@ -1,0 +1,55 @@
+//! The `dlb-tidy` binary: lints the workspace tree and exits non-zero
+//! on any violation. Run from anywhere inside the repo:
+//!
+//! ```text
+//! cargo run -p dlb-tidy
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walks upward from the current directory to the workspace root (the
+/// first ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(root) = find_root() else {
+        eprintln!("dlb-tidy: no workspace root above the current directory");
+        return ExitCode::FAILURE;
+    };
+    match dlb_tidy::lint_tree(&root) {
+        Ok((violations, scanned)) => {
+            if violations.is_empty() {
+                println!("dlb-tidy: clean ({scanned} files scanned)");
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("{v}");
+                }
+                println!(
+                    "dlb-tidy: {} violation(s) in {scanned} files — fix or add a \
+                     justified entry to tools/tidy/allowlist.txt",
+                    violations.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("dlb-tidy: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

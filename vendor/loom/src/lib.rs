@@ -1,0 +1,40 @@
+//! A minimal, dependency-free, **offline** stand-in for the
+//! [`loom`](https://crates.io/crates/loom) concurrency model checker,
+//! exposing the API subset this workspace uses.
+//!
+//! The build container has no network access, so the real crates.io
+//! package cannot be fetched; this shim keeps call sites source-
+//! compatible. It is **not** the upstream implementation, but it is a
+//! real model checker:
+//!
+//! * [`model`] / [`Builder`] run a closure under **every thread
+//!   interleaving** reachable within a preemption bound, via a
+//!   cooperative scheduler with a yield point at each synchronisation
+//!   operation and exhaustive DFS over the choice tree, then sample
+//!   further schedules with a deterministic seeded RNG (PCT-style);
+//! * [`sync`] provides `Mutex`, `Barrier` and atomics that register
+//!   those yield points — atomics carry **vector clocks**, so a
+//!   `Relaxed`/`Acquire` load may observe any store not yet ordered
+//!   before the loading thread and value nondeterminism is explored
+//!   alongside scheduling nondeterminism;
+//! * [`thread::scope`] mirrors `std::thread::scope` with scheduled
+//!   spawns and joins;
+//! * **deadlock detection**: a state where every unfinished thread is
+//!   blocked fails the exploration with the schedule that got there;
+//! * every failure ([`Failure`]) carries a replayable schedule
+//!   ([`Builder::replay`]) and a rendered event trace.
+//!
+//! Outside a model run every primitive degrades to its `std`
+//! counterpart, so a crate compiled against this shim behaves
+//! normally when exercised by ordinary tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, Failure, FailureKind, Report};
+pub use rt::ModelAbort;

@@ -1,0 +1,301 @@
+//! The exploration driver: exhaustive DFS over schedules up to a
+//! preemption bound, then seeded random (PCT-style) sampling beyond
+//! it, with failing schedules reported as replayable traces.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::rt::{self, AbortKind, Choice, Mode, Runtime};
+
+/// Serialises model explorations within one process: the runtime uses
+/// a process-global panic hook to silence teardown unwinds, and tests
+/// toggle process-global configuration (mutant switches) around runs.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn model_lock() -> MutexGuard<'static, ()> {
+    MODEL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Why an exploration stopped at a failing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every unfinished thread was blocked — a stranded worker, a lost
+    /// barrier participant, or a lock cycle.
+    Deadlock,
+    /// A thread panicked (an assertion in the code under test failed).
+    Panic {
+        /// The model thread id that panicked.
+        thread: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// One execution exceeded the step budget (livelock guard).
+    StepLimit,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The branch indices of the failing execution; feed to
+    /// [`Builder::replay`] to re-run exactly this schedule.
+    pub schedule: Vec<usize>,
+    /// Schedules explored before (and including) the failing one.
+    pub schedules_explored: usize,
+    /// The failing execution's event trace, rendered.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model exploration failed: {:?}", self.kind)?;
+        writeln!(
+            f,
+            "after {} schedule(s); reproduce with Builder::replay(vec!{:?})",
+            self.schedules_explored, self.schedule
+        )?;
+        writeln!(f, "failing schedule trace:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// What a completed exploration covered.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules explored by the bounded DFS.
+    pub schedules: usize,
+    /// Extra seeded-random schedules sampled beyond the bound.
+    pub sampled: usize,
+    /// Whether the DFS exhausted every schedule within the preemption
+    /// bound (false only if `max_schedules` cut it short).
+    pub complete: bool,
+    /// The preemption bound the DFS ran under.
+    pub preemption_bound: usize,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Max preemptive context switches per schedule for the exhaustive
+    /// phase (switching away from a runnable thread; switches forced
+    /// by blocking are free). Empirically 2 catches almost everything.
+    pub preemption_bound: usize,
+    /// DFS safety valve: stop after this many schedules and report
+    /// `complete: false` rather than run unbounded.
+    pub max_schedules: usize,
+    /// Per-execution operation budget (livelock guard).
+    pub max_steps: usize,
+    /// Seeded-random schedules to sample after the DFS, with no
+    /// preemption bound (deterministic PCT-style tail coverage).
+    pub samples: usize,
+    /// Seed for the sampling phase.
+    pub seed: u64,
+    /// When set, skip exploration and run exactly this schedule (the
+    /// `schedule` field of a reported [`Failure`]).
+    pub replay: Option<Vec<usize>>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: 2,
+            max_schedules: 500_000,
+            max_steps: 1_000_000,
+            samples: 64,
+            seed: 0x5eed,
+            replay: None,
+        }
+    }
+}
+
+impl Builder {
+    /// A fresh default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// A configuration that replays one recorded schedule.
+    #[must_use]
+    pub fn replay(schedule: Vec<usize>) -> Self {
+        Builder {
+            replay: Some(schedule),
+            ..Builder::default()
+        }
+    }
+
+    /// Explores `f` and returns the coverage report, or the first
+    /// failing schedule. `f` runs once per schedule and must be
+    /// deterministic given the schedule.
+    ///
+    /// # Errors
+    ///
+    /// The first schedule that deadlocks, panics, or exhausts the step
+    /// budget.
+    pub fn check<F: Fn()>(&self, f: F) -> Result<Report, Failure> {
+        let _serial = model_lock();
+        install_quiet_abort_hook();
+
+        if let Some(schedule) = &self.replay {
+            let (outcome, _) = run_once(
+                &f,
+                schedule,
+                Mode::Dfs {
+                    preemption_bound: usize::MAX,
+                },
+                self.max_steps,
+            );
+            return match outcome {
+                Ok(()) => Ok(Report {
+                    schedules: 1,
+                    sampled: 0,
+                    complete: false,
+                    preemption_bound: self.preemption_bound,
+                }),
+                Err(failure) => Err(failure),
+            };
+        }
+
+        // Phase 1: exhaustive DFS within the preemption bound.
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let mut complete = true;
+        loop {
+            let (outcome, choices) = run_once(
+                &f,
+                &prefix,
+                Mode::Dfs {
+                    preemption_bound: self.preemption_bound,
+                },
+                self.max_steps,
+            );
+            schedules += 1;
+            if let Err(mut failure) = outcome {
+                failure.schedules_explored = schedules;
+                return Err(failure);
+            }
+            match next_prefix(&choices) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+            if schedules >= self.max_schedules {
+                complete = false;
+                break;
+            }
+        }
+
+        // Phase 2: seeded-random sampling with the bound lifted.
+        for i in 0..self.samples {
+            let seed = self
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))
+                | 1;
+            let (outcome, _) = run_once(&f, &[], Mode::Random { state: seed }, self.max_steps);
+            if let Err(mut failure) = outcome {
+                failure.schedules_explored = schedules + i + 1;
+                return Err(failure);
+            }
+        }
+
+        Ok(Report {
+            schedules,
+            sampled: self.samples,
+            complete,
+            preemption_bound: self.preemption_bound,
+        })
+    }
+
+    /// [`check`](Builder::check), panicking with the formatted failing
+    /// schedule — the fit for `#[test]` bodies.
+    pub fn model<F: Fn()>(&self, f: F) -> Report {
+        match self.check(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+}
+
+/// Explores `f` under the default configuration, panicking on the
+/// first failing schedule.
+pub fn model<F: Fn()>(f: F) -> Report {
+    Builder::default().model(f)
+}
+
+/// One execution under one schedule prefix.
+fn run_once<F: Fn()>(
+    f: &F,
+    prefix: &[usize],
+    mode: Mode,
+    max_steps: usize,
+) -> (Result<(), Failure>, Vec<Choice>) {
+    let rt = Arc::new(Runtime::new(prefix.to_vec(), mode, max_steps));
+    let main_result = rt::run_main(&rt, f);
+    let outcome = rt.outcome();
+    let failure_kind = match outcome.abort {
+        Some(AbortKind::Deadlock) => Some(FailureKind::Deadlock),
+        Some(AbortKind::StepLimit) => Some(FailureKind::StepLimit),
+        Some(AbortKind::Panic) => {
+            let (thread, message) = outcome
+                .panic_msg
+                .clone()
+                .unwrap_or((0, String::from("<unknown>")));
+            Some(FailureKind::Panic { thread, message })
+        }
+        None => match main_result {
+            // A panic on the main thread that never went through the
+            // runtime (assertion after all threads joined).
+            Err(message) => Some(FailureKind::Panic { thread: 0, message }),
+            Ok(()) => None,
+        },
+    };
+    let result = match failure_kind {
+        Some(kind) => Err(Failure {
+            kind,
+            schedule: outcome.choices.iter().map(|c| c.chosen).collect(),
+            schedules_explored: 0,
+            trace: outcome.trace,
+        }),
+        None => Ok(()),
+    };
+    (result, outcome.choices)
+}
+
+/// Standard DFS backtracking: bump the deepest choice that still has
+/// an untried alternative; `None` when the space is exhausted.
+fn next_prefix(choices: &[Choice]) -> Option<Vec<usize>> {
+    let mut i = choices.len();
+    loop {
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+        if choices[i].chosen + 1 < choices[i].alts {
+            let mut p: Vec<usize> = choices[..i].iter().map(|c| c.chosen).collect();
+            p.push(choices[i].chosen + 1);
+            return Some(p);
+        }
+    }
+}
+
+/// Installs (once per process) a panic hook that silences the
+/// `ModelAbort` teardown panics worker threads use to unwind, while
+/// delegating every real panic to the hook that was active before.
+/// The wrapper stays installed — aborts only occur inside model runs
+/// and everything else passes straight through.
+fn install_quiet_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<rt::ModelAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,957 @@
+//! The cooperative scheduler behind one model execution.
+//!
+//! Exactly one model thread executes user code at any instant: every
+//! synchronisation operation enters the runtime, which (a) records the
+//! operation in the execution trace, (b) offers the explorer a *choice
+//! point* — which runnable thread proceeds, or which visible store a
+//! weak load observes — and (c) parks the calling OS thread on a
+//! condvar until the schedule hands control back. Replaying a recorded
+//! choice prefix therefore reproduces an execution exactly, which is
+//! what both the DFS explorer and the failure trace rely on.
+//!
+//! Happens-before is tracked with per-thread vector clocks: barriers
+//! join every participant, mutex release/acquire and Release stores /
+//! Acquire loads transfer clocks, spawn seeds the child and join folds
+//! it back. Atomic loads may observe any store not already ordered
+//! before the loading thread (newest first), so weakening an ordering
+//! genuinely widens the set of explored behaviours.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Memory orderings, mirroring `std::sync::atomic::Ordering`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// No synchronisation: the load may observe stale stores.
+    Relaxed,
+    /// Loads join the clock of the Release store they observe.
+    Acquire,
+    /// Stores publish the writer's clock.
+    Release,
+    /// Both of the above (for read-modify-writes).
+    AcqRel,
+    /// Sequentially consistent: modelled as the newest store.
+    SeqCst,
+}
+
+impl Ordering {
+    pub(crate) fn acquires(self) -> bool {
+        matches!(
+            self,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+    pub(crate) fn releases(self) -> bool {
+        matches!(
+            self,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+}
+
+/// The panic payload the runtime throws to tear worker threads down
+/// once an execution has failed (deadlock, step limit, a peer's
+/// panic). Spawn wrappers swallow it. Public so code under test that
+/// catches panics for robustness (the engine's worker-panic guard) can
+/// recognise a teardown unwind and re-raise it instead of treating it
+/// as an application panic.
+pub struct ModelAbort;
+
+fn abort_unwind() -> ! {
+    panic::panic_any(ModelAbort)
+}
+
+/// A vector clock over model thread ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+    fn bump(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+    /// `self ≤ other` componentwise: everything this clock has seen,
+    /// `other` has seen too.
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Run {
+    Ready,
+    BlockedMutex(usize),
+    BlockedBarrier(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadState {
+    run: Run,
+    clock: VClock,
+}
+
+struct StoreRec {
+    value: u64,
+    /// The writer's clock at the store (for visibility pruning).
+    write: VClock,
+    /// `Some` iff the store had Release semantics: the clock an
+    /// acquiring load joins.
+    release: Option<VClock>,
+    by: usize,
+}
+
+enum Object {
+    Mutex {
+        held_by: Option<usize>,
+        release: VClock,
+    },
+    Barrier {
+        size: usize,
+        arrived: Vec<usize>,
+        acc: VClock,
+        generation: u64,
+    },
+    Atomic {
+        stores: Vec<StoreRec>,
+        /// Per-thread coherence floor: a thread never re-reads a store
+        /// older than one it has already observed.
+        last_read: HashMap<usize, usize>,
+    },
+}
+
+/// One entry of an execution trace, formatted lazily on failure.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    Spawn {
+        parent: usize,
+        child: usize,
+    },
+    Switch {
+        to: usize,
+    },
+    MutexLock {
+        t: usize,
+        o: usize,
+    },
+    MutexBlock {
+        t: usize,
+        o: usize,
+    },
+    MutexUnlock {
+        t: usize,
+        o: usize,
+    },
+    BarrierArrive {
+        t: usize,
+        o: usize,
+        n: usize,
+        size: usize,
+    },
+    BarrierRelease {
+        t: usize,
+        o: usize,
+    },
+    Load {
+        t: usize,
+        o: usize,
+        val: u64,
+        ord: Ordering,
+        stale: bool,
+        by: usize,
+    },
+    Store {
+        t: usize,
+        o: usize,
+        val: u64,
+        ord: Ordering,
+    },
+    Rmw {
+        t: usize,
+        o: usize,
+        old: u64,
+        new: u64,
+        ord: Ordering,
+    },
+    JoinWait {
+        t: usize,
+        target: usize,
+    },
+    Finish {
+        t: usize,
+    },
+    Panic {
+        t: usize,
+        msg: String,
+    },
+    Deadlock {
+        blocked: Vec<(usize, String)>,
+    },
+}
+
+impl Ev {
+    fn render(&self) -> String {
+        match self {
+            Ev::Spawn { parent, child } => format!("t{parent} spawns t{child}"),
+            Ev::Switch { to } => format!("  ── switch to t{to}"),
+            Ev::MutexLock { t, o } => format!("t{t} locks mutex#{o}"),
+            Ev::MutexBlock { t, o } => format!("t{t} blocks on mutex#{o}"),
+            Ev::MutexUnlock { t, o } => format!("t{t} unlocks mutex#{o}"),
+            Ev::BarrierArrive { t, o, n, size } => {
+                format!("t{t} arrives at barrier#{o} ({n}/{size})")
+            }
+            Ev::BarrierRelease { t, o } => format!("t{t} releases barrier#{o}"),
+            Ev::Load {
+                t,
+                o,
+                val,
+                ord,
+                stale,
+                by,
+            } => format!(
+                "t{t} loads atomic#{o} -> {val} written by t{by} ({ord:?}{})",
+                if *stale { ", stale" } else { "" }
+            ),
+            Ev::Store { t, o, val, ord } => format!("t{t} stores {val} to atomic#{o} ({ord:?})"),
+            Ev::Rmw {
+                t,
+                o,
+                old,
+                new,
+                ord,
+            } => {
+                format!("t{t} rmw atomic#{o}: {old} -> {new} ({ord:?})")
+            }
+            Ev::JoinWait { t, target } => format!("t{t} joins t{target}"),
+            Ev::Finish { t } => format!("t{t} finishes"),
+            Ev::Panic { t, msg } => format!("t{t} panics: {msg}"),
+            Ev::Deadlock { blocked } => {
+                let mut s = String::from("DEADLOCK — every unfinished thread is blocked:");
+                for (t, on) in blocked {
+                    s.push_str(&format!("\n    t{t} blocked on {on}"));
+                }
+                s
+            }
+        }
+    }
+}
+
+/// One branch taken during an execution: which alternative, of how
+/// many, was chosen at this decision index.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub alts: usize,
+}
+
+/// How the explorer picks un-replayed choices.
+pub(crate) enum Mode {
+    /// Always alternative 0; the driver enumerates the rest.
+    Dfs { preemption_bound: usize },
+    /// Seeded uniform choice at every decision (PCT-style sampling),
+    /// with no preemption bound.
+    Random { state: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbortKind {
+    Deadlock,
+    StepLimit,
+    Panic,
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    active: usize,
+    abort: Option<AbortKind>,
+    /// The panic message of the thread that failed the execution.
+    panic_msg: Option<(usize, String)>,
+    choices: Vec<Choice>,
+    prefix: Vec<usize>,
+    mode: Mode,
+    preemptions: usize,
+    steps: usize,
+    max_steps: usize,
+    objects: Vec<Object>,
+    events: Vec<Ev>,
+}
+
+impl State {
+    fn ready_threads(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Ready)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+pub(crate) struct Runtime {
+    sched: Mutex<State>,
+    cv: Condvar,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+type Guard<'a> = MutexGuard<'a, State>;
+
+impl Runtime {
+    pub(crate) fn new(prefix: Vec<usize>, mode: Mode, max_steps: usize) -> Self {
+        let main = ThreadState {
+            run: Run::Ready,
+            clock: {
+                let mut c = VClock::default();
+                c.bump(0);
+                c
+            },
+        };
+        Runtime {
+            sched: Mutex::new(State {
+                threads: vec![main],
+                active: 0,
+                abort: None,
+                panic_msg: None,
+                choices: Vec::new(),
+                prefix,
+                mode,
+                preemptions: 0,
+                steps: 0,
+                max_steps,
+                objects: Vec::new(),
+                events: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        // A poisoned scheduler lock only means some thread panicked
+        // between lock and unlock during teardown; the state is still
+        // consistent enough to finish aborting.
+        self.sched.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Accounts one runtime operation against the step budget. Aborts
+    /// the execution (and unwinds the caller) on overrun — the engine
+    /// under test is round-bounded, so an overrun means a livelock.
+    fn budget<'a>(&'a self, st: Guard<'a>) -> Guard<'a> {
+        let mut st = st;
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.abort = Some(AbortKind::StepLimit);
+            self.cv.notify_all();
+            drop(st);
+            abort_unwind();
+        }
+        st
+    }
+
+    fn check_abort<'a>(&'a self, st: Guard<'a>) -> Guard<'a> {
+        if st.abort.is_some() {
+            drop(st);
+            if std::thread::panicking() {
+                // Already unwinding (guard drops during teardown run
+                // through here): do not double-panic.
+                return self.lock();
+            }
+            abort_unwind();
+        }
+        st
+    }
+
+    /// The scheduling decision: with the calling thread `me` in its
+    /// (possibly just-changed) run state, pick who executes next.
+    /// Returns with `me` active and Ready again — unless `wait` is
+    /// false (a finished thread handing off), in which case it returns
+    /// immediately after the decision.
+    fn reschedule<'a>(&'a self, me: usize, st: Guard<'a>, wait: bool) -> Guard<'a> {
+        let mut st = self.check_abort(st);
+        let ready = st.ready_threads();
+        if ready.is_empty() {
+            if st.threads.iter().all(|t| t.run == Run::Finished) {
+                self.cv.notify_all();
+                return st;
+            }
+            let blocked = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.run != Run::Finished)
+                .map(|(i, t)| {
+                    (
+                        i,
+                        match t.run {
+                            Run::BlockedMutex(o) => format!("mutex#{o}"),
+                            Run::BlockedBarrier(o) => format!("barrier#{o} (stranded)"),
+                            Run::BlockedJoin(t2) => format!("join of t{t2}"),
+                            _ => "??".into(),
+                        },
+                    )
+                })
+                .collect();
+            st.events.push(Ev::Deadlock { blocked });
+            st.abort = Some(AbortKind::Deadlock);
+            self.cv.notify_all();
+            drop(st);
+            if std::thread::panicking() {
+                return self.lock();
+            }
+            abort_unwind();
+        }
+
+        // Alternatives, deterministically ordered: continuing with the
+        // caller (no preemption) is index 0 when possible.
+        let me_ready = st.threads[me].run == Run::Ready;
+        let mut alts: Vec<usize> = Vec::with_capacity(ready.len());
+        if me_ready {
+            alts.push(me);
+        }
+        alts.extend(ready.iter().copied().filter(|&t| t != me));
+        if let Mode::Dfs { preemption_bound } = st.mode {
+            if me_ready && st.preemptions >= preemption_bound {
+                alts.truncate(1);
+            }
+        }
+        let idx = self.decide(&mut st, alts.len());
+        let next = alts[idx];
+        if me_ready && next != me {
+            st.preemptions += 1;
+        }
+        if next != me {
+            st.events.push(Ev::Switch { to: next });
+        }
+        st.active = next;
+        if next == me {
+            return st;
+        }
+        self.cv.notify_all();
+        if !wait {
+            return st;
+        }
+        self.wait_my_turn(me, st)
+    }
+
+    /// Records a choice among `alts` alternatives, replaying the
+    /// prefix when one is set, and returns the chosen index.
+    /// Forced moves (one alternative) are not recorded: both the
+    /// recording and the replaying execution skip them identically, so
+    /// schedules stay short and DFS backtracking touches only real
+    /// branches.
+    fn decide(&self, st: &mut State, alts: usize) -> usize {
+        if alts == 1 {
+            return 0;
+        }
+        let k = st.choices.len();
+        let idx = if k < st.prefix.len() {
+            // Replay. A prefix index out of range would mean the
+            // program under test is not deterministic per schedule —
+            // clamp and keep going; DFS then still terminates.
+            st.prefix[k].min(alts - 1)
+        } else {
+            match st.mode {
+                Mode::Dfs { .. } => 0,
+                Mode::Random { ref mut state } => (xorshift(state) % alts as u64) as usize,
+            }
+        };
+        st.choices.push(Choice { chosen: idx, alts });
+        idx
+    }
+
+    fn wait_my_turn<'a>(&'a self, me: usize, mut st: Guard<'a>) -> Guard<'a> {
+        loop {
+            if st.abort.is_some() {
+                drop(st);
+                if std::thread::panicking() {
+                    return self.lock();
+                }
+                abort_unwind();
+            }
+            if st.active == me && st.threads[me].run == Run::Ready {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// A plain preemption point: the caller stays Ready; any other
+    /// Ready thread may be scheduled instead.
+    fn yield_point<'a>(&'a self, me: usize, st: Guard<'a>) -> Guard<'a> {
+        let st = self.budget(st);
+        self.reschedule(me, st, true)
+    }
+
+    // ---- objects ----------------------------------------------------
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.objects.push(Object::Mutex {
+            held_by: None,
+            release: VClock::default(),
+        });
+        st.objects.len() - 1
+    }
+
+    pub(crate) fn register_barrier(&self, size: usize) -> usize {
+        let mut st = self.lock();
+        st.objects.push(Object::Barrier {
+            size: size.max(1),
+            arrived: Vec::new(),
+            acc: VClock::default(),
+            generation: 0,
+        });
+        st.objects.len() - 1
+    }
+
+    pub(crate) fn register_atomic(&self, me: usize, value: u64) -> usize {
+        let mut st = self.lock();
+        // The initial value is a Release store by the creating thread:
+        // creation happens-before every spawn that shares the handle,
+        // so it is visible (and, once overwritten by a known store,
+        // invisible) exactly like an ordinary first write.
+        let clock = st.threads[me].clock.clone();
+        st.objects.push(Object::Atomic {
+            stores: vec![StoreRec {
+                value,
+                write: clock.clone(),
+                release: Some(clock),
+                by: me,
+            }],
+            last_read: HashMap::new(),
+        });
+        st.objects.len() - 1
+    }
+
+    // ---- mutex ------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, oid: usize) {
+        let mut st = self.yield_point(me, self.lock());
+        loop {
+            let free = match &st.objects[oid] {
+                Object::Mutex { held_by, .. } => held_by.is_none(),
+                _ => unreachable!("object {oid} is not a mutex"),
+            };
+            if free {
+                let release = match &mut st.objects[oid] {
+                    Object::Mutex { held_by, release } => {
+                        *held_by = Some(me);
+                        release.clone()
+                    }
+                    _ => unreachable!(),
+                };
+                st.threads[me].clock.join(&release);
+                st.events.push(Ev::MutexLock { t: me, o: oid });
+                return;
+            }
+            st.events.push(Ev::MutexBlock { t: me, o: oid });
+            st.threads[me].run = Run::BlockedMutex(oid);
+            st = self.reschedule(me, st, true);
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, oid: usize) {
+        let mut st = self.lock();
+        if st.abort.is_some() {
+            // Teardown: guards dropping during unwind must not panic
+            // again or reschedule.
+            return;
+        }
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock.clone();
+        match &mut st.objects[oid] {
+            Object::Mutex { held_by, release } => {
+                *held_by = None;
+                *release = clock;
+            }
+            _ => unreachable!("object {oid} is not a mutex"),
+        }
+        st.events.push(Ev::MutexUnlock { t: me, o: oid });
+        // Wake lock waiters; they re-contend at their next turn. Not a
+        // choice point itself — the releaser's next operation is one.
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedMutex(oid) {
+                t.run = Run::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- barrier ----------------------------------------------------
+
+    /// Returns true for the leader (the last arriver).
+    pub(crate) fn barrier_wait(&self, me: usize, oid: usize) -> bool {
+        let mut st = self.yield_point(me, self.lock());
+        st.threads[me].clock.bump(me);
+        let my_clock = st.threads[me].clock.clone();
+        let (full, size, n) = match &mut st.objects[oid] {
+            Object::Barrier {
+                size, arrived, acc, ..
+            } => {
+                arrived.push(me);
+                acc.join(&my_clock);
+                (arrived.len() == *size, *size, arrived.len())
+            }
+            _ => unreachable!("object {oid} is not a barrier"),
+        };
+        st.events.push(Ev::BarrierArrive {
+            t: me,
+            o: oid,
+            n,
+            size,
+        });
+        if full {
+            let (waiters, joined) = match &mut st.objects[oid] {
+                Object::Barrier {
+                    arrived,
+                    acc,
+                    generation,
+                    ..
+                } => {
+                    *generation += 1;
+                    let w = std::mem::take(arrived);
+                    let j = std::mem::take(acc);
+                    (w, j)
+                }
+                _ => unreachable!(),
+            };
+            // The barrier synchronises everyone with everyone: all
+            // participants leave with the joined clock.
+            for &t in &waiters {
+                st.threads[t].clock.join(&joined);
+                if t != me {
+                    st.threads[t].run = Run::Ready;
+                }
+            }
+            st.events.push(Ev::BarrierRelease { t: me, o: oid });
+            // Which released thread runs first is a real schedule
+            // choice.
+            let _st = self.reschedule(me, st, true);
+            true
+        } else {
+            st.threads[me].run = Run::BlockedBarrier(oid);
+            let _st = self.reschedule(me, st, true);
+            false
+        }
+    }
+
+    // ---- atomics ----------------------------------------------------
+
+    pub(crate) fn atomic_store(&self, me: usize, oid: usize, value: u64, ord: Ordering) {
+        let mut st = self.yield_point(me, self.lock());
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock.clone();
+        let release = ord.releases().then(|| clock.clone());
+        match &mut st.objects[oid] {
+            Object::Atomic { stores, .. } => stores.push(StoreRec {
+                value,
+                write: clock,
+                release,
+                by: me,
+            }),
+            _ => unreachable!("object {oid} is not an atomic"),
+        }
+        st.events.push(Ev::Store {
+            t: me,
+            o: oid,
+            val: value,
+            ord,
+        });
+    }
+
+    pub(crate) fn atomic_load(&self, me: usize, oid: usize, ord: Ordering) -> u64 {
+        let mut st = self.yield_point(me, self.lock());
+        let my_clock = st.threads[me].clock.clone();
+        let (cands, newest) = match &st.objects[oid] {
+            Object::Atomic { stores, last_read } => {
+                let floor = last_read.get(&me).copied().unwrap_or(0);
+                let newest = stores.len() - 1;
+                let cands: Vec<usize> = if ord == Ordering::SeqCst {
+                    // Modelled as reading the newest store: stricter
+                    // than C11's total SC order but sound for the
+                    // "does weakening break it" question.
+                    vec![newest]
+                } else {
+                    // Newest first, so alternative 0 is the freshest
+                    // value and DFS branches into staleness.
+                    (floor..stores.len())
+                        .rev()
+                        .filter(|&i| {
+                            // A store is dead to this thread once a
+                            // *later* store already happens-before it.
+                            !((i + 1)..stores.len()).any(|j| stores[j].write.le(&my_clock))
+                        })
+                        .collect()
+                };
+                (cands, newest)
+            }
+            _ => unreachable!("object {oid} is not an atomic"),
+        };
+        let idx = if cands.len() > 1 {
+            self.decide(&mut st, cands.len())
+        } else {
+            0
+        };
+        let chosen = cands[idx];
+        let (value, release, by) = match &mut st.objects[oid] {
+            Object::Atomic { stores, last_read } => {
+                last_read.insert(me, chosen);
+                (
+                    stores[chosen].value,
+                    stores[chosen].release.clone(),
+                    stores[chosen].by,
+                )
+            }
+            _ => unreachable!(),
+        };
+        if ord.acquires() {
+            if let Some(rc) = release {
+                st.threads[me].clock.join(&rc);
+            }
+        }
+        st.events.push(Ev::Load {
+            t: me,
+            o: oid,
+            val: value,
+            ord,
+            stale: chosen != newest,
+            by,
+        });
+        value
+    }
+
+    /// Read-modify-write: always reads the newest store (C11 guarantees
+    /// RMWs read the last value in modification order).
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        oid: usize,
+        f: impl FnOnce(u64) -> u64,
+        ord: Ordering,
+    ) -> u64 {
+        let mut st = self.yield_point(me, self.lock());
+        let (old, release) = match &st.objects[oid] {
+            Object::Atomic { stores, .. } => {
+                let s = stores.last().expect("atomics always hold the init store");
+                (s.value, s.release.clone())
+            }
+            _ => unreachable!("object {oid} is not an atomic"),
+        };
+        if ord.acquires() {
+            if let Some(rc) = release {
+                st.threads[me].clock.join(&rc);
+            }
+        }
+        st.threads[me].clock.bump(me);
+        let clock = st.threads[me].clock.clone();
+        let new = f(old);
+        let rel = ord.releases().then(|| clock.clone());
+        match &mut st.objects[oid] {
+            Object::Atomic { stores, last_read } => {
+                stores.push(StoreRec {
+                    value: new,
+                    write: clock,
+                    release: rel,
+                    by: me,
+                });
+                let idx = stores.len() - 1;
+                last_read.insert(me, idx);
+            }
+            _ => unreachable!(),
+        }
+        st.events.push(Ev::Rmw {
+            t: me,
+            o: oid,
+            old,
+            new,
+            ord,
+        });
+        old
+    }
+
+    // ---- threads ----------------------------------------------------
+
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock();
+        let mut clock = st.threads[parent].clock.clone();
+        let tid = st.threads.len();
+        clock.bump(tid);
+        st.threads.push(ThreadState {
+            run: Run::Ready,
+            clock,
+        });
+        st.events.push(Ev::Spawn { parent, child: tid });
+        tid
+    }
+
+    /// First thing a spawned OS thread does: wait to be scheduled.
+    pub(crate) fn thread_begin(self: &Arc<Self>, tid: usize) {
+        set_current(Some(Current {
+            rt: Arc::clone(self),
+            tid,
+        }));
+        let st = self.lock();
+        drop(self.wait_my_turn(tid, st));
+    }
+
+    /// Last thing a spawned OS thread does. `panic_msg` carries a real
+    /// panic (assertion failure in the code under test); `None` covers
+    /// both clean exits and `ModelAbort` teardown.
+    pub(crate) fn thread_end(&self, tid: usize, panic_msg: Option<String>) {
+        set_current(None);
+        let mut st = self.lock();
+        st.threads[tid].run = Run::Finished;
+        let final_clock = st.threads[tid].clock.clone();
+        // Wake joiners and hand them the child's final clock.
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedJoin(tid) {
+                t.run = Run::Ready;
+                t.clock.join(&final_clock);
+            }
+        }
+        st.events.push(Ev::Finish { t: tid });
+        if let Some(msg) = panic_msg {
+            st.events.push(Ev::Panic {
+                t: tid,
+                msg: msg.clone(),
+            });
+            if st.abort.is_none() {
+                st.abort = Some(AbortKind::Panic);
+                st.panic_msg = Some((tid, msg));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        drop(self.reschedule(tid, st, false));
+    }
+
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.budget(self.lock());
+        loop {
+            st = self.check_abort(st);
+            if st.threads[target].run == Run::Finished {
+                let c = st.threads[target].clock.clone();
+                st.threads[me].clock.join(&c);
+                st.events.push(Ev::JoinWait { t: me, target });
+                return;
+            }
+            st.threads[me].run = Run::BlockedJoin(target);
+            st = self.reschedule(me, st, true);
+        }
+    }
+
+    /// Kills the execution from outside the scheduled flow (a panic
+    /// unwinding through the scope wrapper): blocked threads wake up
+    /// and tear down.
+    pub(crate) fn force_abort(&self, tid: usize, msg: String) {
+        let mut st = self.lock();
+        if st.abort.is_none() {
+            st.events.push(Ev::Panic {
+                t: tid,
+                msg: msg.clone(),
+            });
+            st.abort = Some(AbortKind::Panic);
+            st.panic_msg = Some((tid, msg));
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- execution bookkeeping --------------------------------------
+
+    pub(crate) fn outcome(&self) -> ExecOutcome {
+        let st = self.lock();
+        ExecOutcome {
+            abort: st.abort,
+            panic_msg: st.panic_msg.clone(),
+            choices: st.choices.clone(),
+            trace: st.events.iter().map(Ev::render).collect(),
+        }
+    }
+}
+
+pub(crate) struct ExecOutcome {
+    pub abort: Option<AbortKind>,
+    pub panic_msg: Option<(usize, String)>,
+    pub choices: Vec<Choice>,
+    pub trace: Vec<String>,
+}
+
+// ---- thread-local current runtime ----------------------------------
+
+#[derive(Clone)]
+pub(crate) struct Current {
+    pub rt: Arc<Runtime>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Current>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn set_current(c: Option<Current>) {
+    CURRENT.with(|cell| *cell.borrow_mut() = c);
+}
+
+/// The runtime of the model execution this thread belongs to, if any.
+/// `None` means primitives run in passthrough (plain std) mode.
+pub(crate) fn current() -> Option<Current> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+/// Runs `f` as model thread 0 of `rt` and classifies the result.
+pub(crate) fn run_main<F: Fn()>(rt: &Arc<Runtime>, f: &F) -> Result<(), String> {
+    set_current(Some(Current {
+        rt: Arc::clone(rt),
+        tid: 0,
+    }));
+    let r = panic::catch_unwind(AssertUnwindSafe(f));
+    set_current(None);
+    match r {
+        Ok(()) => Ok(()),
+        Err(payload) => {
+            if payload.downcast_ref::<ModelAbort>().is_some() {
+                // Teardown unwind; the underlying failure is recorded
+                // in the runtime already.
+                Err(String::from("(aborted)"))
+            } else {
+                let msg = panic_message(&payload);
+                rt.force_abort(0, msg.clone());
+                Err(msg)
+            }
+        }
+    }
+}
+
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}

@@ -1,0 +1,302 @@
+//! Model-aware drop-ins for the `std::sync` types the workspace uses.
+//!
+//! Each primitive runs in one of two modes, decided at construction:
+//! created on a model thread (inside [`crate::model`]) it registers
+//! with the execution's scheduler and every operation becomes an
+//! explored interleaving point; created anywhere else it degrades to
+//! plain `std` behaviour, so code compiled against this crate still
+//! works outside a model run.
+
+use std::sync::Arc;
+
+use crate::rt::{self, Runtime};
+
+pub use crate::rt::Ordering as ModelOrdering;
+
+/// A handle tying an object to the model execution that created it.
+#[derive(Clone)]
+pub(crate) struct ModelRef {
+    pub rt: Arc<Runtime>,
+    pub oid: usize,
+}
+
+impl ModelRef {
+    fn me(&self) -> usize {
+        rt::current()
+            .expect("model object used from a thread outside its model execution")
+            .tid
+    }
+}
+
+// ---- Mutex ----------------------------------------------------------
+
+/// Model-aware [`std::sync::Mutex`]. The data itself always lives in
+/// an inner std mutex (kept uncontended by the scheduler, which admits
+/// one thread at a time); the model layer decides *when* each lock
+/// acquisition is allowed to proceed and explores the alternatives.
+pub struct Mutex<T> {
+    ctl: Option<ModelRef>,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    // Declared before `inner` so the model release happens first; the
+    // scheduler does not run another thread until our next yield
+    // point, by which time the std guard has dropped too.
+    ctl: Option<ModelRef>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex, registering it with the current model
+    /// execution if one is active.
+    pub fn new(value: T) -> Self {
+        let ctl = rt::current().map(|c| ModelRef {
+            oid: c.rt.register_mutex(),
+            rt: c.rt,
+        });
+        Mutex {
+            ctl,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Locks, blocking (in model mode: yielding to the scheduler)
+    /// until available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std poisoning, exactly like [`std::sync::Mutex`].
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        if let Some(m) = &self.ctl {
+            m.rt.mutex_lock(m.me(), m.oid);
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                ctl: self.ctl.clone(),
+                inner: Some(g),
+            }),
+            Err(poison) => Err(std::sync::PoisonError::new(MutexGuard {
+                ctl: self.ctl.clone(),
+                inner: Some(poison.into_inner()),
+            })),
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std poisoning.
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds data until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds data until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the std guard first so the data is free before the
+        // model marks the mutex released (no other model thread runs
+        // in between: the current thread stays scheduled until its
+        // next yield point).
+        self.inner = None;
+        if let Some(m) = &self.ctl {
+            m.rt.mutex_unlock(m.me(), m.oid);
+        }
+    }
+}
+
+// ---- Barrier --------------------------------------------------------
+
+/// Model-aware [`std::sync::Barrier`].
+pub struct Barrier {
+    ctl: Option<ModelRef>,
+    std: Option<std::sync::Barrier>,
+}
+
+/// Result of [`Barrier::wait`], mirroring std's.
+pub struct BarrierWaitResult(bool);
+
+impl BarrierWaitResult {
+    /// True for exactly one thread per barrier generation.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.0
+    }
+}
+
+impl Barrier {
+    /// Creates a barrier for `n` threads.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        match rt::current() {
+            Some(c) => Barrier {
+                ctl: Some(ModelRef {
+                    oid: c.rt.register_barrier(n),
+                    rt: c.rt,
+                }),
+                std: None,
+            },
+            None => Barrier {
+                ctl: None,
+                std: Some(std::sync::Barrier::new(n)),
+            },
+        }
+    }
+
+    /// Blocks until all `n` threads have arrived.
+    pub fn wait(&self) -> BarrierWaitResult {
+        match (&self.ctl, &self.std) {
+            (Some(m), _) => BarrierWaitResult(m.rt.barrier_wait(m.me(), m.oid)),
+            (None, Some(b)) => BarrierWaitResult(b.wait().is_leader()),
+            (None, None) => unreachable!("barrier has exactly one backend"),
+        }
+    }
+}
+
+// ---- atomics --------------------------------------------------------
+
+/// Model-aware atomics.
+pub mod atomic {
+    use super::ModelRef;
+    use crate::rt;
+
+    pub use crate::rt::Ordering;
+
+    fn to_std(ord: Ordering) -> std::sync::atomic::Ordering {
+        match ord {
+            Ordering::Relaxed => std::sync::atomic::Ordering::Relaxed,
+            Ordering::Acquire => std::sync::atomic::Ordering::Acquire,
+            Ordering::Release => std::sync::atomic::Ordering::Release,
+            Ordering::AcqRel => std::sync::atomic::Ordering::AcqRel,
+            Ordering::SeqCst => std::sync::atomic::Ordering::SeqCst,
+        }
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            /// Model-aware drop-in for the std atomic of the same name.
+            /// In model mode loads may observe any store the scheduler
+            /// has not yet ordered before this thread — the weaker the
+            /// `Ordering`, the more behaviours are explored.
+            pub struct $name {
+                ctl: Option<ModelRef>,
+                std: $std,
+            }
+
+            impl $name {
+                /// Creates the atomic, registering it with the current
+                /// model execution if one is active.
+                pub fn new(value: $val) -> Self {
+                    let ctl = rt::current().map(|c| ModelRef {
+                        oid: c.rt.register_atomic(c.tid, value as u64),
+                        rt: c.rt,
+                    });
+                    $name {
+                        ctl,
+                        std: <$std>::new(value),
+                    }
+                }
+
+                /// Loads the value; in model mode a choice point.
+                pub fn load(&self, ord: Ordering) -> $val {
+                    match &self.ctl {
+                        Some(m) => m.rt.atomic_load(m.me(), m.oid, ord) as $val,
+                        None => self.std.load(to_std(ord)),
+                    }
+                }
+
+                /// Stores `value`.
+                pub fn store(&self, value: $val, ord: Ordering) {
+                    match &self.ctl {
+                        Some(m) => m.rt.atomic_store(m.me(), m.oid, value as u64, ord),
+                        None => self.std.store(value, to_std(ord)),
+                    }
+                }
+
+                /// Swaps in `value`, returning the previous value.
+                pub fn swap(&self, value: $val, ord: Ordering) -> $val {
+                    match &self.ctl {
+                        Some(m) => m.rt.atomic_rmw(m.me(), m.oid, |_| value as u64, ord) as $val,
+                        None => self.std.swap(value, to_std(ord)),
+                    }
+                }
+
+                /// Atomically adds `value`, returning the previous value.
+                pub fn fetch_add(&self, value: $val, ord: Ordering) -> $val {
+                    match &self.ctl {
+                        Some(m) => {
+                            m.rt.atomic_rmw(m.me(), m.oid, |v| v.wrapping_add(value as u64), ord)
+                                as $val
+                        }
+                        None => self.std.fetch_add(value, to_std(ord)),
+                    }
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+    /// Model-aware drop-in for [`std::sync::atomic::AtomicBool`]; see
+    /// the integer atomics for the semantics.
+    pub struct AtomicBool {
+        ctl: Option<ModelRef>,
+        std: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates the atomic, registering it with the current model
+        /// execution if one is active.
+        #[must_use]
+        pub fn new(value: bool) -> Self {
+            let ctl = rt::current().map(|c| ModelRef {
+                oid: c.rt.register_atomic(c.tid, u64::from(value)),
+                rt: c.rt,
+            });
+            AtomicBool {
+                ctl,
+                std: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        /// Loads the value; in model mode a choice point.
+        pub fn load(&self, ord: Ordering) -> bool {
+            match &self.ctl {
+                Some(m) => m.rt.atomic_load(m.me(), m.oid, ord) != 0,
+                None => self.std.load(to_std(ord)),
+            }
+        }
+
+        /// Stores `value`.
+        pub fn store(&self, value: bool, ord: Ordering) {
+            match &self.ctl {
+                Some(m) => m.rt.atomic_store(m.me(), m.oid, u64::from(value), ord),
+                None => self.std.store(value, to_std(ord)),
+            }
+        }
+
+        /// Swaps in `value`, returning the previous value.
+        pub fn swap(&self, value: bool, ord: Ordering) -> bool {
+            match &self.ctl {
+                Some(m) => m.rt.atomic_rmw(m.me(), m.oid, |_| u64::from(value), ord) != 0,
+                None => self.std.swap(value, to_std(ord)),
+            }
+        }
+    }
+}

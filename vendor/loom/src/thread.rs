@@ -1,0 +1,155 @@
+//! Model-aware scoped threads.
+//!
+//! [`scope`] mirrors [`std::thread::scope`]: real OS threads are
+//! spawned (so borrows work exactly as in std), but on a model thread
+//! each spawned closure first parks until the scheduler admits it, and
+//! every join is a scheduler wait. The implicit join at scope exit is
+//! modelled too: the wrapper records every spawned model thread and
+//! performs a scheduler-visible join for each before handing control
+//! to std's own (OS-level) scope join, so threads left unjoined by the
+//! closure do not park the process.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt::{self, ModelAbort, Runtime};
+
+/// Model-aware scope handle; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    rt: Option<Arc<Runtime>>,
+    /// Model tids spawned in this scope, joined (again — the wait is
+    /// idempotent once a thread has finished) at scope exit.
+    spawned: RefCell<Vec<usize>>,
+}
+
+/// Handle to a thread spawned in a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: HandleInner<'scope, T>,
+}
+
+enum HandleInner<'scope, T> {
+    Std(std::thread::ScopedJoinHandle<'scope, T>),
+    Model {
+        handle: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        rt: Arc<Runtime>,
+        tid: usize,
+    },
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; in model mode it becomes a scheduled
+    /// model thread.
+    ///
+    /// Takes `&self` (not `&'scope self`): the wrapper already owns a
+    /// `&'scope` reference to the underlying std scope, so callers can
+    /// hold the wrapper for any shorter region.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match &self.rt {
+            None => ScopedJoinHandle {
+                inner: HandleInner::Std(self.inner.spawn(f)),
+            },
+            Some(rt) => {
+                let parent = rt::current()
+                    .expect("model scope spawned from outside its execution")
+                    .tid;
+                let tid = rt.register_thread(parent);
+                self.spawned.borrow_mut().push(tid);
+                let rt2 = Arc::clone(rt);
+                let handle = self.inner.spawn(move || {
+                    rt2.thread_begin(tid);
+                    let r = panic::catch_unwind(AssertUnwindSafe(f));
+                    let panic_msg = match &r {
+                        Ok(_) => None,
+                        Err(p) if p.downcast_ref::<ModelAbort>().is_some() => None,
+                        Err(p) => Some(rt::panic_message(p)),
+                    };
+                    rt2.thread_end(tid, panic_msg);
+                    r.ok()
+                });
+                ScopedJoinHandle {
+                    inner: HandleInner::Model {
+                        handle,
+                        rt: Arc::clone(rt),
+                        tid,
+                    },
+                }
+            }
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result.
+    ///
+    /// # Errors
+    ///
+    /// The thread's panic payload, as in std. In model mode a real
+    /// worker panic aborts the whole execution first, so the error
+    /// arm only reports it redundantly.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            HandleInner::Std(h) => h.join(),
+            HandleInner::Model { handle, rt, tid } => {
+                let me = rt::current()
+                    .expect("model join from outside its execution")
+                    .tid;
+                rt.join_wait(me, tid);
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    Ok(None) => Err(Box::new("model worker panicked")),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+/// Model-aware [`std::thread::scope`].
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let current = rt::current();
+    std::thread::scope(|s| {
+        let wrapped = Scope {
+            inner: s,
+            rt: current.as_ref().map(|c| Arc::clone(&c.rt)),
+            spawned: RefCell::new(Vec::new()),
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&wrapped)));
+        match result {
+            Ok(v) => {
+                // Model the implicit join: wait, through the scheduler,
+                // for every thread this scope spawned. Without this the
+                // OS-level join below would park the process while the
+                // workers sit unscheduled.
+                if let Some(c) = &current {
+                    for &tid in wrapped.spawned.borrow().iter() {
+                        c.rt.join_wait(c.tid, tid);
+                    }
+                }
+                v
+            }
+            Err(payload) => {
+                // A panic between spawn and join would leave workers
+                // parked forever in the scheduler; kill the execution
+                // so they unwind, then continue the panic.
+                if let Some(c) = &current {
+                    let msg = if payload.downcast_ref::<ModelAbort>().is_some() {
+                        String::from("(aborted)")
+                    } else {
+                        rt::panic_message(&payload)
+                    };
+                    c.rt.force_abort(c.tid, msg);
+                }
+                panic::resume_unwind(payload);
+            }
+        }
+    })
+}
