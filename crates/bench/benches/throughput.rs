@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dlb_core::schemes::SendFloor;
-use dlb_core::{Engine, LoadVector};
+use dlb_core::{Engine, LoadVector, VectorConfig, VectorWidth};
 use dlb_graph::{generators, BalancingGraph};
 use dlb_harness::SchemeSpec;
 use dlb_spectral::TransitionOperator;
@@ -120,10 +120,39 @@ fn bench_fused_paths(c: &mut Criterion) {
             black_box(engine.loads().total())
         });
     });
+    // Vector-dispatch ablation: `run_kernel` is the production path
+    // (auto strategy, auto width → banded i32 on this workload);
+    // `scalar` pins the pre-vector inner loop as the baseline and
+    // `vector_i64` isolates the gather restructuring from the i32 load
+    // compression.
     group.bench_function("run_kernel", |b| {
         b.iter(|| {
             let mut bal = SendFloor::new();
             let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.run_kernel(&mut bal, CYCLE_STEPS).expect("run runs");
+            black_box(engine.loads().total())
+        });
+    });
+    group.bench_function("run_kernel_scalar", |b| {
+        b.iter(|| {
+            let mut bal = SendFloor::new();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.set_vector_config(VectorConfig {
+                enabled: false,
+                ..VectorConfig::default()
+            });
+            engine.run_kernel(&mut bal, CYCLE_STEPS).expect("run runs");
+            black_box(engine.loads().total())
+        });
+    });
+    group.bench_function("run_kernel_vector_i64", |b| {
+        b.iter(|| {
+            let mut bal = SendFloor::new();
+            let mut engine = Engine::new(gp.clone(), initial.clone());
+            engine.set_vector_config(VectorConfig {
+                width: VectorWidth::I64,
+                ..VectorConfig::default()
+            });
             engine.run_kernel(&mut bal, CYCLE_STEPS).expect("run runs");
             black_box(engine.loads().total())
         });

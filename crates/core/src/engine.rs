@@ -4,6 +4,7 @@ use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
 use dlb_topology::{self as topology, StaticTopology, TopologySchedule};
 
 use crate::fairness::FairnessMonitor;
+use crate::kernel::vector::{self, VectorConfig, VectorStats};
 use crate::kernel::{self, KernelBalancer};
 use crate::parallel::{self, ShardedBalancer};
 use crate::workload::{NoWorkload, Workload};
@@ -201,6 +202,17 @@ pub struct Engine {
     /// back) topology events into it, so `is_connected` is `O(1)` at
     /// any round boundary without re-deriving from scratch.
     connectivity: Option<DynamicConnectivity>,
+    /// Dispatch policy for the vectorized kernel rounds (see
+    /// [`kernel::vector`]); defaults to enabled with automatic
+    /// strategy and width selection.
+    vector_config: VectorConfig,
+    /// Counters describing which inner loops the vectorized path
+    /// actually ran (see [`Engine::vector_stats`]).
+    vector_stats: VectorStats,
+    /// Full `O(n)` negative-load rescans paid by the kernel rounds —
+    /// identically zero since the streaming apply maintains the count
+    /// incrementally on every path; pinned by a regression test.
+    negative_rescans: u64,
 }
 
 impl Engine {
@@ -237,6 +249,9 @@ impl Engine {
             ev_applied: Vec::new(),
             topology_events: 0,
             connectivity: None,
+            vector_config: VectorConfig::default(),
+            vector_stats: VectorStats::default(),
+            negative_rescans: 0,
         }
     }
 
@@ -320,6 +335,35 @@ impl Engine {
     /// to rescanning the load vector every round.
     pub fn discrepancy_scans(&self) -> u64 {
         self.discrepancy_scans
+    }
+
+    /// Full `O(n)` negative-load rescans paid by the kernel rounds so
+    /// far. Identically zero — both the scalar streaming apply and the
+    /// vectorized rounds maintain the count incrementally (or prove it
+    /// constant) — and the regression tests pin it so an overdrawing
+    /// scheme can never silently reintroduce a per-round scan.
+    pub fn negative_rescans(&self) -> u64 {
+        self.negative_rescans
+    }
+
+    /// Sets the dispatch policy for the vectorized kernel rounds:
+    /// enable/disable, force a gather strategy, force a load width
+    /// (the test batteries use this to pin each inner loop against the
+    /// scalar oracle).
+    pub fn set_vector_config(&mut self, config: VectorConfig) {
+        self.vector_config = config;
+    }
+
+    /// The current vectorized-dispatch policy.
+    pub fn vector_config(&self) -> &VectorConfig {
+        &self.vector_config
+    }
+
+    /// Counters for the vectorized kernel rounds: runs dispatched,
+    /// rounds per gather strategy, rounds at `i32` width, and loud
+    /// `i32 → i64` fallbacks.
+    pub fn vector_stats(&self) -> &VectorStats {
+        &self.vector_stats
     }
 
     /// The current discrepancy via a counted full scan.
@@ -840,6 +884,52 @@ impl Engine {
             return Ok(());
         }
         let check = !balancer.may_overdraw();
+        // Vectorized whole-array rounds, when the configuration allows:
+        // a closed-form uniform scheme on a static, closed, fully awake
+        // system. The capability hook decides per graph (SEND(round)
+        // declines below d° ≥ d); `run_uniform` itself may still
+        // decline on load magnitude, falling through to the scalar
+        // stream — which stays bit-identical, so dispatch is purely a
+        // performance decision.
+        if check
+            && self.vector_config.enabled
+            && schedule.is_none()
+            && workload.is_none()
+            && self.gp.graph().asleep_count() == 0
+        {
+            if let Some(spec) = balancer.uniform_kernel(&self.gp) {
+                // Same pre-plan class check, same step/node parity as
+                // the scalar kernel's first round. Uniform flows never
+                // overdraw (proofs in `kernel::vector`), so loads stay
+                // non-negative invariantly and one entry check covers
+                // every round: negative_node_steps gains exactly 0,
+                // matching the scalar path.
+                if self.negative_count > 0 {
+                    let node = self.first_negative();
+                    return Err(EngineError::NegativeLoad {
+                        node,
+                        load: self.loads.get(node),
+                        step: self.step + 1,
+                    });
+                }
+                // This path writes loads behind the argmax index's
+                // back; drop it and let the next planned injection
+                // rebuild.
+                self.argmax = None;
+                let config = self.vector_config;
+                if vector::run_uniform(
+                    &self.gp,
+                    self.loads.as_mut_slice(),
+                    spec,
+                    steps,
+                    &config,
+                    &mut self.vector_stats,
+                ) {
+                    self.step += steps;
+                    return Ok(());
+                }
+            }
+        }
         self.kernel_rounds(check, steps, schedule, workload, |gp, u, x, fl| {
             balancer.kernel_node(gp, u, x, fl)
         })
@@ -883,6 +973,7 @@ impl Engine {
         self.negative_count = stats.negative_count;
         self.injected_total += stats.injected;
         self.topology_events += stats.topology_events;
+        self.negative_rescans += stats.negative_rescans;
         match err {
             Some(e) => Err(e),
             None => Ok(()),

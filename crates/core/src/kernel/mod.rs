@@ -46,6 +46,8 @@ use dlb_topology::{self as topology, TopologySchedule};
 use crate::workload::Workload;
 use crate::{Balancer, EngineError};
 
+pub mod vector;
+
 /// A balancer whose per-node flows are a pure function of the node's
 /// current load and the scheme's own per-node state — the class the
 /// plan-free kernel path can execute.
@@ -75,6 +77,17 @@ pub trait KernelBalancer: Balancer {
     /// `load` into `flows`, updating any per-node scheme state exactly
     /// as [`Balancer::plan`] would.
     fn kernel_node(&mut self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]);
+
+    /// The scheme's closed-form uniform description on `gp`, if it has
+    /// one — the capability hook behind the engine's whole-array
+    /// vector dispatch (see [`vector`]). The default answers `None`
+    /// (stateful or non-uniform schemes keep the scalar stream);
+    /// schemes implementing [`vector::UniformKernel`] override this to
+    /// bridge to [`UniformKernel::uniform_spec`](vector::UniformKernel::uniform_spec).
+    fn uniform_kernel(&self, gp: &BalancingGraph) -> Option<vector::UniformSpec> {
+        let _ = gp;
+        None
+    }
 }
 
 /// Parameters of a kernel run, bundled to keep the entry points tidy.
@@ -104,6 +117,14 @@ pub(crate) struct KernelRunStats {
     /// Topology events applied over the completed rounds (an erroring
     /// round's events are undone and not counted).
     pub topology_events: u64,
+    /// Full `O(n)` negative-load recounts the run performed. Since the
+    /// recount for overdrawing schemes was folded into the streaming
+    /// apply (every `next[]` write updates the count incrementally),
+    /// this is identically zero on every kernel path — the engine
+    /// accumulates it into [`Engine::negative_rescans`](crate::Engine::negative_rescans)
+    /// and a regression test pins it at zero, so a future "just rescan"
+    /// shortcut cannot sneak the `O(n·steps)` cost back in silently.
+    pub negative_rescans: u64,
 }
 
 /// Sums one planned node's original-edge outflow and, when `check` is
@@ -182,6 +203,14 @@ impl FlowsBuf for Vec<u64> {
 /// by the serial kernel and the sharded workers so the plan-free paths
 /// cannot drift apart in how injection lands. Returns the net signed
 /// delta (pre-`negate`).
+///
+/// Two loops behind one probe: sparse delta vectors (hotspot, drain —
+/// a handful of nonzero entries) keep the skip-zero branch, while
+/// mostly-nonzero vectors (steady arrivals touch every node) take a
+/// branchless dense loop that unconditionally writes every entry — a
+/// zero delta rewrites the old value and contributes nothing to either
+/// the sum or the negative count, so the two loops are exactly
+/// equivalent and the probe is free to be a heuristic.
 #[inline]
 pub(crate) fn apply_deltas(
     loads: &mut [i64],
@@ -189,6 +218,12 @@ pub(crate) fn apply_deltas(
     negate: bool,
     negative: &mut usize,
 ) -> i64 {
+    const PROBE: usize = 64;
+    let probe_len = deltas.len().min(PROBE);
+    let nonzero = deltas[..probe_len].iter().filter(|&&dv| dv != 0).count();
+    if probe_len > 0 && 2 * nonzero >= probe_len {
+        return apply_deltas_dense(loads, deltas, negate, negative);
+    }
     let mut sum = 0i64;
     for (x, &dv) in loads.iter_mut().zip(deltas) {
         if dv != 0 {
@@ -199,6 +234,29 @@ pub(crate) fn apply_deltas(
             sum += dv;
         }
     }
+    sum
+}
+
+/// The branchless dense variant: every entry is written, negative
+/// bookkeeping is a pair of flag adds, and there is no per-element
+/// branch for the predictor to miss on a dense delta vector.
+fn apply_deltas_dense(
+    loads: &mut [i64],
+    deltas: &[i64],
+    negate: bool,
+    negative: &mut usize,
+) -> i64 {
+    let sign = if negate { -1i64 } else { 1i64 };
+    let mut sum = 0i64;
+    let mut neg = *negative;
+    for (x, &dv) in loads.iter_mut().zip(deltas) {
+        let old = *x;
+        let new = old + sign * dv;
+        neg = neg + usize::from(new < 0) - usize::from(old < 0);
+        *x = new;
+        sum += dv;
+    }
+    *negative = neg;
     sum
 }
 
@@ -229,21 +287,51 @@ where
     W: Workload + ?Sized,
 {
     match gp.degree_plus() {
-        2 => rounds_impl::<F, [u64; 2], S, W>(
+        2 => check_impl::<F, [u64; 2], S, W>(
             gp, loads, back, run, schedule, workload, checker, kernel,
         ),
-        4 => rounds_impl::<F, [u64; 4], S, W>(
+        4 => check_impl::<F, [u64; 4], S, W>(
             gp, loads, back, run, schedule, workload, checker, kernel,
         ),
-        6 => rounds_impl::<F, [u64; 6], S, W>(
+        6 => check_impl::<F, [u64; 6], S, W>(
             gp, loads, back, run, schedule, workload, checker, kernel,
         ),
-        8 => rounds_impl::<F, [u64; 8], S, W>(
+        8 => check_impl::<F, [u64; 8], S, W>(
             gp, loads, back, run, schedule, workload, checker, kernel,
         ),
-        _ => rounds_impl::<F, Vec<u64>, S, W>(
+        _ => check_impl::<F, Vec<u64>, S, W>(
             gp, loads, back, run, schedule, workload, checker, kernel,
         ),
+    }
+}
+
+/// Second dispatch layer: monomorphises the round loop over the class
+/// check. The non-overdrawing loop (`CHECK = true`) keeps its writes
+/// free of negative bookkeeping (the invariant makes it dead weight),
+/// while the overdrawing loop (`CHECK = false`) threads the incremental
+/// count through every write — the fold that replaced the per-round
+/// `O(n)` rescan.
+#[allow(clippy::too_many_arguments)]
+fn check_impl<F, B, S, W>(
+    gp: &mut BalancingGraph,
+    loads: &mut [i64],
+    back: &mut [i64],
+    run: KernelRun,
+    schedule: Option<&mut S>,
+    workload: Option<&mut W>,
+    checker: Option<&mut DynamicConnectivity>,
+    kernel: F,
+) -> (KernelRunStats, Option<EngineError>)
+where
+    F: FnMut(&BalancingGraph, usize, i64, &mut [u64]),
+    B: FlowsBuf,
+    S: TopologySchedule + ?Sized,
+    W: Workload + ?Sized,
+{
+    if run.check {
+        rounds_impl::<F, B, S, W, true>(gp, loads, back, run, schedule, workload, checker, kernel)
+    } else {
+        rounds_impl::<F, B, S, W, false>(gp, loads, back, run, schedule, workload, checker, kernel)
     }
 }
 
@@ -253,7 +341,7 @@ where
 /// `StaticTopology`/`NoWorkload` instantiation folds the churn and
 /// injection branches away and compiles to the closed-system loop.
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-fn rounds_impl<F, B, S, W>(
+fn rounds_impl<F, B, S, W, const CHECK: bool>(
     gp: &mut BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
@@ -275,6 +363,7 @@ where
         base_step,
         negative_count,
     } = run;
+    debug_assert_eq!(check, CHECK, "check_impl dispatches on run.check");
     let n = loads.len();
     let d = gp.degree();
     let d_plus = gp.degree_plus();
@@ -370,7 +459,7 @@ where
         // lowest id first, matching the serial engine. The check sees
         // the post-injection loads, so a workload that over-drains a
         // node surfaces here exactly like a negative seed.
-        if check && negative > 0 {
+        if CHECK && negative > 0 {
             let node = cur
                 .iter()
                 .position(|&x| x < 0)
@@ -385,6 +474,15 @@ where
 
         let graph = gp.graph();
         next.copy_from_slice(cur);
+        // Overdrawing schemes (`CHECK = false`) maintain the back
+        // buffer's negative count *through the streaming writes* —
+        // `next` starts as a copy of `cur` (count: `negative`), and
+        // every subtract/add below adjusts incrementally, replacing
+        // the per-round O(n) rescan this loop used to pay.
+        // Non-overdrawing schemes keep every load non-negative
+        // invariantly once the pre-plan check passes, so their writes
+        // carry no bookkeeping at all.
+        let mut neg_next = negative;
         for u in 0..n {
             let x = cur[u];
             if x == 0 {
@@ -402,7 +500,7 @@ where
             // Nodes are streamed in ascending id order, which is
             // exactly the planned paths' first-touch order for
             // per-node schemes: same error node, same step.
-            let orig = match validate_outflow(fl, d, check, u, x, step_no) {
+            let orig = match validate_outflow(fl, d, CHECK, u, x, step_no) {
                 Ok(orig) => orig,
                 Err(e) => {
                     error = Some(e);
@@ -412,12 +510,27 @@ where
             // Only tokens crossing an original edge move; self-loop and
             // retained tokens never leave home.
             if orig != 0 {
-                next[u] -= orig as i64;
+                if CHECK {
+                    next[u] -= orig as i64;
+                } else {
+                    let old = next[u];
+                    let new = old - orig as i64;
+                    neg_next = neg_next + usize::from(new < 0) - usize::from(old < 0);
+                    next[u] = new;
+                }
             }
             let nbrs = graph.neighbors(u);
             for (p, &f) in fl[..d].iter().enumerate() {
                 if f != 0 {
-                    next[nbrs[p] as usize] += f as i64;
+                    let t = nbrs[p] as usize;
+                    if CHECK {
+                        next[t] += f as i64;
+                    } else {
+                        let old = next[t];
+                        let new = old + f as i64;
+                        neg_next = neg_next + usize::from(new < 0) - usize::from(old < 0);
+                        next[t] = new;
+                    }
                 }
             }
         }
@@ -427,12 +540,9 @@ where
         injected += injected_round;
         topology_events += ev_applied.len() as u64;
         round_applied = false;
-        if !check {
-            // Overdrawing schemes can create negative loads anywhere;
-            // recount. (Non-overdrawing schemes keep every load
-            // non-negative invariantly once the pre-plan check passes,
-            // so `negative` stays 0 without a scan.)
-            negative = cur.iter().filter(|&&x| x < 0).count();
+        if !CHECK {
+            negative = neg_next;
+            debug_assert_eq!(negative, cur.iter().filter(|&&x| x < 0).count());
         }
         negative_node_steps += negative as u64;
     }
@@ -460,6 +570,7 @@ where
             negative_count: negative,
             injected,
             topology_events,
+            negative_rescans: 0,
         },
         error,
     )
@@ -574,5 +685,70 @@ mod tests {
         assert_eq!(engine.step_count(), 3);
         assert_eq!(engine.loads().as_slice(), &[1, 9, 0, 0]);
         assert_eq!(engine.loads().total(), 10);
+    }
+
+    /// The reference `apply_deltas` semantics, branch-per-element, with
+    /// no density dispatch — what both production loops must equal.
+    fn apply_deltas_reference(
+        loads: &mut [i64],
+        deltas: &[i64],
+        negate: bool,
+        negative: &mut usize,
+    ) -> i64 {
+        let mut sum = 0i64;
+        for (x, &dv) in loads.iter_mut().zip(deltas) {
+            if dv != 0 {
+                let old = *x;
+                let new = if negate { old - dv } else { old + dv };
+                *negative = *negative + usize::from(new < 0) - usize::from(old < 0);
+                *x = new;
+                sum += dv;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn apply_deltas_dense_and_sparse_loops_agree_with_the_reference() {
+        // Deterministic pseudo-random mixtures at several densities,
+        // so both sides of the probe's cutover are exercised — 0%
+        // (all-zero), sparse, the 50% boundary, dense, 100% — with
+        // sign changes crossing zero in both directions, and both
+        // `negate` polarities (the erroring-round undo path).
+        let n = 257; // off the probe window and not lane-aligned
+        for density_pct in [0usize, 3, 40, 50, 60, 97, 100] {
+            for negate in [false, true] {
+                let mut state = 0x9e37_79b9_u64;
+                let mut rnd = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as i64
+                };
+                let loads0: Vec<i64> = (0..n).map(|_| rnd() % 11 - 5).collect();
+                let deltas: Vec<i64> = (0..n)
+                    .map(|_| {
+                        if (rnd().unsigned_abs() as usize % 100) < density_pct {
+                            rnd() % 9 - 4
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let mut expected = loads0.clone();
+                let mut expected_neg = expected.iter().filter(|&&x| x < 0).count();
+                let expected_sum =
+                    apply_deltas_reference(&mut expected, &deltas, negate, &mut expected_neg);
+
+                let mut got = loads0.clone();
+                let mut got_neg = got.iter().filter(|&&x| x < 0).count();
+                let got_sum = apply_deltas(&mut got, &deltas, negate, &mut got_neg);
+
+                assert_eq!(got, expected, "loads at density {density_pct}%");
+                assert_eq!(got_neg, expected_neg, "negative count at {density_pct}%");
+                assert_eq!(got_sum, expected_sum, "net delta at {density_pct}%");
+                assert_eq!(got_neg, got.iter().filter(|&&x| x < 0).count());
+            }
+        }
     }
 }

@@ -76,6 +76,10 @@ pub use balancer::Balancer;
 pub use engine::{Engine, StepSummary};
 pub use error::EngineError;
 pub use flow::{CumulativeLedger, FlowPlan};
+pub use kernel::vector::{
+    UniformKernel, UniformSpec, VectorConfig, VectorStats, VectorStrategy, VectorWidth,
+    I32_HEADROOM_LIMIT,
+};
 pub use kernel::KernelBalancer;
 pub use load::LoadVector;
 pub use parallel::ShardedBalancer;

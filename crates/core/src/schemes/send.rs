@@ -1,6 +1,7 @@
 use dlb_graph::BalancingGraph;
 
 use crate::balancer::split_load;
+use crate::kernel::vector::{UniformKernel, UniformSpec};
 use crate::{Balancer, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer};
 
 /// SEND(⌊x/d⁺⌋): every original edge receives exactly `⌊x/d⁺⌋` tokens;
@@ -92,6 +93,19 @@ impl KernelBalancer for SendFloor {
     #[inline]
     fn kernel_node(&mut self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]) {
         ShardedBalancer::plan_node(self, gp, u, load, flows);
+    }
+
+    fn uniform_kernel(&self, gp: &BalancingGraph) -> Option<UniformSpec> {
+        UniformKernel::uniform_spec(self, gp)
+    }
+}
+
+/// Every original port carries `⌊x/d⁺⌋` — the floor closed form — on
+/// any graph: surplus lands on self-loops (d° ≥ 1) or is retained
+/// (d° = 0), and either way only the base crosses original edges.
+impl UniformKernel for SendFloor {
+    fn uniform_spec(&self, _gp: &BalancingGraph) -> Option<UniformSpec> {
+        Some(UniformSpec::Floor)
     }
 }
 
@@ -190,6 +204,21 @@ impl KernelBalancer for SendRound {
     #[inline]
     fn kernel_node(&mut self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]) {
         ShardedBalancer::plan_node(self, gp, u, load, flows);
+    }
+
+    fn uniform_kernel(&self, gp: &BalancingGraph) -> Option<UniformSpec> {
+        UniformKernel::uniform_spec(self, gp)
+    }
+}
+
+/// Every original port carries `[x/d⁺] = ⌊(x + ⌊d⁺/2⌋)/d⁺⌋` — but only
+/// on graphs with `d° ≥ d`, where the scheme is in class (never
+/// overdraws: round-up implies `e ≥ ⌈d⁺/2⌉ ≥ d`, so
+/// `d·(base+1) ≤ d⁺·base + e = x`). Below that the scalar path keeps
+/// sole ownership of the clean `Overdraw` report.
+impl UniformKernel for SendRound {
+    fn uniform_spec(&self, gp: &BalancingGraph) -> Option<UniformSpec> {
+        (gp.num_self_loops() >= gp.degree()).then_some(UniformSpec::Round)
     }
 }
 

@@ -68,7 +68,9 @@ fn parse_args() -> Result<Args, String> {
                      a1  ablation: self-loop count\n\
                      a2  ablation: cumulative-δ sensitivity\n\
                      a3  ablation: rotor-router port-order sensitivity\n\
-                     t1  throughput: step rates per engine path (writes BENCH_PR3.json)\n\
+                     t1  throughput: step rates per engine path, including the\n\
+                         vectorized kernel and its scalar/i64 ablations\n\
+                         (writes BENCH_PR8.json)\n\
                      scenarios  dynamic workloads: steady-state discrepancy, recovery,\n\
                                 cross-path bit-identity under injection (writes BENCH_PR4.json)\n\
                      churn      dynamic topology: discrepancy under churn, recovery after\n\

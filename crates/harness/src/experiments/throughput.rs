@@ -10,16 +10,27 @@
 //! Cuthill–McKee relabeling: the run happens in the relabeled id space
 //! and the final loads are mapped back through the inverse permutation
 //! before the bit-identity check, so `relabeled` rows prove the
-//! locality win *and* exactness at once. Besides the text/CSV table,
-//! the sweep is written as machine-readable JSON to `BENCH_PR3.json`
-//! (schema `dlb-throughput/v2`; override the path with the
+//! locality win *and* exactness at once.
+//!
+//! The kernel path is measured three ways: `run_kernel` (automatic
+//! vector dispatch — the production configuration), `run_kernel(scalar)`
+//! (vector layer disabled: the scalar oracle), and `run_kernel(i64)`
+//! (vector dispatch forced to full-width loads, isolating the i32
+//! compression win). Each kernel row reports which inner loop actually
+//! ran (`banded`/`blocked`/`scalar`) and at which load width
+//! (`i32`/`i64`/`i32+i64` after a mid-run fallback), read back from the
+//! engine's vector counters — so an eligible row that silently fell
+//! back to the scalar stream is visible, and CI fails on it via the
+//! top-level `vector_rows_ok` flag. Besides the text/CSV table, the
+//! sweep is written as machine-readable JSON to `BENCH_PR8.json`
+//! (schema `dlb-throughput/v6`; override the path with the
 //! `DLB_BENCH_JSON` environment variable) so CI and perf dashboards can
 //! diff runs without parsing the table.
 
 use std::time::Instant;
 
 use dlb_core::schemes::{RotorRouter, SendFloor, SendRound};
-use dlb_core::{Engine, LoadVector, ShardedBalancer};
+use dlb_core::{Engine, LoadVector, ShardedBalancer, VectorConfig, VectorStats, VectorWidth};
 use dlb_graph::relabel::Relabeling;
 use dlb_graph::{BalancingGraph, PortOrder};
 
@@ -43,6 +54,13 @@ struct Measurement {
     tokens: i64,
     elapsed_sec: f64,
     bit_identical: bool,
+    /// Which inner loop executed: `banded`/`blocked` for dispatched
+    /// vector rounds, `scalar` for the streaming kernel, `planned`
+    /// for the plan-materialising paths, `sharded` for the workers.
+    inner_loop: String,
+    /// Load-buffer width of the executed rounds: `i32`, `i64`, or
+    /// `i32+i64` when the headroom guard fell back mid-run.
+    load_width: String,
 }
 
 impl Measurement {
@@ -93,17 +111,23 @@ fn run_fast(
     Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
 }
 
-/// The plan-free kernel path. `run_kernel` is generic over the concrete
-/// scheme (that is where the speed comes from), so the dispatch happens
-/// here rather than through a trait object. Returns `None` for schemes
-/// without a kernel.
+/// The plan-free kernel path, under an optional vector configuration
+/// (`None` keeps the engine's automatic dispatch — the production
+/// default). `run_kernel` is generic over the concrete scheme (that is
+/// where the speed comes from), so the dispatch happens here rather
+/// than through a trait object. Returns `None` for schemes without a
+/// kernel; the returned [`VectorStats`] say which inner loop ran.
 fn run_kernel(
     gp: &BalancingGraph,
     scheme: &SchemeSpec,
     initial: &LoadVector,
     steps: usize,
-) -> Result<Option<(f64, LoadVector)>, RunError> {
+    config: Option<VectorConfig>,
+) -> Result<Option<(f64, LoadVector, VectorStats)>, RunError> {
     let mut engine = Engine::new(gp.clone(), initial.clone());
+    if let Some(c) = config {
+        engine.set_vector_config(c);
+    }
     // Scheme construction stays outside the timed window, like the
     // other paths' `scheme.build(gp)` (the rotor allocates O(n·d⁺)).
     let elapsed = match scheme {
@@ -127,7 +151,33 @@ fn run_kernel(
         }
         _ => return Ok(None),
     };
-    Ok(Some((elapsed.as_secs_f64(), engine.loads().clone())))
+    Ok(Some((
+        elapsed.as_secs_f64(),
+        engine.loads().clone(),
+        *engine.vector_stats(),
+    )))
+}
+
+/// Reads (`inner_loop`, `load_width`) off a kernel run's counters.
+fn classify_kernel(stats: &VectorStats, steps: usize) -> (String, String) {
+    if stats.runs == 0 {
+        return ("scalar".into(), "i64".into());
+    }
+    let inner = if stats.rounds_banded > 0 {
+        "banded"
+    } else if stats.rounds_blocked > 0 {
+        "blocked"
+    } else {
+        "scalar"
+    };
+    let width = if stats.rounds_i32 as usize == steps {
+        "i32"
+    } else if stats.rounds_i32 > 0 {
+        "i32+i64"
+    } else {
+        "i64"
+    };
+    (inner.into(), width.into())
 }
 
 fn run_parallel(
@@ -143,14 +193,14 @@ fn run_parallel(
     Ok((started.elapsed().as_secs_f64(), engine.loads().clone()))
 }
 
-/// Runs the throughput sweep and writes `BENCH_PR3.json` (path
+/// Runs the throughput sweep and writes `BENCH_PR8.json` (path
 /// overridable with the `DLB_BENCH_JSON` environment variable).
 ///
 /// # Errors
 ///
 /// Propagates instance-construction and engine errors.
 pub fn throughput(quick: bool) -> Result<Table, RunError> {
-    let json_path = std::env::var("DLB_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR3.json".into());
+    let json_path = std::env::var("DLB_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR8.json".into());
     throughput_to(quick, std::path::Path::new(&json_path))
 }
 
@@ -194,6 +244,10 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
     let thread_counts: &[usize] = if quick { &[2] } else { &[2, 4] };
 
     let mut results: Vec<Measurement> = Vec::new();
+    // Fails the sweep (via JSON + test) if any kernel row that was
+    // eligible for vector dispatch — a SEND scheme under the automatic
+    // configuration — silently ran scalar instead.
+    let mut vector_rows_ok = true;
     for spec in &graphs {
         let graph = spec.build()?;
         let n = graph.num_nodes();
@@ -214,8 +268,15 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
         let steps = (budget / n).clamp(2, 64);
 
         for scheme in &schemes {
+            let is_uniform = matches!(scheme, SchemeSpec::SendFloor | SchemeSpec::SendRound);
             let (instr_sec, instr_loads) = run_instrumented(&gp, scheme, &initial, steps)?;
-            let mut push = |path: String, threads: usize, relabeled: bool, sec: f64, ok: bool| {
+            let mut push = |path: String,
+                            threads: usize,
+                            relabeled: bool,
+                            sec: f64,
+                            ok: bool,
+                            inner_loop: String,
+                            load_width: String| {
                 results.push(Measurement {
                     scheme: scheme.label(),
                     graph: spec.label(),
@@ -227,27 +288,76 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
                     tokens,
                     elapsed_sec: sec,
                     bit_identical: ok,
+                    inner_loop,
+                    load_width,
                 });
             };
-            push("step-loop".into(), 1, false, instr_sec, true);
+            let planned = |sec: f64, ok: bool| (sec, ok, "planned".to_string(), "i64".to_string());
+            let (sec, ok, il, lw) = planned(instr_sec, true);
+            push("step-loop".into(), 1, false, sec, ok, il, lw);
 
             let (fast_sec, fast_loads) = run_fast(&gp, scheme, &initial, steps)?;
-            push(
-                "run_fast".into(),
-                1,
-                false,
-                fast_sec,
-                fast_loads == instr_loads,
-            );
+            let (sec, ok, il, lw) = planned(fast_sec, fast_loads == instr_loads);
+            push("run_fast".into(), 1, false, sec, ok, il, lw);
 
-            if let Some((kern_sec, kern_loads)) = run_kernel(&gp, scheme, &initial, steps)? {
+            // The production configuration: automatic vector dispatch.
+            if let Some((kern_sec, kern_loads, stats)) =
+                run_kernel(&gp, scheme, &initial, steps, None)?
+            {
+                let (inner, width) = classify_kernel(&stats, steps);
+                vector_rows_ok &= !is_uniform || stats.runs > 0;
                 push(
                     "run_kernel".into(),
                     1,
                     false,
                     kern_sec,
                     kern_loads == instr_loads,
+                    inner,
+                    width,
                 );
+            }
+            if is_uniform {
+                // The scalar oracle, explicitly — the baseline every
+                // speedup figure and bit-identity claim is anchored on.
+                let scalar_cfg = VectorConfig {
+                    enabled: false,
+                    ..VectorConfig::default()
+                };
+                if let Some((sc_sec, sc_loads, sc_stats)) =
+                    run_kernel(&gp, scheme, &initial, steps, Some(scalar_cfg))?
+                {
+                    let (inner, width) = classify_kernel(&sc_stats, steps);
+                    push(
+                        "run_kernel(scalar)".into(),
+                        1,
+                        false,
+                        sc_sec,
+                        sc_loads == instr_loads,
+                        inner,
+                        width,
+                    );
+                }
+                // Vector dispatch at forced full width, isolating the
+                // i32 compression win from the gather restructuring.
+                let i64_cfg = VectorConfig {
+                    width: VectorWidth::I64,
+                    ..VectorConfig::default()
+                };
+                if let Some((w_sec, w_loads, w_stats)) =
+                    run_kernel(&gp, scheme, &initial, steps, Some(i64_cfg))?
+                {
+                    let (inner, width) = classify_kernel(&w_stats, steps);
+                    vector_rows_ok &= w_stats.runs > 0;
+                    push(
+                        "run_kernel(i64)".into(),
+                        1,
+                        false,
+                        w_sec,
+                        w_loads == instr_loads,
+                        inner,
+                        width,
+                    );
+                }
             }
 
             if let (Some(r), Some(rgp)) = (&relabeling, &relabeled_gp) {
@@ -260,23 +370,42 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
                 };
                 let (rl_instr_sec, rl_instr_loads) =
                     run_instrumented(rgp, scheme, &rinitial, steps)?;
-                push(
-                    "step-loop".into(),
-                    1,
-                    true,
-                    rl_instr_sec,
-                    restored(&rl_instr_loads),
-                );
-                if let Some((rl_kern_sec, rl_kern_loads)) =
-                    run_kernel(rgp, scheme, &rinitial, steps)?
+                let (sec, ok, il, lw) = planned(rl_instr_sec, restored(&rl_instr_loads));
+                push("step-loop".into(), 1, true, sec, ok, il, lw);
+                if let Some((rl_kern_sec, rl_kern_loads, rl_stats)) =
+                    run_kernel(rgp, scheme, &rinitial, steps, None)?
                 {
+                    let (inner, width) = classify_kernel(&rl_stats, steps);
+                    vector_rows_ok &= !is_uniform || rl_stats.runs > 0;
                     push(
                         "run_kernel".into(),
                         1,
                         true,
                         rl_kern_sec,
                         restored(&rl_kern_loads),
+                        inner,
+                        width,
                     );
+                }
+                if is_uniform {
+                    let scalar_cfg = VectorConfig {
+                        enabled: false,
+                        ..VectorConfig::default()
+                    };
+                    if let Some((rs_sec, rs_loads, rs_stats)) =
+                        run_kernel(rgp, scheme, &rinitial, steps, Some(scalar_cfg))?
+                    {
+                        let (inner, width) = classify_kernel(&rs_stats, steps);
+                        push(
+                            "run_kernel(scalar)".into(),
+                            1,
+                            true,
+                            rs_sec,
+                            restored(&rs_loads),
+                            inner,
+                            width,
+                        );
+                    }
                 }
             }
 
@@ -290,13 +419,15 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
                         false,
                         par_sec,
                         par_loads == instr_loads,
+                        "sharded".into(),
+                        "i64".into(),
                     );
                 }
             }
         }
     }
 
-    write_json(json_path, &results, quick);
+    write_json(json_path, &results, quick, vector_rows_ok);
 
     let mut table = Table::new(
         "T1: engine step throughput (per path; speedup vs the instrumented step loop)",
@@ -305,6 +436,8 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
             "graph",
             "n",
             "path",
+            "inner",
+            "width",
             "relabeled",
             "steps",
             "Mnode-steps/s",
@@ -327,6 +460,8 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
             m.graph.clone(),
             m.n.to_string(),
             m.path.clone(),
+            m.inner_loop.clone(),
+            m.load_width.clone(),
             if m.relabeled { "rcm" } else { "no" }.into(),
             m.steps.to_string(),
             format!("{:.2}", m.node_steps_per_sec() / 1e6),
@@ -345,14 +480,15 @@ fn json_escape(s: &str) -> String {
 /// Writes the machine-readable sweep. Failures to write are reported on
 /// stderr but do not fail the experiment (the table already carries the
 /// numbers).
-fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
+fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool, vector_rows_ok: bool) {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"dlb-throughput/v2\",\n");
+    out.push_str("  \"schema\": \"dlb-throughput/v6\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
     ));
     out.push_str(&format!("  \"tokens_per_node\": {TOKENS_PER_NODE},\n"));
+    out.push_str(&format!("  \"vector_rows_ok\": {vector_rows_ok},\n"));
     out.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -360,6 +496,7 @@ fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
              \"threads\": {}, \"relabeled\": {}, \"steps\": {}, \"tokens\": {}, \
              \"elapsed_sec\": {:.6}, \
              \"node_steps_per_sec\": {:.1}, \"token_steps_per_sec\": {:.1}, \
+             \"inner_loop\": \"{}\", \"load_width\": \"{}\", \
              \"bit_identical\": {}}}{}\n",
             json_escape(&m.scheme),
             json_escape(&m.graph),
@@ -372,6 +509,8 @@ fn write_json(path: &std::path::Path, results: &[Measurement], quick: bool) {
             m.elapsed_sec,
             m.node_steps_per_sec(),
             m.token_steps_per_sec(),
+            json_escape(&m.inner_loop),
+            json_escape(&m.load_width),
             m.bit_identical,
             if i + 1 == results.len() { "" } else { "," },
         ));
@@ -390,13 +529,16 @@ mod tests {
     fn quick_sweep_produces_consistent_rows_and_json() {
         let dir = std::env::temp_dir().join("dlb-throughput-test");
         let _ = std::fs::create_dir_all(&dir);
-        let json_path = dir.join("BENCH_PR3.json");
+        let json_path = dir.join("BENCH_PR8.json");
         let table = throughput_to(true, &json_path).expect("quick sweep runs");
 
-        // Cycle/torus: 3 × (step-loop + run_fast + run_kernel) + 2
-        // parallel rows each; random-regular additionally has 2
-        // relabeled rows per scheme.
-        assert_eq!(table.num_rows(), 2 * 11 + (11 + 3 * 2));
+        // Cycle/torus: SEND schemes get step-loop + run_fast +
+        // run_kernel{auto,scalar,i64} + parallel(2) (6 rows each), the
+        // rotor-router gets step-loop + run_fast + run_kernel (3 rows):
+        // 15 per graph. Random-regular adds relabeled rows: step-loop +
+        // kernel-auto + kernel-scalar per SEND scheme, step-loop +
+        // kernel-auto for the rotor (8 rows) — 23 total.
+        assert_eq!(table.num_rows(), 2 * 15 + (15 + 8));
         // Every path must have reproduced the instrumented loads —
         // including the relabeled runs mapped back to original ids.
         assert!(
@@ -406,11 +548,17 @@ mod tests {
         );
 
         let json = std::fs::read_to_string(&json_path).expect("json written");
-        assert!(json.contains("\"schema\": \"dlb-throughput/v2\""));
+        assert!(json.contains("\"schema\": \"dlb-throughput/v6\""));
         assert!(json.contains("\"path\": \"run_kernel\""));
+        assert!(json.contains("\"path\": \"run_kernel(scalar)\""));
         assert!(json.contains("\"relabeled\": true"));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(!json.contains("\"bit_identical\": false"));
+        // Eligible SEND kernels must actually have dispatched into the
+        // vector layer, and the quick graphs exercise both gathers.
+        assert!(json.contains("\"vector_rows_ok\": true"));
+        assert!(json.contains("\"inner_loop\": \"banded\""));
+        assert!(json.contains("\"inner_loop\": \"blocked\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,7 +27,7 @@
 use dlb::core::schemes::{RotorRouter, SendFloor, SendRound};
 use dlb::core::{
     Balancer, Engine, EngineError, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer,
-    TopologySchedule, Workload,
+    TopologySchedule, VectorConfig, VectorStrategy, VectorWidth, Workload,
 };
 use dlb::graph::{generators, BalancingGraph, PortOrder, RegularGraph};
 use dlb::scenario::WorkloadSpec;
@@ -342,6 +342,63 @@ fn drive_run_kernel(
     Outcome::capture(&engine, rotors, error)
 }
 
+/// `run_kernel` under a forced vector configuration — only meaningful
+/// for the uniform SEND schemes on static, closed runs (elsewhere the
+/// vector layer never dispatches and this reduces to
+/// [`drive_run_kernel`]). Negative seeds in the fuzzed load patterns
+/// exercise the vector dispatch's `NegativeLoad` entry check against
+/// the reference error, node and step.
+fn drive_run_kernel_forced(
+    gp: &BalancingGraph,
+    scheme: SchemeId,
+    initial: &LoadVector,
+    steps: usize,
+    config: VectorConfig,
+) -> Option<Outcome> {
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    engine.set_vector_config(config);
+    let error = match scheme {
+        SchemeId::SendFloor => engine
+            .run_kernel_with(&mut SendFloor::new(), steps, None::<&mut dyn Workload>)
+            .err(),
+        SchemeId::SendRound => engine
+            .run_kernel_with(&mut SendRound::new(), steps, None::<&mut dyn Workload>)
+            .err(),
+        _ => return None,
+    };
+    Some(Outcome::capture(&engine, None, error))
+}
+
+/// The forced inner-loop matrix the vector layer is differentially
+/// pinned on: both gather strategies at both load widths.
+fn forced_vector_configs() -> Vec<(&'static str, VectorConfig)> {
+    let mut out = Vec::new();
+    for (sname, strategy) in [
+        ("banded", VectorStrategy::Banded),
+        ("blocked", VectorStrategy::BlockedCsr),
+    ] {
+        for (wname, width) in [
+            ("i64", VectorWidth::I64),
+            ("i32", VectorWidth::I32 { limit: 1 << 24 }),
+        ] {
+            out.push((
+                match (sname, wname) {
+                    ("banded", "i64") => "banded/i64",
+                    ("banded", "i32") => "banded/i32",
+                    ("blocked", "i64") => "blocked/i64",
+                    _ => "blocked/i32",
+                },
+                VectorConfig {
+                    enabled: true,
+                    strategy,
+                    width,
+                },
+            ));
+        }
+    }
+    out
+}
+
 fn drive_run_parallel(
     gp: &BalancingGraph,
     scheme: SchemeId,
@@ -406,6 +463,20 @@ proptest! {
         fast.assert_matches(&reference, &format!("run_fast on {tag}"));
         let kernel = drive_run_kernel(&gp, scheme, &sspec, &wspec, &initial, steps);
         kernel.assert_matches(&reference, &format!("run_kernel on {tag}"));
+        if sspec.is_none() && wspec.is_none() {
+            // Static, closed runs are where the vector layer dispatches:
+            // pin every forced inner loop against the same reference —
+            // including the NegativeLoad divergence points the negative
+            // seeds in the pattern produce.
+            for (vlabel, config) in forced_vector_configs() {
+                if let Some(vec_outcome) =
+                    drive_run_kernel_forced(&gp, scheme, &initial, steps, config)
+                {
+                    vec_outcome
+                        .assert_matches(&reference, &format!("run_kernel[{vlabel}] on {tag}"));
+                }
+            }
+        }
         for threads in [1usize, 2, 3, 4] {
             if let Some(par) =
                 drive_run_parallel(&gp, scheme, &sspec, &wspec, &initial, steps, threads)

@@ -22,6 +22,7 @@
 use dlb::core::schemes::{RotorRouter, SendFloor, SendRound};
 use dlb::core::{
     Balancer, Engine, EngineError, FlowPlan, KernelBalancer, LoadVector, ShardedBalancer,
+    VectorConfig, VectorStrategy, VectorWidth, I32_HEADROOM_LIMIT,
 };
 use dlb::graph::relabel::Relabeling;
 use dlb::graph::{generators, BalancingGraph, PortOrder, RegularGraph};
@@ -87,6 +88,76 @@ fn run_kernel_by_name(
         other => panic!("no kernel dispatch for {}", other.label()),
     }
     Ok(engine)
+}
+
+/// The forced vector configurations the kernel path is pinned on: each
+/// inner loop (banded/blocked × i64/i32) explicitly, so no dispatch
+/// heuristic can hide one from the differential battery. `scalar`
+/// (vector layer disabled) is the oracle.
+fn vector_configs() -> Vec<(&'static str, VectorConfig)> {
+    vec![
+        (
+            "scalar",
+            VectorConfig {
+                enabled: false,
+                ..VectorConfig::default()
+            },
+        ),
+        (
+            "banded-i64",
+            VectorConfig {
+                enabled: true,
+                strategy: VectorStrategy::Banded,
+                width: VectorWidth::I64,
+            },
+        ),
+        (
+            "blocked-i64",
+            VectorConfig {
+                enabled: true,
+                strategy: VectorStrategy::BlockedCsr,
+                width: VectorWidth::I64,
+            },
+        ),
+        (
+            "banded-i32",
+            VectorConfig {
+                enabled: true,
+                strategy: VectorStrategy::Banded,
+                width: VectorWidth::I32 {
+                    limit: I32_HEADROOM_LIMIT,
+                },
+            },
+        ),
+        (
+            "blocked-i32",
+            VectorConfig {
+                enabled: true,
+                strategy: VectorStrategy::BlockedCsr,
+                width: VectorWidth::I32 {
+                    limit: I32_HEADROOM_LIMIT,
+                },
+            },
+        ),
+    ]
+}
+
+/// `run_kernel` under an explicit vector configuration.
+fn run_kernel_configured(
+    gp: &BalancingGraph,
+    which: &SchemeSpec,
+    initial: &LoadVector,
+    steps: usize,
+    config: VectorConfig,
+) -> Engine {
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    engine.set_vector_config(config);
+    match which {
+        SchemeSpec::SendFloor => engine.run_kernel(&mut SendFloor::new(), steps).unwrap(),
+        SchemeSpec::SendRound => engine.run_kernel(&mut SendRound::new(), steps).unwrap(),
+        other => panic!("no kernel dispatch for {}", other.label()),
+    }
+    engine
 }
 
 proptest! {
@@ -176,6 +247,53 @@ proptest! {
                         par.negative_node_steps(),
                         reference.negative_node_steps()
                     );
+                }
+            }
+        }
+    }
+
+    /// The vectorized inner loops — banded and blocked gathers, at
+    /// both load widths — are bit-identical to the instrumented
+    /// stepping loop for both SEND schemes on every graph family, and
+    /// the forced configurations really do dispatch (a silently
+    /// scalar-fallback run cannot pass for a vector one).
+    #[test]
+    fn vector_inner_loops_match_instrumented_stepping(
+        pattern in proptest::collection::vec(0i64..400, 4..12),
+        steps in 1usize..25,
+    ) {
+        for (name, graph) in graph_family() {
+            let n = graph.num_nodes();
+            let gp = BalancingGraph::lazy(graph);
+            let initial = loads_for(n, &pattern);
+            for scheme in [SchemeSpec::SendFloor, SchemeSpec::SendRound] {
+                let mut bal = scheme.build(&gp).unwrap();
+                let mut reference = Engine::new(gp.clone(), initial.clone());
+                for _ in 0..steps {
+                    reference.step(bal.as_mut()).unwrap();
+                }
+                for (label, config) in vector_configs() {
+                    let engine =
+                        run_kernel_configured(&gp, &scheme, &initial, steps, config);
+                    prop_assert_eq!(
+                        engine.loads(), reference.loads(),
+                        "{} diverged: {} on {}", label, scheme.label(), name
+                    );
+                    prop_assert_eq!(engine.step_count(), reference.step_count());
+                    prop_assert_eq!(
+                        engine.negative_node_steps(),
+                        reference.negative_node_steps()
+                    );
+                    let dispatched = engine.vector_stats().runs;
+                    if config.enabled {
+                        prop_assert_eq!(
+                            dispatched, 1,
+                            "{} eligible but not dispatched: {} on {}",
+                            label, scheme.label(), name
+                        );
+                    } else {
+                        prop_assert_eq!(dispatched, 0);
+                    }
                 }
             }
         }
@@ -446,4 +564,193 @@ fn run_kernel_negative_load_parity_with_step_loop() {
     );
     let kern_err = kernel.run_kernel(&mut SendFloor::new(), 5).unwrap_err();
     assert_eq!(kern_err, ref_err, "kernel error diverged from step()");
+}
+
+/// Satellite regression: the kernel path on an overdrawing scheme used
+/// to pay a full `O(n)` negative-load rescan per round. The streaming
+/// apply now maintains the count at every write — the rescan counter
+/// must stay pinned at zero while the accounting it replaced stays
+/// exact against the instrumented step loop.
+#[test]
+fn overdrawing_kernel_rounds_pay_zero_negative_rescans() {
+    let build = || {
+        let gp = BalancingGraph::lazy(generators::cycle(12).unwrap());
+        Engine::new(
+            gp,
+            LoadVector::new(vec![9, 2, 0, 7, 1, 0, 4, 0, 0, 3, 0, 6]),
+        )
+    };
+    let steps = 25;
+    let mut reference = build();
+    for _ in 0..steps {
+        reference.step(&mut Overdraw5).unwrap();
+    }
+    assert!(
+        reference.negative_node_steps() > 0,
+        "the scenario must actually accumulate negative node-steps"
+    );
+
+    let mut kernel = build();
+    kernel.run_kernel(&mut Overdraw5, steps).unwrap();
+    assert_eq!(kernel.loads(), reference.loads());
+    assert_eq!(
+        kernel.negative_node_steps(),
+        reference.negative_node_steps(),
+        "incremental negative accounting diverged from the step loop"
+    );
+    assert_eq!(
+        kernel.negative_rescans(),
+        0,
+        "kernel rounds must never rescan for negative loads"
+    );
+}
+
+/// A seed too large for the i32 headroom bound must keep the automatic
+/// width on i64 — no compressed rounds, no fallback event, and loads
+/// bit-identical to the scalar kernel.
+#[test]
+fn near_i32_max_seed_stays_on_i64_under_auto_width() {
+    let gp = BalancingGraph::lazy(generators::cycle(32).unwrap());
+    let mut loads = vec![3i64; 32];
+    loads[5] = i64::from(i32::MAX) - 64; // far over I32_HEADROOM_LIMIT
+    let initial = LoadVector::new(loads);
+    let steps = 12;
+
+    let scalar = run_kernel_configured(
+        &gp,
+        &SchemeSpec::SendFloor,
+        &initial,
+        steps,
+        VectorConfig {
+            enabled: false,
+            ..VectorConfig::default()
+        },
+    );
+    let auto = run_kernel_configured(
+        &gp,
+        &SchemeSpec::SendFloor,
+        &initial,
+        steps,
+        VectorConfig::default(),
+    );
+    assert_eq!(auto.loads(), scalar.loads());
+    let stats = auto.vector_stats();
+    assert_eq!(stats.runs, 1, "the run itself must dispatch");
+    assert_eq!(stats.rounds_i32, 0, "no compressed rounds over the bound");
+    assert_eq!(
+        stats.i32_fallbacks, 0,
+        "auto width declines, it never trips"
+    );
+}
+
+/// The i32 overflow guard, mid-run: a seed that fits the (forced,
+/// tiny) headroom limit at entry but crosses it as SEND(round) grows a
+/// node's load must trip the guard loudly, finish on i64, and stay
+/// bit-identical to the scalar kernel.
+#[test]
+fn forced_i32_guard_trips_mid_run_and_falls_back_bit_identically() {
+    let gp = BalancingGraph::lazy(generators::cycle(8).unwrap());
+    // Node 1 (load 9, between two 10s) climbs to 11 after one
+    // SEND(round) step: 9 − 4 + 3 + 3. Entry max 10 fits limit 10.
+    let initial = LoadVector::new(vec![10, 9, 10, 0, 0, 0, 0, 0]);
+    let steps = 9;
+
+    let scalar = run_kernel_configured(
+        &gp,
+        &SchemeSpec::SendRound,
+        &initial,
+        steps,
+        VectorConfig {
+            enabled: false,
+            ..VectorConfig::default()
+        },
+    );
+    for strategy in [VectorStrategy::Banded, VectorStrategy::BlockedCsr] {
+        let engine = run_kernel_configured(
+            &gp,
+            &SchemeSpec::SendRound,
+            &initial,
+            steps,
+            VectorConfig {
+                enabled: true,
+                strategy,
+                width: VectorWidth::I32 { limit: 10 },
+            },
+        );
+        assert_eq!(
+            engine.loads(),
+            scalar.loads(),
+            "i32 fallback diverged ({strategy:?})"
+        );
+        let stats = engine.vector_stats();
+        assert_eq!(stats.rounds_i32, 1, "exactly the first round compresses");
+        assert_eq!(stats.i32_fallbacks, 1, "the guard must trip exactly once");
+    }
+}
+
+/// The i32 overflow guard, at entry: a forced-i32 run whose seed never
+/// fits the limit falls back immediately — counted, zero compressed
+/// rounds — and completes on i64 bit-identically.
+#[test]
+fn forced_i32_with_unfitting_seed_falls_back_loudly_at_entry() {
+    let gp = BalancingGraph::lazy(generators::cycle(16).unwrap());
+    let initial = LoadVector::point_mass(16, 5000);
+    let steps = 10;
+
+    let scalar = run_kernel_configured(
+        &gp,
+        &SchemeSpec::SendFloor,
+        &initial,
+        steps,
+        VectorConfig {
+            enabled: false,
+            ..VectorConfig::default()
+        },
+    );
+    let engine = run_kernel_configured(
+        &gp,
+        &SchemeSpec::SendFloor,
+        &initial,
+        steps,
+        VectorConfig {
+            enabled: true,
+            strategy: VectorStrategy::Banded,
+            width: VectorWidth::I32 { limit: 100 },
+        },
+    );
+    assert_eq!(engine.loads(), scalar.loads());
+    let stats = engine.vector_stats();
+    assert_eq!(stats.rounds_i32, 0, "no round may run compressed");
+    assert_eq!(
+        stats.i32_fallbacks, 1,
+        "the entry guard must count its trip"
+    );
+}
+
+/// Step-count parity across chunked vector runs: two `run_kernel`
+/// calls must land on the same state and step count as one combined
+/// call and as the step loop — the vector path advances the engine's
+/// clock exactly like the scalar rounds.
+#[test]
+fn chunked_vector_runs_accumulate_steps_like_scalar() {
+    let gp = BalancingGraph::lazy(generators::cycle(24).unwrap());
+    let initial = LoadVector::point_mass(24, 4801);
+
+    let mut reference = Engine::new(gp.clone(), initial.clone());
+    let mut bal = SendFloor::new();
+    for _ in 0..11 {
+        reference.step(&mut bal).unwrap();
+    }
+
+    let mut chunked = Engine::new(gp.clone(), initial.clone());
+    chunked.run_kernel(&mut SendFloor::new(), 4).unwrap();
+    chunked.run_kernel(&mut SendFloor::new(), 7).unwrap();
+    assert_eq!(chunked.step_count(), 11);
+    assert_eq!(chunked.loads(), reference.loads());
+    assert_eq!(chunked.vector_stats().runs, 2);
+
+    let mut single = Engine::new(gp, initial);
+    single.run_kernel(&mut SendFloor::new(), 11).unwrap();
+    assert_eq!(single.loads(), reference.loads());
+    assert_eq!(single.step_count(), 11);
 }

@@ -16,10 +16,18 @@
 //! * **unwrap** — no `.unwrap()` in non-test library code anywhere in
 //!   `crates/*/src`; library errors must flow through `Result` (the
 //!   engine's whole error-ordering contract depends on it).
-//! * **kernel-assert** — the fused kernels (`crates/core/src/kernel.rs`
-//!   and the per-node kernels in `crates/core/src/schemes/`) use
-//!   `debug_assert!` in hot paths; a release-mode `assert!` there needs
-//!   an allowlist entry arguing it is outside the per-node loop.
+//! * **kernel-assert** — the fused kernels (everything under
+//!   `crates/core/src/kernel/` and the per-node kernels in
+//!   `crates/core/src/schemes/`) use `debug_assert!` in hot paths; a
+//!   release-mode `assert!` there needs an allowlist entry arguing it
+//!   is outside the per-node loop.
+//! * **vector-safety** — the SIMD-shaped vector module
+//!   (`crates/core/src/kernel/vector.rs`) stays safe Rust: no `unsafe`
+//!   at all (the crate-level `forbid` could be shadowed by a future
+//!   attribute edit; this lint is the belt to that suspender), and
+//!   every `#[allow(...)]` carries a justifying comment — the module
+//!   exists to prove the autovectorizer needs no unsafety, so silent
+//!   lint waivers defeat its purpose.
 //!
 //! Test regions (`#[cfg(test)]` modules) and comments are masked out
 //! before linting, so tests may unwrap and assert freely. The masking
@@ -54,6 +62,8 @@ pub enum LintClass {
     Unwrap,
     /// Release-mode `assert!` in kernel code.
     KernelAssert,
+    /// `unsafe` or an unjustified `#[allow]` in the vector module.
+    VectorSafety,
     /// Allowlist entry that no longer matches anything.
     StaleAllow,
 }
@@ -67,6 +77,7 @@ impl LintClass {
             LintClass::AtomicOrdering => "atomic-ordering",
             LintClass::Unwrap => "unwrap",
             LintClass::KernelAssert => "kernel-assert",
+            LintClass::VectorSafety => "vector-safety",
             LintClass::StaleAllow => "stale-allow",
         }
     }
@@ -77,6 +88,7 @@ impl LintClass {
             "atomic-ordering" => Some(LintClass::AtomicOrdering),
             "unwrap" => Some(LintClass::Unwrap),
             "kernel-assert" => Some(LintClass::KernelAssert),
+            "vector-safety" => Some(LintClass::VectorSafety),
             _ => None,
         }
     }
@@ -267,7 +279,8 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
     let in_core = rel.starts_with("crates/core/src/");
     let is_facade = rel == "crates/core/src/sync.rs";
     let is_kernel =
-        rel == "crates/core/src/kernel.rs" || rel.starts_with("crates/core/src/schemes/");
+        rel.starts_with("crates/core/src/kernel") || rel.starts_with("crates/core/src/schemes/");
+    let is_vector = rel == "crates/core/src/kernel/vector.rs";
 
     for (i, line) in masked.iter().enumerate() {
         let lineno = i + 1;
@@ -328,6 +341,33 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                     message: format!(
                         "kernel code pays for assert! in release builds — use \
                          debug_assert! or allowlist with a hot-path argument: `{}`",
+                        excerpt(raw[i])
+                    ),
+                });
+            }
+        }
+
+        if is_vector {
+            if line.contains("unsafe") {
+                out.push(Violation {
+                    class: LintClass::VectorSafety,
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "the vector module proves the autovectorizer needs no \
+                         unsafety — keep it safe Rust: `{}`",
+                        excerpt(raw[i])
+                    ),
+                });
+            }
+            if line.contains("#[allow(") && !has_nearby_comment(&raw, i) {
+                out.push(Violation {
+                    class: LintClass::VectorSafety,
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "#[allow] in the vector module needs a justifying comment \
+                         (same line or the 3 lines above): `{}`",
                         excerpt(raw[i])
                     ),
                 });
@@ -542,6 +582,43 @@ mod tests {
 
         let good = "fn kernel() { debug_assert!(x > 0); debug_assert_eq!(a, b); }\n";
         assert!(lint_source("crates/core/src/kernel.rs", good).is_empty());
+    }
+
+    #[test]
+    fn kernel_assert_lint_covers_the_kernel_directory() {
+        let bad = "fn kernel() { assert!(x > 0, \"hot\"); }\n";
+        assert_eq!(
+            classes(&lint_source("crates/core/src/kernel/mod.rs", bad)),
+            vec![LintClass::KernelAssert]
+        );
+        assert_eq!(
+            classes(&lint_source("crates/core/src/kernel/vector.rs", bad)),
+            vec![LintClass::KernelAssert]
+        );
+    }
+
+    #[test]
+    fn vector_safety_lint_rejects_unsafe_and_bare_allow() {
+        let unsafe_code = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let v = lint_source("crates/core/src/kernel/vector.rs", unsafe_code);
+        assert!(v.iter().any(|v| v.class == LintClass::VectorSafety));
+        // Same text elsewhere: not this lint's business.
+        assert!(lint_source("crates/core/src/kernel/mod.rs", unsafe_code)
+            .iter()
+            .all(|v| v.class != LintClass::VectorSafety));
+
+        let bare_allow = "#[allow(clippy::too_many_arguments)]\nfn f() {}\n";
+        let v = lint_source("crates/core/src/kernel/vector.rs", bare_allow);
+        assert_eq!(classes(&v), vec![LintClass::VectorSafety]);
+
+        let justified = "// The round loop threads six buffers by design.\n\
+                         #[allow(clippy::too_many_arguments)]\nfn f() {}\n";
+        assert!(lint_source("crates/core/src/kernel/vector.rs", justified).is_empty());
+
+        // `unsafe` in a comment or string is masked out.
+        let masked = "// unsafe would be faster but wrong\n\
+                      fn f() -> &'static str { \"no unsafe here\" }\n";
+        assert!(lint_source("crates/core/src/kernel/vector.rs", masked).is_empty());
     }
 
     #[test]
