@@ -73,7 +73,7 @@ pub mod sync;
 pub mod workload;
 
 pub use balancer::Balancer;
-pub use engine::{Engine, StepSummary};
+pub use engine::{Engine, EngineState, StepSummary};
 pub use error::EngineError;
 pub use flow::{CumulativeLedger, FlowPlan};
 pub use kernel::vector::{

@@ -71,6 +71,42 @@ impl RotorRouterStar {
         })
     }
 
+    /// Builds the scheme with explicit initial positions for the inner
+    /// rotor (the snapshot-restore constructor, mirroring
+    /// [`RotorRouter::with_initial_rotors`](crate::schemes::RotorRouter::with_initial_rotors)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `gp` does not satisfy `d° = d`, or if
+    /// `rotors` has the wrong length or an out-of-range position (the
+    /// inner rotor runs over `d⁺ − 1` ports).
+    pub fn with_initial_rotors(
+        gp: &BalancingGraph,
+        order: PortOrder,
+        rotors: Vec<usize>,
+    ) -> Result<Self, GraphError> {
+        let mut rrs = RotorRouterStar::new(gp, order)?;
+        if rotors.len() != gp.num_nodes() {
+            return Err(GraphError::InvalidParameters {
+                reason: format!(
+                    "rotor vector has {} entries, expected n = {}",
+                    rotors.len(),
+                    gp.num_nodes()
+                ),
+            });
+        }
+        for (u, &r) in rotors.iter().enumerate() {
+            if r >= rrs.stride {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("inner rotor position {r} out of range at node {u}"),
+                });
+            }
+        }
+        rrs.initial_rotors.clone_from(&rotors);
+        rrs.rotors = rotors;
+        Ok(rrs)
+    }
+
     /// The port index of the special self-loop.
     pub fn special_port(&self) -> usize {
         self.special_port
@@ -212,5 +248,35 @@ mod tests {
         assert_ne!(rrs.rotors(), &[0, 0, 0, 0]);
         rrs.reset();
         assert_eq!(rrs.rotors(), &[0, 0, 0, 0]);
+    }
+
+    /// The snapshot-restore constructor: rebuilding from captured
+    /// rotor positions continues the plan stream bit-identically.
+    #[test]
+    fn with_initial_rotors_resumes_the_plan_stream() {
+        let gp = lazy_cycle(8);
+        let mut original = RotorRouterStar::new(&gp, PortOrder::Sequential).unwrap();
+        let mut engine = Engine::new(gp.clone(), LoadVector::point_mass(8, 1013));
+        engine.run(&mut original, 50).unwrap();
+
+        let mut restored = RotorRouterStar::with_initial_rotors(
+            &gp,
+            PortOrder::Sequential,
+            original.rotors().to_vec(),
+        )
+        .unwrap();
+        let mut resumed = Engine::from_state(engine.export_state());
+        engine.run(&mut original, 50).unwrap();
+        resumed.run(&mut restored, 50).unwrap();
+        assert_eq!(resumed.loads(), engine.loads());
+        assert_eq!(restored.rotors(), original.rotors());
+
+        // Shape errors are reported, not asserted.
+        assert!(
+            RotorRouterStar::with_initial_rotors(&gp, PortOrder::Sequential, vec![0; 7]).is_err()
+        );
+        assert!(
+            RotorRouterStar::with_initial_rotors(&gp, PortOrder::Sequential, vec![3; 8]).is_err()
+        );
     }
 }

@@ -104,6 +104,35 @@ pub trait Workload: Send {
         let _ = argmax;
         self.inject(round, loads, deltas);
     }
+
+    /// Whether this workload provably never injects anything — true
+    /// only for [`NoWorkload`] and equivalents. The engine folds a
+    /// `Some(noop)` argument to the genuinely closed system, so fast
+    /// paths that require "no workload" (the vectorized kernel rounds
+    /// in particular) stay eligible when a caller spells the closed
+    /// system as `Some(&mut NoWorkload)` instead of `None`.
+    fn is_noop(&self) -> bool {
+        false
+    }
+
+    /// The generator's resumable cursor: every word of mutable state a
+    /// checkpoint must carry so that an **identically configured**
+    /// fresh instance, after [`restore_cursor`](Workload::restore_cursor),
+    /// continues this instance's delta stream exactly (RNG position,
+    /// phase counters, fallback-scan tallies). Stateless workloads
+    /// return an empty cursor. Configuration (rates, seeds, sink sets)
+    /// is *not* part of the cursor — it travels as the workload's spec.
+    fn cursor(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores a cursor captured by [`cursor`](Workload::cursor) onto
+    /// an identically configured instance. Returns `false` — leaving
+    /// the receiver unchanged where possible — when the cursor's shape
+    /// does not match this workload.
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        cursor.is_empty()
+    }
 }
 
 /// The empty workload: never injects anything.
@@ -132,6 +161,10 @@ impl Workload for NoWorkload {
     }
 
     fn inject(&mut self, _round: usize, _loads: &[i64], _deltas: &mut [i64]) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ const ALL_IDS: &[&str] = &[
     "t1",
     "scenarios",
     "churn",
+    "serve",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -54,7 +55,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios churn]... [--quick] [--csv DIR]\n\
+                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios churn serve]... [--quick] [--csv DIR]\n\
                      \n\
                      e1  Table 1: discrepancy after 4T per scheme per graph\n\
                      e2  Thm 2.3(i): scaling on expanders\n\
@@ -76,7 +77,10 @@ fn parse_args() -> Result<Args, String> {
                      churn      dynamic topology: discrepancy under churn, recovery after\n\
                                 failure bursts, throughput vs churn rate with validation\n\
                                 and swap-shortfall accounting, cross-path bit-identity\n\
-                                under churn x workload (writes BENCH_PR6.json)"
+                                under churn x workload (writes BENCH_PR6.json)\n\
+                     serve      multi-tenant serving: >=1000 concurrent engine tenants\n\
+                                per scheduler config with journal replay and\n\
+                                snapshot-resume bit-identity checks (writes BENCH_PR9.json)"
                 );
                 std::process::exit(0);
             }
@@ -113,6 +117,7 @@ fn run_one(id: &str, quick: bool) -> Result<Table, RunError> {
         "t1" => experiments::throughput(quick),
         "scenarios" => experiments::scenarios(quick),
         "churn" => experiments::churn(quick),
+        "serve" => experiments::serve(quick),
         other => unreachable!("unvalidated experiment id {other}"),
     }
 }

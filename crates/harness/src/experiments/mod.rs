@@ -11,6 +11,7 @@ mod deviation_trace;
 mod dimension_exchange;
 mod lower;
 mod scenarios;
+mod serve;
 mod table1;
 mod thm23;
 mod thm33;
@@ -22,6 +23,7 @@ pub use deviation_trace::deviation_trace;
 pub use dimension_exchange::dimension_exchange;
 pub use lower::{thm41_lower, thm42_stateless, thm43_rotor_cycle};
 pub use scenarios::scenarios;
+pub use serve::serve;
 pub use table1::table1;
 pub use thm23::{thm23_cycle, thm23_expander};
 pub use thm33::thm33_time_to_d;

@@ -1,0 +1,293 @@
+//! The `serve` experiment: benchmark and integrity-check the
+//! multi-tenant engine server (`dlb-serve`).
+//!
+//! A fleet of ≥ 1000 tenants — mixed graphs, schemes, workloads and
+//! churn schedules, plus a deliberately erroring stratum — is hosted in
+//! one [`Server`] and driven through scheduler slices at several worker
+//! counts. Each configuration reports tenants/sec, aggregate engine
+//! rounds/sec and the p99 per-tenant slice latency, and then verifies
+//! the serving layer's two determinism contracts on a sampled subset:
+//!
+//! * **replay** — every sampled journal replays to the live tenant's
+//!   exact state ([`Tenant::replay_matches`]);
+//! * **resume** — a sampled tenant snapshotted after the benchmark and
+//!   resumed in a fresh instance finishes additional rounds
+//!   bit-identically to an uninterrupted twin run from round zero.
+//!
+//! Writes `BENCH_PR9.json` (schema `dlb-serve/v7`); CI fails on any
+//! `"bit_identical": false`.
+
+use std::time::Instant;
+
+use dlb_core::LoadVector;
+use dlb_graph::{generators, BalancingGraph};
+use dlb_scenario::WorkloadSpec;
+use dlb_serve::{SchemeKind, Server, Tenant};
+use dlb_topology::ScheduleSpec;
+
+use crate::report::{fmt_flag, Table};
+use crate::runner::RunError;
+
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::SendFloor,
+    SchemeKind::SendRound,
+    SchemeKind::RotorRouter,
+    SchemeKind::RotorRouterStar,
+];
+
+/// Every `DOOMED_STRIDE`-th tenant runs an unclamped drain that is
+/// guaranteed to hit [`dlb_core::EngineError::NegativeLoad`], so the
+/// benchmark always exercises the journal's error path.
+const DOOMED_STRIDE: usize = 128;
+
+/// The spec of tenant `i` in a fleet: deterministic in `i` alone, so an
+/// "uninterrupted twin" can be rebuilt for the resume check.
+fn build_tenant(i: usize) -> Tenant {
+    let n = [8, 12, 16, 24][i % 4];
+    let graph = BalancingGraph::lazy(generators::cycle(n).expect("cycle sizes are valid"));
+    let initial = LoadVector::point_mass(n, 20 * n as i64 + i as i64 % 7);
+    let scheme = SCHEMES[(i / 4) % 4];
+    if i % DOOMED_STRIDE == DOOMED_STRIDE - 1 {
+        return Tenant::new(
+            graph,
+            LoadVector::uniform(n, 2),
+            SchemeKind::SendFloor,
+            Some(WorkloadSpec::DrainUnclamped { rate: 64 }),
+            ScheduleSpec::Static,
+        )
+        .expect("doomed tenant spec is well-formed");
+    }
+    let workload = match i % 5 {
+        0 => None,
+        1 => Some(WorkloadSpec::Steady {
+            rate: 4 + (i % 3) as u64,
+            seed: i as u64,
+        }),
+        2 => Some(WorkloadSpec::Hotspot { rate: 3 }),
+        3 => Some(WorkloadSpec::Bursty {
+            on: 3,
+            off: 2,
+            rate: 8,
+            seed: i as u64,
+        }),
+        _ => Some(WorkloadSpec::Adversary {
+            budget: 4 + (i % 5) as u64,
+        }),
+    };
+    let schedule = match i % 3 {
+        0 => ScheduleSpec::Static,
+        1 => ScheduleSpec::Periodic {
+            period: 3 + i % 4,
+            swaps: 1 + i % 2,
+            seed: i as u64,
+        },
+        _ => ScheduleSpec::Burst {
+            fail_at: 2 + i % 3,
+            wake_at: 7 + i % 5,
+            count: 1 + i % 2,
+            seed: i as u64,
+        },
+    };
+    Tenant::new(graph, initial, scheme, workload, schedule).expect("tenant spec is well-formed")
+}
+
+struct ServeRow {
+    threads: usize,
+    tenants: usize,
+    slices: usize,
+    rounds_per_slice: usize,
+    elapsed_sec: f64,
+    tenants_per_sec: f64,
+    rounds_per_sec: f64,
+    p99_slice_latency_us: f64,
+    errored_tenants: usize,
+    replay_checked: usize,
+    resume_checked: usize,
+    bit_identical: bool,
+}
+
+/// Runs the multi-tenant serving benchmark and writes `BENCH_PR9.json`
+/// (path overridable with the `DLB_SERVE_JSON` environment variable).
+///
+/// # Errors
+///
+/// Never fails in practice (tenant specs are well-formed by
+/// construction); the signature matches the other drivers.
+pub fn serve(quick: bool) -> Result<Table, RunError> {
+    let json_path = std::env::var("DLB_SERVE_JSON").unwrap_or_else(|_| "BENCH_PR9.json".into());
+    serve_to(quick, std::path::Path::new(&json_path))
+}
+
+/// [`serve`] with an explicit JSON output path (the environment is only
+/// consulted at the public entry point).
+fn serve_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunError> {
+    let tenants = if quick { 1024 } else { 2048 };
+    let slices = if quick { 2 } else { 4 };
+    let rounds_per_slice = if quick { 8 } else { 16 };
+    let thread_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let extra_rounds = 6; // post-benchmark rounds for the resume check
+
+    let mut table = Table::new(
+        format!(
+            "Multi-tenant serving: {tenants} tenants, {slices} slices x {rounds_per_slice} rounds"
+        ),
+        &[
+            "threads",
+            "tenants",
+            "tenants/s",
+            "rounds/s",
+            "p99 slice (us)",
+            "errored",
+            "replay ok",
+            "resume ok",
+            "bit-identical",
+        ],
+    );
+
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for &threads in thread_counts {
+        let server = Server::new((0..tenants).map(build_tenant).collect());
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut rounds_advanced = 0u64;
+        let started = Instant::now();
+        for _ in 0..slices {
+            let report = server.run_slice(threads, rounds_per_slice);
+            rounds_advanced += report.rounds_advanced;
+            latencies.extend(report.latencies_ns);
+        }
+        let elapsed_sec = started.elapsed().as_secs_f64().max(1e-9);
+
+        latencies.sort_unstable();
+        let p99 = latencies
+            .get((latencies.len().saturating_sub(1)) * 99 / 100)
+            .copied()
+            .unwrap_or(0);
+
+        // Integrity sweep on a deterministic sample: journals must
+        // replay, snapshots must resume bit-identically against an
+        // uninterrupted twin, and the error stratum must have stopped.
+        let mut bit_identical = true;
+        let mut replay_checked = 0usize;
+        let mut resume_checked = 0usize;
+        let mut errored_tenants = 0usize;
+        for i in 0..tenants {
+            if server.with_tenant(i, |t| t.error().is_some()) {
+                errored_tenants += 1;
+            }
+            if i % 17 == 0 {
+                replay_checked += 1;
+                let ok = server.with_tenant(i, |t| t.replay_matches().unwrap_or(false));
+                bit_identical &= ok;
+            }
+            if i % 101 == 0 {
+                resume_checked += 1;
+                bit_identical &= server.with_tenant(i, |t| {
+                    let mut resumed = match Tenant::resume_from_snapshot(&t.snapshot()) {
+                        Ok(resumed) => resumed,
+                        Err(_) => return false,
+                    };
+                    resumed.run_rounds(extra_rounds);
+                    let mut twin = build_tenant(i);
+                    twin.run_rounds(slices * rounds_per_slice + extra_rounds);
+                    resumed.outcome() == twin.outcome()
+                });
+            }
+        }
+        bit_identical &= errored_tenants == tenants.div_ceil(DOOMED_STRIDE);
+
+        let row = ServeRow {
+            threads,
+            tenants,
+            slices,
+            rounds_per_slice,
+            elapsed_sec,
+            tenants_per_sec: (tenants * slices) as f64 / elapsed_sec,
+            rounds_per_sec: rounds_advanced as f64 / elapsed_sec,
+            p99_slice_latency_us: p99 as f64 / 1e3,
+            errored_tenants,
+            replay_checked,
+            resume_checked,
+            bit_identical,
+        };
+        table.push_row(vec![
+            row.threads.to_string(),
+            row.tenants.to_string(),
+            format!("{:.0}", row.tenants_per_sec),
+            format!("{:.0}", row.rounds_per_sec),
+            format!("{:.1}", row.p99_slice_latency_us),
+            row.errored_tenants.to_string(),
+            row.replay_checked.to_string(),
+            row.resume_checked.to_string(),
+            fmt_flag(row.bit_identical),
+        ]);
+        rows.push(row);
+    }
+
+    write_json(json_path, &rows, quick);
+    Ok(table)
+}
+
+/// Writes the machine-readable report. Failures to write are reported
+/// on stderr but do not fail the experiment.
+fn write_json(path: &std::path::Path, rows: &[ServeRow], quick: bool) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"dlb-serve/v7\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"tenants\": {}, \"slices\": {}, \"rounds_per_slice\": {}, \
+             \"elapsed_sec\": {:.6}, \"tenants_per_sec\": {:.1}, \"rounds_per_sec\": {:.1}, \
+             \"p99_slice_latency_us\": {:.3}, \"errored_tenants\": {}, \"replay_checked\": {}, \
+             \"resume_checked\": {}, \"bit_identical\": {}}}{}\n",
+            r.threads,
+            r.tenants,
+            r.slices,
+            r.rounds_per_slice,
+            r.elapsed_sec,
+            r.tenants_per_sec,
+            r.rounds_per_sec,
+            r.p99_slice_latency_us,
+            r.errored_tenants,
+            r.replay_checked,
+            r.resume_checked,
+            r.bit_identical,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: failed writing {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_serve_hosts_a_thousand_tenants_bit_identically() {
+        let dir = std::env::temp_dir().join("dlb-serve-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let json_path = dir.join("BENCH_PR9.json");
+        let table = serve_to(true, &json_path).expect("quick serve runs");
+        assert_eq!(table.num_rows(), 2);
+        assert!(
+            !table.render().contains("NO"),
+            "a determinism check failed:\n{}",
+            table.render()
+        );
+
+        let json = std::fs::read_to_string(&json_path).expect("json written");
+        assert!(json.contains("\"schema\": \"dlb-serve/v7\""));
+        assert!(json.contains("\"tenants\": 1024"));
+        assert!(json.contains("\"tenants_per_sec\""));
+        assert!(json.contains("\"p99_slice_latency_us\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(!json.contains("\"bit_identical\": false"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

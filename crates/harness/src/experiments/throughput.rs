@@ -30,7 +30,10 @@
 use std::time::Instant;
 
 use dlb_core::schemes::{RotorRouter, SendFloor, SendRound};
-use dlb_core::{Engine, LoadVector, ShardedBalancer, VectorConfig, VectorStats, VectorWidth};
+use dlb_core::{
+    Engine, LoadVector, NoWorkload, ShardedBalancer, StaticTopology, VectorConfig, VectorStats,
+    VectorWidth,
+};
 use dlb_graph::relabel::Relabeling;
 use dlb_graph::{BalancingGraph, PortOrder};
 
@@ -147,6 +150,52 @@ fn run_kernel(
             let mut rotor = RotorRouter::new(gp, PortOrder::Sequential)?;
             let started = Instant::now();
             engine.run_kernel(&mut rotor, steps)?;
+            started.elapsed()
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some((
+        elapsed.as_secs_f64(),
+        engine.loads().clone(),
+        *engine.vector_stats(),
+    )))
+}
+
+/// The dynamic kernel entry with no-op generators spelled out —
+/// `Some(&mut StaticTopology)`, `Some(&mut NoWorkload)` — exactly how
+/// a host that always threads generator slots (the serve layer) calls
+/// it. Regression surface for the vector-dispatch gate: this
+/// configuration used to fall back to the scalar kernel because the
+/// gate required the arguments to be `None` rather than no-ops, and
+/// `vector_rows_ok` now fails loudly if that ever regresses.
+fn run_kernel_dyn_static(
+    gp: &BalancingGraph,
+    scheme: &SchemeSpec,
+    initial: &LoadVector,
+    steps: usize,
+) -> Result<Option<(f64, LoadVector, VectorStats)>, RunError> {
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    let elapsed = match scheme {
+        SchemeSpec::SendFloor => {
+            let mut bal = SendFloor::new();
+            let started = Instant::now();
+            engine.run_kernel_dyn(
+                &mut bal,
+                steps,
+                Some(&mut StaticTopology),
+                Some(&mut NoWorkload),
+            )?;
+            started.elapsed()
+        }
+        SchemeSpec::SendRound => {
+            let mut bal = SendRound::new();
+            let started = Instant::now();
+            engine.run_kernel_dyn(
+                &mut bal,
+                steps,
+                Some(&mut StaticTopology),
+                Some(&mut NoWorkload),
+            )?;
             started.elapsed()
         }
         _ => return Ok(None),
@@ -358,6 +407,23 @@ fn throughput_to(quick: bool, json_path: &std::path::Path) -> Result<Table, RunE
                         width,
                     );
                 }
+                // The dyn entry with no-op generators: must dispatch
+                // into the vector layer exactly like `run_kernel`.
+                if let Some((dyn_sec, dyn_loads, dyn_stats)) =
+                    run_kernel_dyn_static(&gp, scheme, &initial, steps)?
+                {
+                    let (inner, width) = classify_kernel(&dyn_stats, steps);
+                    vector_rows_ok &= dyn_stats.runs > 0;
+                    push(
+                        "run_kernel(dyn-static)".into(),
+                        1,
+                        false,
+                        dyn_sec,
+                        dyn_loads == instr_loads,
+                        inner,
+                        width,
+                    );
+                }
             }
 
             if let (Some(r), Some(rgp)) = (&relabeling, &relabeled_gp) {
@@ -533,12 +599,13 @@ mod tests {
         let table = throughput_to(true, &json_path).expect("quick sweep runs");
 
         // Cycle/torus: SEND schemes get step-loop + run_fast +
-        // run_kernel{auto,scalar,i64} + parallel(2) (6 rows each), the
-        // rotor-router gets step-loop + run_fast + run_kernel (3 rows):
-        // 15 per graph. Random-regular adds relabeled rows: step-loop +
-        // kernel-auto + kernel-scalar per SEND scheme, step-loop +
-        // kernel-auto for the rotor (8 rows) — 23 total.
-        assert_eq!(table.num_rows(), 2 * 15 + (15 + 8));
+        // run_kernel{auto,scalar,i64,dyn-static} + parallel(2) (7 rows
+        // each), the rotor-router gets step-loop + run_fast +
+        // run_kernel (3 rows): 17 per graph. Random-regular adds
+        // relabeled rows: step-loop + kernel-auto + kernel-scalar per
+        // SEND scheme, step-loop + kernel-auto for the rotor (8 rows)
+        // — 25 total.
+        assert_eq!(table.num_rows(), 2 * 17 + (17 + 8));
         // Every path must have reproduced the instrumented loads —
         // including the relabeled runs mapped back to original ids.
         assert!(
@@ -551,6 +618,7 @@ mod tests {
         assert!(json.contains("\"schema\": \"dlb-throughput/v6\""));
         assert!(json.contains("\"path\": \"run_kernel\""));
         assert!(json.contains("\"path\": \"run_kernel(scalar)\""));
+        assert!(json.contains("\"path\": \"run_kernel(dyn-static)\""));
         assert!(json.contains("\"relabeled\": true"));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(!json.contains("\"bit_identical\": false"));

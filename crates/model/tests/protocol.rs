@@ -207,3 +207,31 @@ fn mutant_topo_abort_reading_failed_is_caught_with_a_schedule() {
     });
     assert!(report.complete);
 }
+
+/// The serve-layer batch scheduler (PR 9): per-tenant outcomes must
+/// equal the serial sweep under **every** explored interleaving of
+/// the ticket counter and the per-tenant mutexes — two workers racing
+/// over a three-tenant fleet that spans closed, injecting and
+/// churning rounds. A diverging tenant, a lost ticket (tenant served
+/// twice or skipped) or a deadlocked worker all fail here.
+#[test]
+fn serve_scheduler_matches_serial_on_every_schedule() {
+    let _suite = suite_guard();
+    let expected = dlb_model::serve_outcomes(1, 1, 2);
+    let report = builder().model(|| {
+        let got = dlb_model::serve_outcomes(2, 1, 2);
+        assert_eq!(
+            got, expected,
+            "a scheduler interleaving changed a tenant outcome"
+        );
+    });
+    assert!(
+        report.complete,
+        "serve scheduler: DFS was cut short at {} schedules",
+        report.schedules
+    );
+    println!(
+        "[model] {:<48} {:>6} schedules exhausted at preemption bound {}, +{} sampled",
+        "serve_scheduler_two_workers", report.schedules, report.preemption_bound, report.sampled
+    );
+}

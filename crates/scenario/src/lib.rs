@@ -37,5 +37,7 @@ pub mod workloads;
 
 pub use dlb_core::{NoWorkload, Workload};
 pub use dlb_topology::{ScheduleSpec, TopologySchedule};
-pub use scenario::{Scenario, ScenarioRecorder, ScenarioReport};
+pub use scenario::{
+    InjectionStats, Scenario, ScenarioCheckpoint, ScenarioRecorder, ScenarioReport,
+};
 pub use workloads::WorkloadSpec;

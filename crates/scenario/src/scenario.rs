@@ -23,7 +23,9 @@
 //! phase (it reads per-round statistics anyway) and the engine's
 //! incremental `run_until` for recovery.
 
-use dlb_core::{Balancer, Engine, EngineError, LoadVector, TopologySchedule, Workload};
+use dlb_core::{
+    Balancer, Engine, EngineError, EngineState, LoadVector, TopologySchedule, Workload,
+};
 use dlb_graph::BalancingGraph;
 
 /// Reusable recording state for [`Scenario`] runs: the per-round
@@ -118,32 +120,108 @@ impl Scenario {
         gp: &BalancingGraph,
         initial: &LoadVector,
         balancer: &mut dyn Balancer,
-        mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
         workload: &mut dyn Workload,
         recorder: &mut ScenarioRecorder,
     ) -> Result<ScenarioReport, EngineError> {
-        let mut engine = Engine::new(gp.clone(), initial.clone());
-        let mut peak_load = initial.max();
-        let mut peak_discrepancy = initial.discrepancy();
-        let tail_start = self.rounds.saturating_sub(self.tail_window);
-        let mut tail_max = 0i64;
-        let mut tail_sum = 0i64;
-        let mut tail_rounds = 0u64;
-        recorder.trace.clear();
-        recorder.trace.reserve(self.rounds);
+        self.resume_dyn(
+            ScenarioCheckpoint::start(gp, initial),
+            balancer,
+            schedule,
+            workload,
+            recorder,
+        )
+    }
 
-        for round in 0..self.rounds {
-            let s = schedule.as_deref_mut();
-            let summary = engine.step_dyn(balancer, s, Some(workload))?;
-            recorder.trace.push(summary.discrepancy);
-            peak_load = peak_load.max(engine.loads().max());
-            peak_discrepancy = peak_discrepancy.max(summary.discrepancy);
-            if round >= tail_start {
-                tail_max = tail_max.max(summary.discrepancy);
-                tail_sum += summary.discrepancy;
-                tail_rounds += 1;
-            }
-        }
+    /// Runs the injection phase from `checkpoint` up to (and
+    /// including) round `through_round` — clamped to
+    /// [`rounds`](Scenario::rounds) — and returns the advanced
+    /// checkpoint without entering the recovery phase. This is the
+    /// snapshot hook: capture the returned checkpoint (plus the
+    /// balancer's and generators' own cursors, which travel
+    /// separately) and hand it to [`resume_dyn`](Scenario::resume_dyn)
+    /// later, in another process, or not at all.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`].
+    pub fn advance_dyn<'s>(
+        &self,
+        checkpoint: ScenarioCheckpoint,
+        balancer: &mut dyn Balancer,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: &mut dyn Workload,
+        through_round: usize,
+    ) -> Result<ScenarioCheckpoint, EngineError> {
+        let ScenarioCheckpoint {
+            engine: state,
+            mut stats,
+        } = checkpoint;
+        let mut engine = Engine::from_state(state);
+        self.inject_until(
+            &mut engine,
+            InjectionSink {
+                stats: &mut stats,
+                trace: None,
+            },
+            balancer,
+            schedule,
+            workload,
+            through_round.min(self.rounds),
+        )?;
+        Ok(ScenarioCheckpoint {
+            engine: engine.export_state(),
+            stats,
+        })
+    }
+
+    /// Finishes a scenario from `checkpoint`: the remaining injection
+    /// rounds, then the recovery phase. The resulting report is
+    /// field-identical to an uninterrupted [`run_dyn`](Scenario::run_dyn)
+    /// — in particular `recovery_rounds` is still measured from the
+    /// injection-stop round, because the restored engine's step cursor
+    /// keeps the absolute round numbering. `recorder` holds the
+    /// post-resume part of the discrepancy trace only (the pre-split
+    /// part was recorded by whoever ran the earlier rounds).
+    ///
+    /// The scheme's own state (rotor positions) and the generators'
+    /// cursors are deliberately *not* part of the checkpoint; callers
+    /// restore those through
+    /// [`RotorRouter::with_initial_rotors`](dlb_core::schemes::RotorRouter::with_initial_rotors)-style
+    /// constructors and [`Workload::restore_cursor`] /
+    /// [`TopologySchedule::restore_cursor`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`].
+    pub fn resume_dyn<'s>(
+        &self,
+        checkpoint: ScenarioCheckpoint,
+        balancer: &mut dyn Balancer,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: &mut dyn Workload,
+        recorder: &mut ScenarioRecorder,
+    ) -> Result<ScenarioReport, EngineError> {
+        let ScenarioCheckpoint {
+            engine: state,
+            mut stats,
+        } = checkpoint;
+        let mut engine = Engine::from_state(state);
+        recorder.trace.clear();
+        recorder
+            .trace
+            .reserve(self.rounds.saturating_sub(engine.step_count()));
+        self.inject_until(
+            &mut engine,
+            InjectionSink {
+                stats: &mut stats,
+                trace: Some(&mut recorder.trace),
+            },
+            balancer,
+            schedule,
+            workload,
+            self.rounds,
+        )?;
 
         let loads_after_injection = engine.loads().clone();
         let injected_total = engine.injected_total();
@@ -168,10 +246,10 @@ impl Scenario {
 
         Ok(ScenarioReport {
             rounds: self.rounds,
-            steady_discrepancy_max: tail_max,
-            steady_discrepancy_mean: tail_sum as f64 / tail_rounds.max(1) as f64,
-            peak_load,
-            peak_discrepancy,
+            steady_discrepancy_max: stats.tail_max,
+            steady_discrepancy_mean: stats.tail_sum as f64 / stats.tail_rounds.max(1) as f64,
+            peak_load: stats.peak_load,
+            peak_discrepancy: stats.peak_discrepancy,
             recovery_rounds,
             injected_total,
             topology_events,
@@ -180,6 +258,105 @@ impl Scenario {
             loads_after_injection,
         })
     }
+
+    /// The shared injection loop: steps `engine` until `upto` rounds
+    /// have completed, folding per-round statistics into `stats` (and
+    /// the discrepancy trace into `trace`, when recording). The round
+    /// counter *is* the engine's step cursor, so a restored engine
+    /// continues with the absolute round numbering — tail-window
+    /// membership and schedule/workload phase structure are unaffected
+    /// by where the run was split.
+    fn inject_until<'s>(
+        &self,
+        engine: &mut Engine,
+        sink: InjectionSink<'_>,
+        balancer: &mut dyn Balancer,
+        mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: &mut dyn Workload,
+        upto: usize,
+    ) -> Result<(), EngineError> {
+        let InjectionSink { stats, mut trace } = sink;
+        let tail_start = self.rounds.saturating_sub(self.tail_window);
+        while engine.step_count() < upto {
+            let round = engine.step_count();
+            let s = schedule.as_deref_mut();
+            let summary = engine.step_dyn(balancer, s, Some(workload))?;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(summary.discrepancy);
+            }
+            stats.peak_load = stats.peak_load.max(engine.loads().max());
+            stats.peak_discrepancy = stats.peak_discrepancy.max(summary.discrepancy);
+            if round >= tail_start {
+                stats.tail_max = stats.tail_max.max(summary.discrepancy);
+                stats.tail_sum += summary.discrepancy;
+                stats.tail_rounds += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where [`Scenario::inject_until`] folds its per-round observations:
+/// the running statistics, plus the discrepancy trace when recording.
+struct InjectionSink<'a> {
+    stats: &'a mut InjectionStats,
+    trace: Option<&'a mut Vec<i64>>,
+}
+
+/// A mid-injection-phase [`Scenario`] snapshot: the engine's resumable
+/// state plus the runner's accumulated statistics, so a run split at
+/// any round boundary ([`Scenario::advance_dyn`] →
+/// [`Scenario::resume_dyn`]) reports exactly what the uninterrupted
+/// run would have — including when the split lands *inside* the tail
+/// window, where partially accumulated tail statistics must cross the
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCheckpoint {
+    /// Engine state after [`rounds_done`](ScenarioCheckpoint::rounds_done)
+    /// completed injection rounds.
+    pub engine: EngineState,
+    /// The runner's accumulated per-round statistics.
+    pub stats: InjectionStats,
+}
+
+impl ScenarioCheckpoint {
+    /// The round-zero checkpoint: a fresh engine over `gp` with
+    /// `initial` loads and statistics seeded from the initial vector.
+    #[must_use]
+    pub fn start(gp: &BalancingGraph, initial: &LoadVector) -> Self {
+        let engine = Engine::new(gp.clone(), initial.clone());
+        ScenarioCheckpoint {
+            engine: engine.export_state(),
+            stats: InjectionStats {
+                peak_load: initial.max(),
+                peak_discrepancy: initial.discrepancy(),
+                tail_max: 0,
+                tail_sum: 0,
+                tail_rounds: 0,
+            },
+        }
+    }
+
+    /// Completed injection rounds (the engine's step cursor).
+    #[must_use]
+    pub fn rounds_done(&self) -> usize {
+        self.engine.step
+    }
+}
+
+/// The injection-phase accumulators a [`ScenarioCheckpoint`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// Highest single-node load seen at any round boundary so far.
+    pub peak_load: i64,
+    /// Highest discrepancy seen so far.
+    pub peak_discrepancy: i64,
+    /// Max discrepancy over the tail-window rounds completed so far.
+    pub tail_max: i64,
+    /// Discrepancy sum over the tail-window rounds completed so far.
+    pub tail_sum: i64,
+    /// Tail-window rounds completed so far.
+    pub tail_rounds: u64,
 }
 
 /// What a [`Scenario`] run measured.
@@ -312,6 +489,79 @@ mod tests {
             .unwrap();
         assert_eq!(report2.topology_events, 0);
         assert_eq!(recorder.trace().len(), 24);
+    }
+
+    /// The satellite anchor: a scenario snapshotted *inside* the tail
+    /// window and resumed must report every field — tail max/mean,
+    /// peaks, and recovery_rounds measured from the injection-stop
+    /// round — identical to the uninterrupted run. Workload and churn
+    /// state cross the split through their cursors.
+    #[test]
+    fn resume_inside_the_tail_window_yields_identical_report() {
+        use dlb_topology::schedules::FailureBurst;
+
+        let gp = lazy_cycle(16);
+        let initial = LoadVector::uniform(16, 8);
+        // rounds = 20 → tail_window 5, tail starts at round 15. The
+        // burst wakes at round 19, *after* the split.
+        let mut scenario = Scenario::new(20, &gp);
+        scenario.recovery_max_rounds = 20_000;
+        let make_workload = || BurstyOnOff::new(7, 3, 32, 9);
+        let make_schedule = || FailureBurst::new(4, 19, 3, 21);
+
+        let mut recorder = ScenarioRecorder::new();
+        let mut schedule = make_schedule();
+        let reference = scenario
+            .run_dyn(
+                &gp,
+                &initial,
+                &mut SendFloor::new(),
+                Some(&mut schedule as &mut dyn TopologySchedule),
+                &mut make_workload(),
+                &mut recorder,
+            )
+            .unwrap();
+        assert!(
+            reference.recovery_rounds.unwrap_or(0) > 0,
+            "the scenario must leave real recovery work: {reference:?}"
+        );
+
+        // Split at round 17: two tail rounds accumulated, three left.
+        let mut workload = make_workload();
+        let mut schedule = make_schedule();
+        let checkpoint = scenario
+            .advance_dyn(
+                ScenarioCheckpoint::start(&gp, &initial),
+                &mut SendFloor::new(),
+                Some(&mut schedule as &mut dyn TopologySchedule),
+                &mut workload,
+                17,
+            )
+            .unwrap();
+        assert_eq!(checkpoint.rounds_done(), 17);
+        assert_eq!(checkpoint.stats.tail_rounds, 2, "split lands mid-tail");
+
+        // Fresh same-spec generators restored from the cursors, as a
+        // deserializing host would build them.
+        let mut resumed_workload = make_workload();
+        assert!(resumed_workload.restore_cursor(&workload.cursor()));
+        let mut resumed_schedule = make_schedule();
+        assert!(resumed_schedule.restore_cursor(&schedule.cursor()));
+        let report = scenario
+            .resume_dyn(
+                checkpoint,
+                &mut SendFloor::new(),
+                Some(&mut resumed_schedule as &mut dyn TopologySchedule),
+                &mut resumed_workload,
+                &mut recorder,
+            )
+            .unwrap();
+        assert_eq!(report, reference, "resumed report must be field-identical");
+        assert_eq!(
+            recorder.trace().len(),
+            3,
+            "resumed trace covers only the post-split rounds"
+        );
     }
 
     #[test]

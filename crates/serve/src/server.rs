@@ -1,0 +1,142 @@
+//! The batch scheduler: one process, many tenants, a worker pool.
+//!
+//! Tenants are independent — each owns its engine, scheme and
+//! generators — so the scheduler's only concurrency problem is work
+//! distribution. A slice runs every ready tenant `rounds` rounds:
+//! workers pull tenant indices from a shared atomic ticket counter and
+//! lock the tenant's mutex for the duration of its batch. There is no
+//! inter-tenant ordering, and the final state of every tenant is
+//! **schedule-independent**: any worker interleaving produces the same
+//! per-tenant outcome as a serial sweep, which is exactly what the
+//! `dlb-model` scheduler scenarios explore exhaustively under loom.
+//!
+//! All synchronisation goes through [`dlb_core::sync`] (the PR 7
+//! gate), so the same code is model-checkable under
+//! `--cfg dlb_model`.
+
+use std::time::Instant;
+
+use dlb_core::sync::atomic::{AtomicUsize, Ordering};
+use dlb_core::sync::{thread, Mutex};
+
+use crate::tenant::Tenant;
+
+/// A multi-tenant server: the tenant table plus slice scheduling.
+pub struct Server {
+    tenants: Vec<Mutex<Tenant>>,
+}
+
+/// What one scheduler slice did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SliceReport {
+    /// Tenants that ran a full batch cleanly this slice.
+    pub served: usize,
+    /// Tenants skipped or stopped because of a terminal error.
+    pub errored: usize,
+    /// Engine rounds advanced across all tenants this slice.
+    pub rounds_advanced: u64,
+    /// Per-tenant service latency (lock + batch) in nanoseconds, one
+    /// entry per tenant visited, in no particular order.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl Server {
+    /// Builds a server over the given tenant table.
+    pub fn new(tenants: Vec<Tenant>) -> Server {
+        Server {
+            tenants: tenants.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of hosted tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the server hosts no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Runs `f` with tenant `i` locked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn with_tenant<R>(&self, i: usize, f: impl FnOnce(&mut Tenant) -> R) -> R {
+        let mut guard = self.tenants[i].lock().expect("tenant mutex not poisoned");
+        f(&mut guard)
+    }
+
+    /// Tears the server down, returning the tenants.
+    pub fn into_tenants(self) -> Vec<Tenant> {
+        self.tenants
+            .into_iter()
+            .map(|m| m.into_inner().expect("tenant mutex not poisoned"))
+            .collect()
+    }
+
+    /// Runs one slice: every ready tenant advances `rounds` rounds,
+    /// distributed over `threads` workers.
+    ///
+    /// `threads <= 1` runs inline on the calling thread (no spawns),
+    /// which is the serial oracle the model scenarios compare against.
+    pub fn run_slice(&self, threads: usize, rounds: usize) -> SliceReport {
+        if threads <= 1 {
+            return self.drain(&AtomicUsize::new(0), rounds);
+        }
+        // The ticket counter is the entire scheduling protocol: each
+        // worker claims the next unvisited tenant until the table is
+        // exhausted.
+        let next = AtomicUsize::new(0);
+        let mut merged = SliceReport::default();
+        let workers: Vec<SliceReport> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| self.drain(&next, rounds)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scheduler worker must not panic"))
+                .collect()
+        });
+        for report in workers {
+            merged.served += report.served;
+            merged.errored += report.errored;
+            merged.rounds_advanced += report.rounds_advanced;
+            merged.latencies_ns.extend(report.latencies_ns);
+        }
+        merged
+    }
+
+    /// One worker's share of a slice: claim tickets until exhausted.
+    fn drain(&self, next: &AtomicUsize, rounds: usize) -> SliceReport {
+        let mut report = SliceReport::default();
+        loop {
+            // Relaxed: the ticket only partitions indices between
+            // workers; all tenant data is guarded by its own mutex.
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = self.tenants.get(i) else {
+                break;
+            };
+            let started = Instant::now();
+            let mut tenant = slot.lock().expect("tenant mutex not poisoned");
+            if tenant.error().is_some() {
+                report.errored += 1;
+                continue;
+            }
+            let before = tenant.rounds_done();
+            let clean = tenant.run_rounds(rounds);
+            report.rounds_advanced += (tenant.rounds_done() - before) as u64;
+            if clean {
+                report.served += 1;
+            } else {
+                report.errored += 1;
+            }
+            drop(tenant);
+            report
+                .latencies_ns
+                .push(started.elapsed().as_nanos() as u64);
+        }
+        report
+    }
+}

@@ -1,0 +1,241 @@
+//! End-to-end contracts of the serving layer: snapshot/resume
+//! bit-identity at every round boundary, journal replay fidelity
+//! (including erroring tenants), and schedule-independence of the
+//! batch scheduler.
+
+use dlb_core::{EngineError, LoadVector};
+use dlb_graph::{generators, BalancingGraph};
+use dlb_scenario::WorkloadSpec;
+use dlb_serve::{SchemeKind, Server, Tenant, TenantSnapshot};
+use dlb_topology::ScheduleSpec;
+
+fn lazy_cycle(n: usize) -> BalancingGraph {
+    BalancingGraph::lazy(generators::cycle(n).unwrap())
+}
+
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::SendFloor,
+    SchemeKind::SendRound,
+    SchemeKind::RotorRouter,
+    SchemeKind::RotorRouterStar,
+];
+
+fn churny_tenant(scheme: SchemeKind) -> Tenant {
+    Tenant::new(
+        lazy_cycle(16),
+        LoadVector::point_mass(16, 320),
+        scheme,
+        Some(WorkloadSpec::Bursty {
+            on: 3,
+            off: 2,
+            rate: 16,
+            seed: 9,
+        }),
+        ScheduleSpec::Periodic {
+            period: 3,
+            swaps: 2,
+            seed: 11,
+        },
+    )
+    .unwrap()
+}
+
+/// The tentpole contract: a tenant snapshotted at ANY round boundary
+/// and resumed in a fresh instance finishes bit-identically to the
+/// uninterrupted run — for every scheme, under churn and injection
+/// simultaneously.
+#[test]
+fn snapshot_resume_is_bit_identical_at_every_round_boundary() {
+    const ROUNDS: usize = 20;
+    for scheme in SCHEMES {
+        let mut reference = churny_tenant(scheme);
+        assert!(reference.run_rounds(ROUNDS));
+        let expected = reference.outcome();
+        assert!(
+            expected.topology_events_applied > 0,
+            "{:?}: churn must actually fire",
+            scheme
+        );
+        assert_ne!(
+            expected.injected_total, 0,
+            "{scheme:?}: injection must fire"
+        );
+
+        for split in 0..=ROUNDS {
+            let mut live = churny_tenant(scheme);
+            if split > 0 {
+                assert!(live.run_rounds(split));
+            }
+            let snap = live.snapshot();
+            let mut resumed = Tenant::resume_from_snapshot(&snap).unwrap();
+            assert_eq!(resumed.rounds_done(), split);
+            if split < ROUNDS {
+                assert!(resumed.run_rounds(ROUNDS - split));
+            }
+            assert_eq!(
+                resumed.outcome(),
+                expected,
+                "{scheme:?} diverged after resume at round {split}"
+            );
+        }
+    }
+}
+
+/// Journal replay reproduces the live tenant across multiple scheduler
+/// slices (the journal spans several `run_rounds` batches).
+#[test]
+fn journal_replay_matches_live_state_across_slices() {
+    for scheme in SCHEMES {
+        let mut tenant = churny_tenant(scheme);
+        for _ in 0..3 {
+            assert!(tenant.run_rounds(5));
+        }
+        assert!(
+            tenant.replay_matches().unwrap(),
+            "{scheme:?}: replay diverged from live state"
+        );
+        let contents = tenant.journal().decode().unwrap();
+        assert_eq!(contents.through_round, 15);
+        assert!(!contents.rounds.is_empty());
+    }
+}
+
+/// A journal opened at a snapshot boundary (resumed tenant) replays
+/// from that snapshot, not from round zero.
+#[test]
+fn resumed_tenants_journal_from_their_snapshot() {
+    let mut tenant = churny_tenant(SchemeKind::RotorRouter);
+    assert!(tenant.run_rounds(8));
+    let mut resumed = Tenant::resume_from_snapshot(&tenant.snapshot()).unwrap();
+    assert!(resumed.run_rounds(6));
+    let contents = resumed.journal().decode().unwrap();
+    assert_eq!(contents.base.engine.step, 8);
+    assert_eq!(contents.through_round, 14);
+    assert!(resumed.replay_matches().unwrap());
+}
+
+/// An erroring tenant stops, stays stopped, and its journal replays
+/// the error bit-identically (same variant, same step, same rolled-
+/// back state).
+#[test]
+fn errored_tenants_stop_and_replay_reproduces_the_error() {
+    let mut tenant = Tenant::new(
+        lazy_cycle(8),
+        LoadVector::uniform(8, 2),
+        SchemeKind::SendFloor,
+        Some(WorkloadSpec::DrainUnclamped { rate: 50 }),
+        ScheduleSpec::Static,
+    )
+    .unwrap();
+    assert!(!tenant.run_rounds(50), "the drain must push loads negative");
+    let error = tenant.error().cloned().expect("tenant must have stopped");
+    assert!(
+        matches!(error, EngineError::NegativeLoad { .. }),
+        "{error:?}"
+    );
+
+    // Stopped tenants are no-ops.
+    let rounds = tenant.rounds_done();
+    assert!(!tenant.run_rounds(10));
+    assert_eq!(tenant.rounds_done(), rounds);
+
+    // Replay reproduces the identical error and final state.
+    assert!(tenant.replay_matches().unwrap());
+    let replayed = Tenant::replay(tenant.journal()).unwrap();
+    assert_eq!(replayed.error, Some(error));
+
+    // A snapshot of the stopped tenant carries the error through
+    // resume.
+    let resumed = Tenant::resume_from_snapshot(&tenant.snapshot()).unwrap();
+    assert_eq!(resumed.error(), tenant.error());
+}
+
+fn mixed_fleet() -> Vec<Tenant> {
+    let workloads = [
+        None,
+        Some(WorkloadSpec::Steady { rate: 6, seed: 3 }),
+        Some(WorkloadSpec::Hotspot { rate: 4 }),
+        Some(WorkloadSpec::Adversary { budget: 5 }),
+    ];
+    let schedules = [
+        ScheduleSpec::Static,
+        ScheduleSpec::Periodic {
+            period: 4,
+            swaps: 1,
+            seed: 5,
+        },
+        ScheduleSpec::Burst {
+            fail_at: 3,
+            wake_at: 9,
+            count: 2,
+            seed: 7,
+        },
+    ];
+    let mut tenants = Vec::new();
+    for (i, scheme) in SCHEMES.iter().cycle().take(12).enumerate() {
+        tenants.push(
+            Tenant::new(
+                lazy_cycle(8 + 4 * (i % 3)),
+                LoadVector::point_mass(8 + 4 * (i % 3), 200 + 10 * i as i64),
+                *scheme,
+                workloads[i % workloads.len()].clone(),
+                schedules[i % schedules.len()].clone(),
+            )
+            .unwrap(),
+        )
+    }
+    tenants
+}
+
+/// The scheduler contract: per-tenant outcomes are independent of the
+/// worker count and interleaving — a 4-worker server produces exactly
+/// the per-tenant states of a serial sweep, and every journal still
+/// replays.
+#[test]
+fn scheduler_outcomes_are_worker_count_independent() {
+    let serial = Server::new(mixed_fleet());
+    let parallel = Server::new(mixed_fleet());
+    for _ in 0..2 {
+        let a = serial.run_slice(1, 6);
+        let b = parallel.run_slice(4, 6);
+        assert_eq!(a.served + a.errored, serial.len());
+        assert_eq!(b.served + b.errored, parallel.len());
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.rounds_advanced, b.rounds_advanced);
+        // Every tenant that actually ran got a latency sample.
+        assert!(b.latencies_ns.len() >= b.served);
+        assert!(b.latencies_ns.len() <= parallel.len());
+    }
+    let serial = serial.into_tenants();
+    let parallel = parallel.into_tenants();
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.outcome(), b.outcome(), "tenant {i} diverged");
+        assert!(a.replay_matches().unwrap(), "tenant {i} journal diverged");
+        assert!(b.replay_matches().unwrap(), "tenant {i} journal diverged");
+    }
+}
+
+/// Corrupt snapshots surface as errors, never as panics, and
+/// semantically inconsistent cursors are rejected.
+#[test]
+fn resume_rejects_corrupt_snapshots() {
+    let mut tenant = churny_tenant(SchemeKind::SendFloor);
+    assert!(tenant.run_rounds(5));
+    let bytes = tenant.snapshot();
+    for cut in 0..bytes.len() {
+        assert!(
+            Tenant::resume_from_snapshot(&bytes[..cut]).is_err(),
+            "cut {cut}"
+        );
+    }
+    // A wrong-shape workload cursor decodes fine but must be rejected
+    // by the generator's restore protocol.
+    let mut snap = TenantSnapshot::decode(&bytes).unwrap();
+    snap.workload_cursor = vec![1, 2, 3];
+    assert!(Tenant::resume_from_snapshot(&snap.encode()).is_err());
+    // A rotor vector of the wrong length is rejected by the scheme.
+    let mut snap = TenantSnapshot::decode(&bytes).unwrap();
+    snap.scheme = SchemeKind::RotorRouter;
+    snap.rotors = vec![0; 3];
+    assert!(Tenant::resume_from_snapshot(&snap.encode()).is_err());
+}

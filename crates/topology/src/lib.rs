@@ -128,6 +128,39 @@ pub trait TopologySchedule: Send {
     fn validation_nanos(&self) -> u64 {
         0
     }
+
+    /// Whether this schedule provably never emits an event — true only
+    /// for [`StaticTopology`] and equivalents. The engine folds a
+    /// `Some(noop)` argument to the genuinely static topology, so fast
+    /// paths that require "no churn" (the vectorized kernel rounds in
+    /// particular) stay eligible when a caller spells the fixed graph
+    /// as `Some(&mut StaticTopology)` instead of `None`.
+    fn is_noop(&self) -> bool {
+        false
+    }
+
+    /// The generator's resumable cursor: every word of mutable state a
+    /// checkpoint must carry so that an **identically configured**
+    /// fresh instance, after
+    /// [`restore_cursor`](TopologySchedule::restore_cursor), continues
+    /// this instance's event stream exactly (RNG position, burst
+    /// bookkeeping, shortfall and timing counters). Self-re-anchoring
+    /// caches (probe graphs, connectivity structures) are rebuilt on
+    /// demand and are *not* part of the cursor; neither is
+    /// configuration (periods, seeds), which travels as the schedule's
+    /// spec.
+    fn cursor(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores a cursor captured by
+    /// [`cursor`](TopologySchedule::cursor) onto an identically
+    /// configured instance. Returns `false` — leaving the receiver
+    /// unchanged where possible — when the cursor's shape does not
+    /// match this schedule.
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        cursor.is_empty()
+    }
 }
 
 /// The empty schedule: never emits an event.
@@ -154,6 +187,10 @@ impl TopologySchedule for StaticTopology {
     }
 
     fn events(&mut self, _round: usize, _graph: &RegularGraph, _out: &mut Vec<TopologyEvent>) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// Drives one round of `schedule` against `graph`: collects the

@@ -214,6 +214,42 @@ impl TopologySchedule for PeriodicRewiring {
     fn validation_nanos(&self) -> u64 {
         self.validation_ns
     }
+
+    // RNG position plus the cumulative accounting; the probe graph and
+    // connectivity structure are self-re-anchoring caches (the slot
+    // compare rebuilds them from the observed graph), so they are
+    // deliberately not part of the cursor.
+    fn cursor(&self) -> Vec<u64> {
+        let mut out = self.rng.state().to_vec();
+        out.extend([
+            self.shortfall.requested,
+            self.shortfall.emitted,
+            self.shortfall.simplicity_rejects,
+            self.shortfall.connectivity_rejects,
+            self.validation_ns,
+        ]);
+        out
+    }
+
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        let [s0, s1, s2, s3, requested, emitted, simplicity, connectivity, validation_ns] = *cursor
+        else {
+            return false;
+        };
+        self.rng = StdRng::from_state([s0, s1, s2, s3]);
+        self.shortfall = SwapShortfall {
+            requested,
+            emitted,
+            simplicity_rejects: simplicity,
+            connectivity_rejects: connectivity,
+        };
+        self.validation_ns = validation_ns;
+        // Force a re-anchor on the restored graph rather than trusting
+        // caches from whatever run this instance saw before.
+        self.probe = None;
+        self.conn = None;
+        true
+    }
 }
 
 /// Failure/recovery churn at rate p: each round, with probability
@@ -310,6 +346,22 @@ impl TopologySchedule for FailureRecovery {
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
+
+    // The draws depend on the observed graph, so the RNG position is
+    // the entire mutable state.
+    fn cursor(&self) -> Vec<u64> {
+        self.rng.state().to_vec()
+    }
+
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        match <[u64; 4]>::try_from(cursor) {
+            Ok(s) => {
+                self.rng = StdRng::from_state(s);
+                true
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 /// A one-shot failure burst: `count` nodes go down together at round
@@ -388,6 +440,30 @@ impl TopologySchedule for FailureBurst {
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.slept.clear();
+    }
+
+    // RNG position plus the slept set — a snapshot between fail and
+    // wake rounds must release exactly the recorded sleepers.
+    fn cursor(&self) -> Vec<u64> {
+        let mut out = self.rng.state().to_vec();
+        out.push(self.slept.len() as u64);
+        out.extend(self.slept.iter().map(|&u| u as u64));
+        out
+    }
+
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        let Some((state, rest)) = cursor.split_at_checked(4) else {
+            return false;
+        };
+        let Some((&len, slept)) = rest.split_first() else {
+            return false;
+        };
+        if slept.len() as u64 != len {
+            return false;
+        }
+        self.rng = StdRng::from_state(<[u64; 4]>::try_from(state).expect("split at 4"));
+        self.slept = slept.iter().map(|&u| u as usize).collect();
+        true
     }
 }
 
@@ -519,6 +595,24 @@ impl TopologySchedule for AdversarialCut {
     fn validation_nanos(&self) -> u64 {
         self.validation_ns
     }
+
+    // Fully deterministic in the observed graph; only the perf
+    // accounting crosses a checkpoint. The connectivity structure is
+    // rebuilt every emitting round anyway.
+    fn cursor(&self) -> Vec<u64> {
+        vec![self.scans, self.probes, self.validation_ns]
+    }
+
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        let [scans, probes, validation_ns] = *cursor else {
+            return false;
+        };
+        self.scans = scans;
+        self.probes = probes;
+        self.validation_ns = validation_ns;
+        self.conn = None;
+        true
+    }
 }
 
 /// Concatenates the events of several schedules, in order. Children
@@ -570,6 +664,35 @@ impl TopologySchedule for Compose {
 
     fn validation_nanos(&self) -> u64 {
         self.children.iter().map(|c| c.validation_nanos()).sum()
+    }
+
+    // Length-prefixed per-child frames, mirroring the workload-side
+    // composition: heterogeneous children round-trip unambiguously.
+    fn cursor(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for child in &self.children {
+            let frame = child.cursor();
+            out.push(frame.len() as u64);
+            out.extend(frame);
+        }
+        out
+    }
+
+    fn restore_cursor(&mut self, cursor: &[u64]) -> bool {
+        let mut rest = cursor;
+        let mut ok = true;
+        for child in &mut self.children {
+            let Some((&len, tail)) = rest.split_first() else {
+                return false;
+            };
+            if tail.len() < len as usize {
+                return false;
+            }
+            let (frame, next) = tail.split_at(len as usize);
+            ok &= child.restore_cursor(frame);
+            rest = next;
+        }
+        ok && rest.is_empty()
     }
 }
 
@@ -949,6 +1072,100 @@ mod tests {
             .expect("periodic child surfaces shortfall");
         assert_eq!(sf.requested, 4 * 2);
         assert!(s.validation_nanos() > 0);
+    }
+
+    /// A fresh same-spec instance restored from a mid-stream cursor
+    /// must continue the original's event stream exactly against the
+    /// same graph evolution — the checkpoint contract.
+    #[test]
+    fn cursors_resume_the_event_stream_mid_run() {
+        let check = |mut original: Box<dyn TopologySchedule>,
+                     mut fresh: Box<dyn TopologySchedule>| {
+            let label = original.label();
+            let mut g = generators::torus(2, 4).unwrap();
+            let _ = collect(original.as_mut(), &mut g, 7);
+            assert!(
+                fresh.restore_cursor(&original.cursor()),
+                "{label}: cursor shape must match the spec-built instance"
+            );
+            // Continue both from the same mid-run graph and rounds.
+            let mut g2 = g.clone();
+            let mut continued = Vec::new();
+            let mut restored = Vec::new();
+            for round in 8..=14 {
+                let mut out = Vec::new();
+                original.events(round, &g, &mut out);
+                for ev in &out {
+                    g.apply_event(ev).expect("emitted events must apply");
+                }
+                continued.push(out);
+                let mut out = Vec::new();
+                fresh.events(round, &g2, &mut out);
+                for ev in &out {
+                    g2.apply_event(ev).expect("emitted events must apply");
+                }
+                restored.push(out);
+            }
+            assert_eq!(
+                restored, continued,
+                "{label}: stream diverged after restore"
+            );
+            assert_eq!(
+                fresh.swap_shortfall(),
+                original.swap_shortfall(),
+                "{label}: shortfall accounting must cross the checkpoint"
+            );
+        };
+        check(
+            Box::new(PeriodicRewiring::new(2, 2, 7)),
+            Box::new(PeriodicRewiring::new(2, 2, 7)),
+        );
+        check(
+            Box::new(FailureRecovery::new(0.6, 0.4, 2, 13)),
+            Box::new(FailureRecovery::new(0.6, 0.4, 2, 13)),
+        );
+        // Burst snapshotted between fail (round 5) and wake (round 12):
+        // the slept set must cross the checkpoint so the wake round
+        // releases exactly the recorded sleepers.
+        check(
+            Box::new(FailureBurst::new(5, 12, 3, 17)),
+            Box::new(FailureBurst::new(5, 12, 3, 17)),
+        );
+        check(
+            Box::new(AdversarialCut::new(3)),
+            Box::new(AdversarialCut::new(3)),
+        );
+        check(
+            Box::new(Compose::new(vec![
+                Box::new(PeriodicRewiring::new(3, 1, 9)),
+                Box::new(FailureRecovery::new(0.5, 0.5, 2, 4)),
+            ])),
+            Box::new(Compose::new(vec![
+                Box::new(PeriodicRewiring::new(3, 1, 9)),
+                Box::new(FailureRecovery::new(0.5, 0.5, 2, 4)),
+            ])),
+        );
+    }
+
+    #[test]
+    fn cursor_restores_reject_mismatched_shapes() {
+        let mut s = PeriodicRewiring::new(2, 2, 7);
+        assert!(!s.restore_cursor(&[1, 2, 3]), "wrong length");
+        let mut s = FailureBurst::new(2, 5, 3, 1);
+        assert!(!s.restore_cursor(&[1, 2, 3]), "too short for the header");
+        assert!(!s.restore_cursor(&[1, 2, 3, 4, 9, 0]), "slept length lies");
+        let mut s = Compose::new(vec![Box::new(AdversarialCut::new(1))]);
+        assert!(!s.restore_cursor(&[7, 0, 0, 0]), "frame longer than cursor");
+        assert!(
+            !s.restore_cursor(&[3, 0, 0, 0, 5]),
+            "trailing words rejected"
+        );
+        assert!(s.restore_cursor(&[3, 0, 0, 0]));
+        // StaticTopology is stateless: only the empty cursor fits.
+        let mut st = crate::StaticTopology;
+        assert!(st.cursor().is_empty());
+        assert!(st.restore_cursor(&[]));
+        assert!(!st.restore_cursor(&[1]));
     }
 
     #[test]

@@ -61,5 +61,6 @@ pub use dlb_graph as graph;
 pub use dlb_harness as harness;
 pub use dlb_matching as matching;
 pub use dlb_scenario as scenario;
+pub use dlb_serve as serve;
 pub use dlb_spectral as spectral;
 pub use dlb_topology as topology;

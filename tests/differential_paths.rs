@@ -697,3 +697,298 @@ fn negative_seed_is_not_shadowed_by_overdraw_in_churning_rounds() {
         outcome.assert_matches(&reference, label);
     }
 }
+
+/// The resume target for the snapshot axis: which path finishes the
+/// run after the mid-run state export.
+#[derive(Clone, Copy)]
+enum ResumePath {
+    StepLoop,
+    Fast,
+    Kernel,
+    Parallel(usize),
+    ForcedVector(VectorConfig),
+}
+
+/// A point on the snapshot axis: the round boundary to split at and
+/// the path that finishes the run after the resume.
+#[derive(Clone, Copy)]
+struct SplitPoint {
+    split: usize,
+    path: ResumePath,
+}
+
+/// The snapshot axis: run the instrumented loop to a chosen round
+/// boundary, export the complete engine state plus rotor positions and
+/// generator cursors, rebuild **everything** from the export alone,
+/// and finish the run on the given path. Returns `None` where the path
+/// does not apply to the combination (non-sharded scheme on the
+/// parallel path; forced vector configs outside static, closed SEND
+/// runs).
+fn drive_split_resume(
+    gp: &BalancingGraph,
+    scheme: SchemeId,
+    sspec: &Option<ScheduleSpec>,
+    wspec: &Option<WorkloadSpec>,
+    initial: &LoadVector,
+    steps: usize,
+    at: SplitPoint,
+) -> Option<Outcome> {
+    let SplitPoint { split, path } = at;
+    if matches!(path, ResumePath::Parallel(_)) && scheme.sharded().is_none() {
+        return None;
+    }
+    if matches!(path, ResumePath::ForcedVector(_))
+        && !(sspec.is_none()
+            && wspec.is_none()
+            && matches!(scheme, SchemeId::SendFloor | SchemeId::SendRound))
+    {
+        return None;
+    }
+
+    // Phase 1: the instrumented loop up to the split boundary.
+    let mut rotor = build_rotor(scheme, gp);
+    let mut boxed = rotor.is_none().then(|| scheme.build(gp));
+    let mut schedule = build_schedule(sspec);
+    let mut workload = build_workload(wspec, gp.num_nodes());
+    let mut engine = Engine::new(gp.clone(), initial.clone());
+    for _ in 0..split {
+        let bal: &mut dyn Balancer = match (&mut rotor, &mut boxed) {
+            (Some(r), _) => r,
+            (None, Some(b)) => b.as_mut(),
+            _ => unreachable!(),
+        };
+        if let Err(e) = engine.step_dyn(bal, schedule.as_deref_mut(), workload.as_deref_mut()) {
+            // Errored before the boundary: nothing left to resume; the
+            // terminal state itself must match the reference.
+            return Some(Outcome::capture(
+                &engine,
+                rotor.map(|r| r.rotors().to_vec()),
+                Some(e),
+            ));
+        }
+    }
+
+    // The export: everything a resumed instance is allowed to see.
+    let state = engine.export_state();
+    let rotor_state = rotor.as_ref().map(|r| r.rotors().to_vec());
+    let schedule_cursor = schedule.as_ref().map(|s| s.cursor());
+    let workload_cursor = workload.as_ref().map(|w| w.cursor());
+    drop((engine, rotor, boxed, schedule, workload));
+
+    // Phase 2: rebuild from the export and finish on `path`.
+    let mut engine = Engine::from_state(state);
+    let mut rotor = rotor_state.map(|r| {
+        RotorRouter::with_initial_rotors(gp, PortOrder::Sequential, r)
+            .expect("exported rotor state is valid")
+    });
+    let mut boxed = rotor.is_none().then(|| scheme.build(gp));
+    let mut schedule = build_schedule(sspec);
+    if let (Some(s), Some(c)) = (&mut schedule, &schedule_cursor) {
+        assert!(s.restore_cursor(c), "schedule cursor must restore");
+    }
+    let mut workload = build_workload(wspec, gp.num_nodes());
+    if let (Some(w), Some(c)) = (&mut workload, &workload_cursor) {
+        assert!(w.restore_cursor(c), "workload cursor must restore");
+    }
+    let remaining = steps - split;
+    let error = match path {
+        ResumePath::StepLoop => {
+            let mut error = None;
+            for _ in 0..remaining {
+                let bal: &mut dyn Balancer = match (&mut rotor, &mut boxed) {
+                    (Some(r), _) => r,
+                    (None, Some(b)) => b.as_mut(),
+                    _ => unreachable!(),
+                };
+                match engine.step_dyn(bal, schedule.as_deref_mut(), workload.as_deref_mut()) {
+                    Ok(_) => {}
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            error
+        }
+        ResumePath::Fast => {
+            let bal: &mut dyn Balancer = match (&mut rotor, &mut boxed) {
+                (Some(r), _) => r,
+                (None, Some(b)) => b.as_mut(),
+                _ => unreachable!(),
+            };
+            engine
+                .run_fast_dyn(
+                    bal,
+                    remaining,
+                    schedule.as_deref_mut(),
+                    workload.as_deref_mut(),
+                )
+                .err()
+        }
+        ResumePath::Kernel => {
+            let s = schedule.as_deref_mut();
+            let w = workload.as_deref_mut();
+            match scheme {
+                SchemeId::SendFloor => engine
+                    .run_kernel_dyn(&mut SendFloor::new(), remaining, s, w)
+                    .err(),
+                SchemeId::SendRound => engine
+                    .run_kernel_dyn(&mut SendRound::new(), remaining, s, w)
+                    .err(),
+                SchemeId::Const3 => engine.run_kernel_dyn(&mut Const3, remaining, s, w).err(),
+                SchemeId::Rotor => {
+                    let r = rotor.as_mut().expect("rotor scheme restored a rotor");
+                    engine.run_kernel_dyn(r, remaining, s, w).err()
+                }
+            }
+        }
+        ResumePath::Parallel(threads) => {
+            let sharded = scheme.sharded().expect("checked above");
+            engine
+                .run_parallel_dyn(
+                    sharded.as_ref(),
+                    remaining,
+                    threads,
+                    schedule.as_deref_mut(),
+                    workload.as_deref_mut(),
+                )
+                .err()
+        }
+        ResumePath::ForcedVector(config) => {
+            engine.set_vector_config(config);
+            match scheme {
+                SchemeId::SendFloor => engine
+                    .run_kernel_with(&mut SendFloor::new(), remaining, None::<&mut dyn Workload>)
+                    .err(),
+                SchemeId::SendRound => engine
+                    .run_kernel_with(&mut SendRound::new(), remaining, None::<&mut dyn Workload>)
+                    .err(),
+                _ => unreachable!("gated above"),
+            }
+        }
+    };
+    Some(Outcome::capture(
+        &engine,
+        rotor.map(|r| r.rotors().to_vec()),
+        error,
+    ))
+}
+
+/// The resume matrix pinned by the snapshot axis.
+fn resume_paths() -> Vec<(&'static str, ResumePath)> {
+    vec![
+        ("step-loop", ResumePath::StepLoop),
+        ("run_fast", ResumePath::Fast),
+        ("run_kernel", ResumePath::Kernel),
+        ("run_parallel(2)", ResumePath::Parallel(2)),
+        (
+            "run_kernel[banded/i64]",
+            ResumePath::ForcedVector(VectorConfig {
+                enabled: true,
+                strategy: VectorStrategy::Banded,
+                width: VectorWidth::I64,
+            }),
+        ),
+        (
+            "run_kernel[blocked/i32]",
+            ResumePath::ForcedVector(VectorConfig {
+                enabled: true,
+                strategy: VectorStrategy::BlockedCsr,
+                width: VectorWidth::I32 { limit: 1 << 24 },
+            }),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The snapshot axis: exporting the full engine + generator state
+    /// at a fuzzer-chosen round boundary and resuming on any path must
+    /// be indistinguishable from the uninterrupted reference — across
+    /// churn, injection, and runs that error before or after the
+    /// boundary.
+    #[test]
+    fn snapshot_resume_agrees_on_every_path(
+        graph_idx in 0usize..5,
+        scheme_idx in 0usize..4,
+        schedule_idx in 0usize..6,
+        workload_idx in 0usize..8,
+        pattern in proptest::collection::vec(-20i64..120, 4..12),
+        steps in 1usize..30,
+        split_seed in 0usize..64,
+    ) {
+        let (gname, graph) = graph_for(graph_idx);
+        let n = graph.num_nodes();
+        let gp = BalancingGraph::lazy(graph);
+        let scheme = SchemeId::from_index(scheme_idx);
+        let sspec = schedule_for(schedule_idx);
+        let wspec = workload_for(workload_idx);
+        let mut loads = vec![0i64; n];
+        for (slot, &value) in loads.iter_mut().zip(pattern.iter().cycle()) {
+            *slot = value;
+        }
+        let initial = LoadVector::new(loads);
+        let split = split_seed % (steps + 1);
+        let sname = sspec.as_ref().map_or_else(|| "static".into(), ScheduleSpec::label);
+        let wname = wspec.as_ref().map_or_else(|| "none".into(), WorkloadSpec::label);
+        let tag = format!("{gname}/{sname}/{wname}");
+
+        let reference = drive_step_loop(&gp, scheme, &sspec, &wspec, &initial, steps);
+        for (label, path) in resume_paths() {
+            if let Some(outcome) = drive_split_resume(
+                &gp,
+                scheme,
+                &sspec,
+                &wspec,
+                &initial,
+                steps,
+                SplitPoint { split, path },
+            ) {
+                outcome.assert_matches(
+                    &reference,
+                    &format!("resume@{split} via {label} on {tag}"),
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic anchor for the snapshot axis: resuming *before* a
+/// known divergence point must still hit the identical error — the
+/// restored generator cursors must continue the exact delta/event
+/// streams, not restart them (a restarted drain would push the error
+/// round later; a restarted schedule would change which swaps landed).
+#[test]
+fn resume_across_a_divergence_point_reproduces_the_error() {
+    let gp = BalancingGraph::lazy(generators::cycle(16).unwrap());
+    let sspec = Some(ScheduleSpec::Periodic {
+        period: 2,
+        swaps: 1,
+        seed: 12,
+    });
+    let wspec = Some(WorkloadSpec::DrainUnclamped { rate: 5 });
+    let initial = LoadVector::uniform(16, 12);
+    let steps = 40;
+    let reference = drive_step_loop(&gp, SchemeId::SendFloor, &sspec, &wspec, &initial, steps);
+    let error_step = match reference.error {
+        Some(EngineError::NegativeLoad { step, .. }) => step,
+        ref other => panic!("expected a NegativeLoad divergence point, got {other:?}"),
+    };
+    assert!(error_step > 2, "need room to split before the error");
+    for split in [1, error_step - 1, error_step] {
+        for (label, path) in resume_paths() {
+            if let Some(outcome) = drive_split_resume(
+                &gp,
+                SchemeId::SendFloor,
+                &sspec,
+                &wspec,
+                &initial,
+                steps,
+                SplitPoint { split, path },
+            ) {
+                outcome.assert_matches(&reference, &format!("resume@{split} via {label}"));
+            }
+        }
+    }
+}

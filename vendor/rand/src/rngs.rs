@@ -12,6 +12,28 @@ pub struct StdRng {
     s: [u64; 4],
 }
 
+impl StdRng {
+    /// The generator's full internal state, for checkpointing. Feeding
+    /// the returned words to [`StdRng::from_state`] yields a generator
+    /// that continues the exact same stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`StdRng::state`].
+    ///
+    /// The all-zero state is a fixed point of xoshiro256++ and can
+    /// never be produced by [`SeedableRng::seed_from_u64`]'s SplitMix64
+    /// expansion, so it is rejected by falling back to the seed-0
+    /// expansion rather than silently producing a dead generator.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         // SplitMix64 expansion, as recommended by the xoshiro authors.
