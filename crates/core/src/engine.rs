@@ -1,6 +1,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
+use dlb_obs::{MetricRegistry, NoopSink, Phase, Sink};
 use dlb_topology::{self as topology, StaticTopology, TopologySchedule};
 
 use crate::fairness::FairnessMonitor;
@@ -405,6 +406,52 @@ impl Engine {
         &self.vector_stats
     }
 
+    /// Publishes the engine's counters into a [`MetricRegistry`] under
+    /// stable `engine_*` names.
+    ///
+    /// This is the one documented contract for the engine's counter
+    /// accessors ([`vector_stats`](Engine::vector_stats),
+    /// [`negative_rescans`](Engine::negative_rescans),
+    /// [`discrepancy_scans`](Engine::discrepancy_scans),
+    /// [`topology_events_applied`](Engine::topology_events_applied),
+    /// [`injected_total`](Engine::injected_total),
+    /// [`negative_node_steps`](Engine::negative_node_steps)): **every
+    /// counter is cumulative over the engine's lifetime**. No `run_*`
+    /// entry point resets any of them — chunked runs accumulate exactly
+    /// like one long run — and all of them ride through
+    /// [`export_state`](Engine::export_state) /
+    /// [`from_state`](Engine::from_state), so a snapshot-resumed engine
+    /// reports the same totals as the uninterrupted one. Because the
+    /// values are cumulative, this method *sets* (never adds) each
+    /// metric: filling twice, or before and after a restore, is
+    /// idempotent. Regression tests pin both properties.
+    pub fn fill_metrics(&self, reg: &mut MetricRegistry) {
+        reg.counter_set("engine_steps_total", self.step as u64);
+        reg.counter_set("engine_negative_node_steps_total", self.negative_node_steps);
+        reg.counter_set("engine_topology_events_applied_total", self.topology_events);
+        reg.counter_set("engine_discrepancy_scans_total", self.discrepancy_scans);
+        reg.counter_set("engine_negative_rescans_total", self.negative_rescans);
+        reg.counter_set("engine_vector_runs_total", self.vector_stats.runs);
+        reg.counter_set(
+            "engine_vector_rounds_banded_total",
+            self.vector_stats.rounds_banded,
+        );
+        reg.counter_set(
+            "engine_vector_rounds_blocked_total",
+            self.vector_stats.rounds_blocked,
+        );
+        reg.counter_set(
+            "engine_vector_rounds_i32_total",
+            self.vector_stats.rounds_i32,
+        );
+        reg.counter_set(
+            "engine_vector_i32_fallbacks_total",
+            self.vector_stats.i32_fallbacks,
+        );
+        // Net injection is signed (drains subtract), so it is a gauge.
+        reg.gauge_set("engine_injected_net", self.injected_total);
+    }
+
     /// The current discrepancy via a counted full scan.
     fn scan_discrepancy(&mut self) -> i64 {
         self.discrepancy_scans += 1;
@@ -421,7 +468,12 @@ impl Engine {
     /// this is the workload's contribution); the applied deltas stay
     /// in `inj_scratch` for a potential
     /// [`undo_injection`](Engine::undo_injection).
-    fn apply_injection<'w>(&mut self, workload: Option<&mut (dyn Workload + 'w)>) -> i64 {
+    fn apply_injection<'w, Si: Sink>(
+        &mut self,
+        workload: Option<&mut (dyn Workload + 'w)>,
+        sink: &mut Si,
+    ) -> i64 {
+        let probe = sink.start();
         let n = self.gp.num_nodes();
         self.inj_scratch.resize(n, 0);
         self.inj_scratch.fill(0);
@@ -450,13 +502,23 @@ impl Engine {
             self.argmax = None;
         }
         if self.gp.graph().asleep_count() > 0 {
+            sink.span(Phase::Inject, self.step as u64 + 1, probe);
+            let probe = sink.start();
             mutate::handoff_deltas(
                 self.gp.graph(),
                 self.loads.as_slice(),
                 &mut self.inj_scratch,
             );
+            sink.span(Phase::Handoff, self.step as u64 + 1, probe);
+            let probe = sink.start();
+            let sum = self.apply_scratch(false);
+            sink.span(Phase::Inject, self.step as u64 + 1, probe);
+            sum
+        } else {
+            let sum = self.apply_scratch(false);
+            sink.span(Phase::Inject, self.step as u64 + 1, probe);
+            sum
         }
-        self.apply_scratch(false)
     }
 
     /// Applies (`negate == false`) or reverts (`negate == true`) the
@@ -528,8 +590,14 @@ impl Engine {
     /// sent total exactly once (validation reads it; routing reuses the
     /// original-edge part). Routing is in place: no `O(n)` scratch copy,
     /// and the negative-node count is maintained at each write.
-    fn finish_step(&mut self, check: bool, instrumented: bool) -> Result<(), EngineError> {
+    fn finish_step<Si: Sink>(
+        &mut self,
+        check: bool,
+        instrumented: bool,
+        sink: &mut Si,
+    ) -> Result<(), EngineError> {
         let d = self.gp.degree();
+        let probe = sink.start();
 
         // Pass 1 — sent totals + validation, over touched nodes only.
         // Untouched nodes send nothing and were proven non-negative by
@@ -559,6 +627,8 @@ impl Engine {
                 monitor.observe(&self.gp, &self.loads, &self.plan);
             }
         }
+        sink.span(Phase::Validate, self.step as u64 + 1, probe);
+        let probe = sink.start();
 
         // Pass 2 — route in place. Only tokens crossing an original
         // edge move; self-loop and retained tokens never leave home.
@@ -605,6 +675,7 @@ impl Engine {
         }
         self.step += 1;
         self.negative_node_steps += self.negative_count as u64;
+        sink.span(Phase::Route, self.step as u64, probe);
         Ok(())
     }
 
@@ -613,17 +684,19 @@ impl Engine {
     /// clear, plan, validate + route. An erroring round undoes its
     /// injection *and* its topology events, so on error nothing —
     /// loads and graph included — has advanced.
-    fn step_inner<'s, 'w>(
+    fn step_inner<'s, 'w, Si: Sink>(
         &mut self,
         balancer: &mut dyn Balancer,
         instrumented: bool,
         schedule: Option<&mut (dyn TopologySchedule + 's)>,
         workload: Option<&mut (dyn Workload + 'w)>,
+        sink: &mut Si,
     ) -> Result<(), EngineError> {
         // Phase 0 — topology. A rejected event aborts the round before
         // any load moved (the graph is already rolled back).
         self.ev_applied.clear();
         if let Some(s) = schedule {
+            let probe = sink.start();
             if let Err(e) = topology::drive_events_checked(
                 s,
                 self.step + 1,
@@ -637,6 +710,7 @@ impl Engine {
                     reason: e.to_string(),
                 });
             }
+            sink.span(Phase::Mutate, self.step as u64 + 1, probe);
         }
         // Phase 1 — injection + failure handoff, needed whenever a
         // workload is present or any node is asleep (its queue must
@@ -649,15 +723,17 @@ impl Engine {
             // workload does not want it).
             self.argmax = None;
         }
-        let injected = injecting.then(|| self.apply_injection(workload));
+        let injected = injecting.then(|| self.apply_injection(workload, sink));
         let check = !balancer.may_overdraw();
         let result = self.check_negative_preplan(check).and_then(|()| {
+            let probe = sink.start();
             self.plan.clear();
             balancer.plan(&self.gp, &self.loads, &mut self.plan);
+            sink.span(Phase::Plan, self.step as u64 + 1, probe);
             // `finish_step` validates the whole plan before routing a
             // single token, so an `Overdraw` has not mutated loads and
             // undoing the injection restores the round exactly.
-            self.finish_step(check, instrumented)
+            self.finish_step(check, instrumented, sink)
         });
         match result {
             Ok(()) => {
@@ -734,7 +810,27 @@ impl Engine {
         schedule: Option<&mut (dyn TopologySchedule + 's)>,
         workload: Option<&mut (dyn Workload + 'w)>,
     ) -> Result<StepSummary, EngineError> {
-        self.step_inner(balancer, true, schedule, workload)?;
+        self.step_dyn_traced(balancer, schedule, workload, &mut NoopSink)
+    }
+
+    /// [`step_dyn`](Engine::step_dyn) with a tracing [`Sink`] observing
+    /// the round's phases: `Mutate` (when a schedule runs), `Inject` /
+    /// `Handoff`, `Plan`, `Validate`, `Route`. Sinks observe only —
+    /// loads, errors and counters are bit-identical for any sink, and
+    /// the [`NoopSink`] instantiation (what [`step_dyn`](Engine::step_dyn)
+    /// passes) compiles every probe away.
+    ///
+    /// # Errors
+    ///
+    /// As [`step_dyn`](Engine::step_dyn).
+    pub fn step_dyn_traced<'s, 'w, Si: Sink>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: Option<&mut (dyn Workload + 'w)>,
+        sink: &mut Si,
+    ) -> Result<StepSummary, EngineError> {
+        self.step_inner(balancer, true, schedule, workload, sink)?;
         Ok(StepSummary {
             step: self.step,
             discrepancy: self.scan_discrepancy(),
@@ -777,15 +873,34 @@ impl Engine {
         &mut self,
         balancer: &mut dyn Balancer,
         steps: usize,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<(), EngineError> {
+        self.run_dyn_traced(balancer, steps, schedule, workload, &mut NoopSink)
+    }
+
+    /// [`run_dyn`](Engine::run_dyn) with a tracing [`Sink`] observing
+    /// every round's phases (see
+    /// [`step_dyn_traced`](Engine::step_dyn_traced) for the probe
+    /// points and the bit-identity guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_dyn_traced<'s, 'w, Si: Sink>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
         mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
         mut workload: Option<&mut (dyn Workload + 'w)>,
+        sink: &mut Si,
     ) -> Result<(), EngineError> {
         for _ in 0..steps {
             // Explicit reborrows: each round gets fresh short-lived
             // `&mut dyn` views out of the long-lived options.
             let s = schedule.as_deref_mut();
             let w = workload.as_deref_mut();
-            self.step_inner(balancer, true, s, w)?;
+            self.step_inner(balancer, true, s, w, sink)?;
         }
         Ok(())
     }
@@ -833,13 +948,32 @@ impl Engine {
         &mut self,
         balancer: &mut dyn Balancer,
         steps: usize,
+        schedule: Option<&mut (dyn TopologySchedule + 's)>,
+        workload: Option<&mut (dyn Workload + 'w)>,
+    ) -> Result<(), EngineError> {
+        self.run_fast_dyn_traced(balancer, steps, schedule, workload, &mut NoopSink)
+    }
+
+    /// [`run_fast_dyn`](Engine::run_fast_dyn) with a tracing [`Sink`]
+    /// observing every round's phases (see
+    /// [`step_dyn_traced`](Engine::step_dyn_traced) for the probe
+    /// points and the bit-identity guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn run_fast_dyn_traced<'s, 'w, Si: Sink>(
+        &mut self,
+        balancer: &mut dyn Balancer,
+        steps: usize,
         mut schedule: Option<&mut (dyn TopologySchedule + 's)>,
         mut workload: Option<&mut (dyn Workload + 'w)>,
+        sink: &mut Si,
     ) -> Result<(), EngineError> {
         for _ in 0..steps {
             let s = schedule.as_deref_mut();
             let w = workload.as_deref_mut();
-            self.step_inner(balancer, false, s, w)?;
+            self.step_inner(balancer, false, s, w, sink)?;
         }
         Ok(())
     }
@@ -919,6 +1053,38 @@ impl Engine {
         S: TopologySchedule + ?Sized,
         W: Workload + ?Sized,
     {
+        self.run_kernel_dyn_traced(balancer, steps, schedule, workload, &mut NoopSink)
+    }
+
+    /// [`run_kernel_dyn`](Engine::run_kernel_dyn) with a tracing
+    /// [`Sink`]: scalar kernel rounds emit per-round `Mutate`,
+    /// `Inject`/`Handoff` and fused `Stream` spans, and the vector
+    /// dispatch emits one `VectorDispatch` instant per counter that
+    /// moved, with `value = (tag << 32) | count` — tag 1 banded
+    /// rounds, 2 blocked rounds, 3 `i32` rounds, 4 `i32 → i64`
+    /// fallbacks; a declined dispatch (scalar fallback) emits tag 0.
+    /// Sinks observe only: loads, errors and counters are
+    /// bit-identical for any sink, and the [`NoopSink`] instantiation
+    /// (what [`run_kernel_dyn`](Engine::run_kernel_dyn) passes)
+    /// compiles every probe away.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_kernel_dyn`](Engine::run_kernel_dyn).
+    pub fn run_kernel_dyn_traced<K, S, W, Si>(
+        &mut self,
+        balancer: &mut K,
+        steps: usize,
+        schedule: Option<&mut S>,
+        workload: Option<&mut W>,
+        sink: &mut Si,
+    ) -> Result<(), EngineError>
+    where
+        K: KernelBalancer + ?Sized,
+        S: TopologySchedule + ?Sized,
+        W: Workload + ?Sized,
+        Si: Sink,
+    {
         if steps == 0 {
             return Ok(());
         }
@@ -967,6 +1133,7 @@ impl Engine {
                 // rebuild.
                 self.argmax = None;
                 let config = self.vector_config;
+                let before = self.vector_stats;
                 if vector::run_uniform(
                     &self.gp,
                     self.loads.as_mut_slice(),
@@ -975,12 +1142,32 @@ impl Engine {
                     &config,
                     &mut self.vector_stats,
                 ) {
+                    let step_no = self.step as u64 + 1;
+                    if Si::ENABLED {
+                        // One structured instant per dispatch counter
+                        // that moved this run (tags documented above).
+                        let after = self.vector_stats;
+                        let deltas = [
+                            (1u64, after.rounds_banded - before.rounds_banded),
+                            (2, after.rounds_blocked - before.rounds_blocked),
+                            (3, after.rounds_i32 - before.rounds_i32),
+                            (4, after.i32_fallbacks - before.i32_fallbacks),
+                        ];
+                        for (tag, count) in deltas {
+                            if count > 0 {
+                                sink.instant(Phase::VectorDispatch, step_no, (tag << 32) | count);
+                            }
+                        }
+                    }
                     self.step += steps;
                     return Ok(());
                 }
+                // Dispatch declined at run time (load magnitude):
+                // record the scalar fallback and stream as usual.
+                sink.instant(Phase::VectorDispatch, self.step as u64 + 1, 0);
             }
         }
-        self.kernel_rounds(check, steps, schedule, workload, |gp, u, x, fl| {
+        self.kernel_rounds(check, steps, schedule, workload, sink, |gp, u, x, fl| {
             balancer.kernel_node(gp, u, x, fl)
         })
     }
@@ -989,12 +1176,13 @@ impl Engine {
     /// buffer, streams the rounds through [`kernel::run_rounds`], and
     /// applies the returned counters — so the kernel and the
     /// degenerate one-thread sharded entry cannot drift apart.
-    fn kernel_rounds<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
+    fn kernel_rounds<S: TopologySchedule + ?Sized, W: Workload + ?Sized, Si: Sink>(
         &mut self,
         check: bool,
         steps: usize,
         schedule: Option<&mut S>,
         workload: Option<&mut W>,
+        sink: &mut Si,
         mut per_node: impl FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     ) -> Result<(), EngineError> {
         // The plan-free paths write loads behind the argmax index's
@@ -1017,6 +1205,7 @@ impl Engine {
             workload,
             self.connectivity.as_mut(),
             |gp, u, x, fl| per_node(gp, u, x, fl),
+            sink,
         );
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
@@ -1100,6 +1289,37 @@ impl Engine {
         schedule: Option<&mut S>,
         workload: Option<&mut W>,
     ) -> Result<(), EngineError> {
+        self.run_parallel_dyn_traced(balancer, steps, threads, schedule, workload, &mut NoopSink)
+    }
+
+    /// [`run_parallel_dyn`](Engine::run_parallel_dyn) with a tracing
+    /// [`Sink`]: the driver worker times the sharded protocol's
+    /// barrier phases — topology drive + replay, injection
+    /// publish/assemble/apply, plan + accumulate, merge — and the
+    /// run-level totals surface here as `ShardTopology` /
+    /// `ShardInject` / `ShardPlan` / `ShardMerge` spans (one span per
+    /// phase per run, carrying the summed ns across all rounds). The
+    /// one-thread degenerate path emits the serial kernel's per-round
+    /// spans instead. Sinks observe only: loads, errors and counters
+    /// are bit-identical for any sink and any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_parallel_dyn`](Engine::run_parallel_dyn).
+    pub fn run_parallel_dyn_traced<S, W, Si>(
+        &mut self,
+        balancer: &dyn ShardedBalancer,
+        steps: usize,
+        threads: usize,
+        schedule: Option<&mut S>,
+        workload: Option<&mut W>,
+        sink: &mut Si,
+    ) -> Result<(), EngineError>
+    where
+        S: TopologySchedule + ?Sized,
+        W: Workload + ?Sized,
+        Si: Sink,
+    {
         let n = self.gp.num_nodes();
         let threads = threads.max(1).min(n);
         if steps == 0 {
@@ -1121,7 +1341,7 @@ impl Engine {
             // Degenerate sharding: the serial plan-free kernel path,
             // planned through the same per-node entry point — one
             // thread must never pay shard/synchronisation overhead.
-            return self.kernel_rounds(check, steps, schedule, workload, |gp, u, x, fl| {
+            return self.kernel_rounds(check, steps, schedule, workload, sink, |gp, u, x, fl| {
                 balancer.plan_node(gp, u, x, fl)
             });
         }
@@ -1139,7 +1359,31 @@ impl Engine {
             schedule,
             workload,
             self.connectivity.as_mut(),
+            Si::ENABLED,
         );
+        if Si::ENABLED {
+            // Run-level phase totals measured by the driver worker;
+            // one span per phase, step-tagged with the first round.
+            let phases = [
+                Phase::ShardTopology,
+                Phase::ShardInject,
+                Phase::ShardPlan,
+                Phase::ShardMerge,
+            ];
+            let anchor = sink.now_ns();
+            for (phase, &ns) in phases.iter().zip(&stats.phase_ns) {
+                if ns > 0 {
+                    sink.record(dlb_obs::Event {
+                        kind: dlb_obs::EventKind::Span,
+                        phase: *phase,
+                        step: base_step as u64 + 1,
+                        at_ns: anchor,
+                        dur_ns: ns,
+                        value: 0,
+                    });
+                }
+            }
+        }
         self.step += stats.steps_done;
         self.negative_node_steps += stats.negative_node_steps;
         self.negative_count = stats.negative_count;
@@ -1176,7 +1420,7 @@ impl Engine {
         self.tracker = Some(DiscrepancyTracker::build(self.loads.as_slice()));
         let mut outcome = Ok(None);
         for _ in 0..max_steps {
-            if let Err(e) = self.step_inner(balancer, true, None, None) {
+            if let Err(e) = self.step_inner(balancer, true, None, None, &mut NoopSink) {
                 outcome = Err(e);
                 break;
             }

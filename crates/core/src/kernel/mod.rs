@@ -41,6 +41,7 @@
 //! the last fully completed round.
 
 use dlb_graph::{mutate, BalancingGraph, DynamicConnectivity, TopologyEvent};
+use dlb_obs::{Phase, Sink};
 use dlb_topology::{self as topology, TopologySchedule};
 
 use crate::workload::Workload;
@@ -102,7 +103,9 @@ pub(crate) struct KernelRun {
     pub negative_count: usize,
 }
 
-/// Counters a kernel run hands back to the engine.
+/// Counters a kernel run hands back to the engine, which folds them
+/// into its cumulative totals — the numbers the engine's
+/// `fill_metrics` exports into the dlb-obs MetricRegistry.
 pub(crate) struct KernelRunStats {
     /// Full rounds completed (an erroring round is not counted and does
     /// not mutate loads).
@@ -270,8 +273,14 @@ fn apply_deltas_dense(
 /// Dispatches to a degree-monomorphised round loop. On return, `loads`
 /// holds the state after the last fully completed round, and so does
 /// the graph (an erroring round's events are undone).
+///
+/// The loop is monomorphised over the [`Sink`] too: the `NoopSink`
+/// instantiation (what the untraced entry points pass) folds every
+/// probe away, while a recording sink sees per-round `Mutate`,
+/// `Inject`/`Handoff` and fused `Stream` spans. Sinks observe only —
+/// loads, errors and counters are bit-identical across sinks.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_rounds<F, S, W>(
+pub(crate) fn run_rounds<F, S, W, Si>(
     gp: &mut BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
@@ -280,27 +289,29 @@ pub(crate) fn run_rounds<F, S, W>(
     workload: Option<&mut W>,
     checker: Option<&mut DynamicConnectivity>,
     kernel: F,
+    sink: &mut Si,
 ) -> (KernelRunStats, Option<EngineError>)
 where
     F: FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     S: TopologySchedule + ?Sized,
     W: Workload + ?Sized,
+    Si: Sink,
 {
     match gp.degree_plus() {
-        2 => check_impl::<F, [u64; 2], S, W>(
-            gp, loads, back, run, schedule, workload, checker, kernel,
+        2 => check_impl::<F, [u64; 2], S, W, Si>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
         ),
-        4 => check_impl::<F, [u64; 4], S, W>(
-            gp, loads, back, run, schedule, workload, checker, kernel,
+        4 => check_impl::<F, [u64; 4], S, W, Si>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
         ),
-        6 => check_impl::<F, [u64; 6], S, W>(
-            gp, loads, back, run, schedule, workload, checker, kernel,
+        6 => check_impl::<F, [u64; 6], S, W, Si>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
         ),
-        8 => check_impl::<F, [u64; 8], S, W>(
-            gp, loads, back, run, schedule, workload, checker, kernel,
+        8 => check_impl::<F, [u64; 8], S, W, Si>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
         ),
-        _ => check_impl::<F, Vec<u64>, S, W>(
-            gp, loads, back, run, schedule, workload, checker, kernel,
+        _ => check_impl::<F, Vec<u64>, S, W, Si>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
         ),
     }
 }
@@ -312,7 +323,7 @@ where
 /// count through every write — the fold that replaced the per-round
 /// `O(n)` rescan.
 #[allow(clippy::too_many_arguments)]
-fn check_impl<F, B, S, W>(
+fn check_impl<F, B, S, W, Si>(
     gp: &mut BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
@@ -321,17 +332,23 @@ fn check_impl<F, B, S, W>(
     workload: Option<&mut W>,
     checker: Option<&mut DynamicConnectivity>,
     kernel: F,
+    sink: &mut Si,
 ) -> (KernelRunStats, Option<EngineError>)
 where
     F: FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     B: FlowsBuf,
     S: TopologySchedule + ?Sized,
     W: Workload + ?Sized,
+    Si: Sink,
 {
     if run.check {
-        rounds_impl::<F, B, S, W, true>(gp, loads, back, run, schedule, workload, checker, kernel)
+        rounds_impl::<F, B, S, W, Si, true>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
+        )
     } else {
-        rounds_impl::<F, B, S, W, false>(gp, loads, back, run, schedule, workload, checker, kernel)
+        rounds_impl::<F, B, S, W, Si, false>(
+            gp, loads, back, run, schedule, workload, checker, kernel, sink,
+        )
     }
 }
 
@@ -341,7 +358,7 @@ where
 /// `StaticTopology`/`NoWorkload` instantiation folds the churn and
 /// injection branches away and compiles to the closed-system loop.
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-fn rounds_impl<F, B, S, W, const CHECK: bool>(
+fn rounds_impl<F, B, S, W, Si, const CHECK: bool>(
     gp: &mut BalancingGraph,
     loads: &mut [i64],
     back: &mut [i64],
@@ -350,12 +367,14 @@ fn rounds_impl<F, B, S, W, const CHECK: bool>(
     mut workload: Option<&mut W>,
     mut checker: Option<&mut DynamicConnectivity>,
     mut kernel: F,
+    sink: &mut Si,
 ) -> (KernelRunStats, Option<EngineError>)
 where
     F: FnMut(&BalancingGraph, usize, i64, &mut [u64]),
     B: FlowsBuf,
     S: TopologySchedule + ?Sized,
     W: Workload + ?Sized,
+    Si: Sink,
 {
     let KernelRun {
         check,
@@ -413,6 +432,7 @@ where
         if dynamic {
             ev_applied.clear();
             if let Some(s) = schedule.as_mut() {
+                let probe = sink.start();
                 if let Err(e) = topology::drive_events_checked(
                     &mut **s,
                     step_no,
@@ -427,6 +447,7 @@ where
                     });
                     break 'rounds;
                 }
+                sink.span(Phase::Mutate, step_no as u64, probe);
             }
         }
 
@@ -440,6 +461,7 @@ where
         // no deltas to apply (no workload, nobody asleep).
         let mut injected_round = 0i64;
         if workload.is_some() || gp.graph().asleep_count() > 0 {
+            let probe = sink.start();
             inj.fill(0);
             if let Some(w) = workload.as_mut() {
                 // No argmax hint on the kernel path: the double
@@ -448,9 +470,17 @@ where
                 w.inject_with_hint(step_no, cur, None, &mut inj);
             }
             if gp.graph().asleep_count() > 0 {
+                sink.span(Phase::Inject, step_no as u64, probe);
+                let probe = sink.start();
                 mutate::handoff_deltas(gp.graph(), cur, &mut inj);
+                sink.span(Phase::Handoff, step_no as u64, probe);
+                let probe = sink.start();
+                injected_round = apply_deltas(cur, &inj, false, &mut negative);
+                sink.span(Phase::Inject, step_no as u64, probe);
+            } else {
+                injected_round = apply_deltas(cur, &inj, false, &mut negative);
+                sink.span(Phase::Inject, step_no as u64, probe);
             }
-            injected_round = apply_deltas(cur, &inj, false, &mut negative);
             round_applied = true;
         }
 
@@ -472,6 +502,7 @@ where
             break 'rounds;
         }
 
+        let stream_probe = sink.start();
         let graph = gp.graph();
         next.copy_from_slice(cur);
         // Overdrawing schemes (`CHECK = false`) maintain the back
@@ -535,6 +566,7 @@ where
             }
         }
 
+        sink.span(Phase::Stream, step_no as u64, stream_probe);
         std::mem::swap(&mut cur, &mut next);
         steps_done = iter + 1;
         injected += injected_round;

@@ -160,6 +160,8 @@ impl Default for VectorConfig {
 /// Counters the vector path maintains across an engine's lifetime —
 /// the telemetry behind the harness's `inner_loop`/`load_width` fields
 /// and the CI gate that vector-eligible runs actually dispatched.
+/// Exported as `engine_vector_*` counters by the engine's
+/// `fill_metrics` into the dlb-obs MetricRegistry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VectorStats {
     /// Vector-path runs dispatched (each `run_kernel` call that took

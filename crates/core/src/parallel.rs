@@ -94,7 +94,9 @@ pub trait ShardedBalancer: Balancer + Sync {
     fn plan_node(&self, gp: &BalancingGraph, u: usize, load: i64, flows: &mut [u64]);
 }
 
-/// Counters a sharded run hands back to the engine.
+/// Counters a sharded run hands back to the engine, which folds them
+/// into its cumulative totals — the numbers the engine's
+/// `fill_metrics` exports into the dlb-obs MetricRegistry.
 pub(crate) struct ShardRunStats {
     /// Full rounds completed (a round that errors is not counted and
     /// does not mutate loads).
@@ -109,6 +111,12 @@ pub(crate) struct ShardRunStats {
     /// Topology events applied over the completed rounds (an erroring
     /// round's events are undone and not counted).
     pub topology_events: u64,
+    /// Profiled runs only (all zero otherwise): the driver worker's
+    /// wall-clock ns per protocol phase, summed over the run —
+    /// `[topology, inject, plan, merge]`, matching the
+    /// `shard_topology`/`shard_inject`/`shard_plan`/`shard_merge`
+    /// phases the engine publishes to a tracing sink.
+    pub phase_ns: [u64; 4],
 }
 
 /// What each worker reports when its loop ends.
@@ -119,6 +127,8 @@ struct ShardOutcome {
     injected: i64,
     /// Worker 0 only: topology events applied over completed rounds.
     topology_events: u64,
+    /// Worker 0 only, profiled runs only: per-phase wall-clock ns.
+    phase_ns: [u64; 4],
     /// Dynamic runs only: the worker's graph replica (worker 0's is
     /// the authoritative post-run graph the caller writes back).
     graph: Option<BalancingGraph>,
@@ -211,6 +221,11 @@ fn catch_worker_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
 /// topology events are undone), and the returned stats cover only
 /// completed rounds. The ledger and fairness monitor are *not*
 /// maintained — this is the uninstrumented fast path.
+/// With `profile` set, the driver worker additionally wall-clocks the
+/// four protocol phases (topology, inject, plan, merge) and reports
+/// the summed ns in [`ShardRunStats::phase_ns`]; profiling reads a
+/// monotonic clock but never changes what any worker computes, so
+/// results stay bit-identical either way.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     gp: &mut BalancingGraph,
@@ -222,6 +237,7 @@ pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     mut schedule: Option<&mut S>,
     mut workload: Option<&mut W>,
     mut checker: Option<&mut DynamicConnectivity>,
+    profile: bool,
 ) -> (ShardRunStats, Option<EngineError>) {
     let n = loads.len();
     let nthreads = threads;
@@ -341,6 +357,7 @@ pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                 failed: &failed,
                 topo_failed: &topo_failed,
                 error: &error,
+                profile,
             };
             // Worker 0 is the driver: it alone holds the (stateful,
             // `&mut`) schedule, workload and connectivity checker.
@@ -362,6 +379,7 @@ pub(crate) fn run_sharded<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
         negative_count: outcomes.iter().map(|o| o.final_negative).sum(),
         injected: outcomes.iter().map(|o| o.injected).sum(),
         topology_events: outcomes[0].topology_events,
+        phase_ns: outcomes[0].phase_ns,
     };
     if dynamic {
         // Worker 0's replica saw every applied event (and every
@@ -405,6 +423,8 @@ struct ShardCtx<'a> {
     failed: &'a AtomicBool,
     topo_failed: &'a AtomicBool,
     error: &'a Mutex<Option<(usize, EngineError)>>,
+    /// Whether the driver worker wall-clocks the protocol phases.
+    profile: bool,
 }
 
 impl ShardCtx<'_> {
@@ -482,12 +502,19 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
     let mut negative_node_steps = 0u64;
     let mut injected = 0i64;
     let mut topology_events = 0u64;
+    // Driver-only phase clock (`[topology, inject, plan, merge]` ns).
+    // Only worker 0 reads the clock, and only when profiling was
+    // requested; the measurement never feeds back into any load or
+    // graph computation, so results stay bit-identical either way.
+    let profiling = w.profile && w.me == 0;
+    let mut phase_ns = [0u64; 4];
 
     for iter in 0..w.steps {
         let step_no = w.base_step + iter + 1;
 
         // Topology phases (skipped entirely for fixed-topology runs).
         my_events.clear();
+        let t_topo = (profiling && w.dynamic).then(std::time::Instant::now);
         if w.dynamic {
             // Phase T0 — worker 0 drives the schedule on its replica
             // and broadcasts the validated events.
@@ -582,12 +609,16 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                 // keeps this return race-free: a peer sprinting ahead
                 // into this round's plan phase may already have set
                 // `failed`, but everyone still meets at barrier #1.
+                if let Some(t) = t_topo {
+                    phase_ns[0] += t.elapsed().as_nanos() as u64;
+                }
                 return ShardOutcome {
                     steps_done: iter,
                     negative_node_steps,
                     final_negative: negative,
                     injected,
                     topology_events,
+                    phase_ns,
                     graph: my_gp,
                 };
             }
@@ -605,6 +636,9 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
                 }
                 my_events.extend(bc.iter().cloned());
             }
+        }
+        if let Some(t) = t_topo {
+            phase_ns[0] += t.elapsed().as_nanos() as u64;
         }
         // Dynamic workers read their replica; fixed runs share the
         // engine's graph (re-derived per phase so replica mutation and
@@ -626,6 +660,7 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
             w.has_workload || (w.dynamic && graph_ref(&my_gp, w.gp).graph().asleep_count() > 0);
         let mut injected_round = 0i64;
         let mut local_error = false;
+        let t_inj = (profiling && injecting_round).then(std::time::Instant::now);
         if injecting_round {
             // Phase I0 — publish this shard's pre-round loads.
             w.published[w.me]
@@ -685,6 +720,10 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
             );
             injected_round = kernel::apply_deltas(my_loads, &inj_applied, false, &mut negative);
         }
+        if let Some(t) = t_inj {
+            phase_ns[1] += t.elapsed().as_nanos() as u64;
+        }
+        let t_plan = profiling.then(std::time::Instant::now);
 
         // The serial engines run a whole-vector negative check
         // *before* any planning, **every** round; the shard-local half
@@ -792,6 +831,10 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
             }
         }
         drop(out);
+        if let Some(t) = t_plan {
+            phase_ns[2] += t.elapsed().as_nanos() as u64;
+        }
+        let t_merge = profiling.then(std::time::Instant::now);
 
         // Round barrier #1: no shard mutates loads until every shard
         // has validated, so an error leaves the loads at the previous
@@ -810,12 +853,16 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
             if let Some(g) = my_gp.as_mut() {
                 topology::undo_events_checked(g.graph_mut(), &my_events, checker.as_deref_mut());
             }
+            if let Some(t) = t_merge {
+                phase_ns[3] += t.elapsed().as_nanos() as u64;
+            }
             return ShardOutcome {
                 steps_done: iter,
                 negative_node_steps,
                 final_negative: negative,
                 injected,
                 topology_events,
+                phase_ns,
                 graph: my_gp,
             };
         }
@@ -863,6 +910,9 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
         // Round barrier #2: the next round's accumulate phase must not
         // write a segment a neighbour is still merging.
         w.barrier.wait();
+        if let Some(t) = t_merge {
+            phase_ns[3] += t.elapsed().as_nanos() as u64;
+        }
     }
 
     ShardOutcome {
@@ -871,6 +921,7 @@ fn shard_worker<S: TopologySchedule + ?Sized, W: Workload + ?Sized>(
         final_negative: negative,
         injected,
         topology_events,
+        phase_ns,
         graph: my_gp,
     }
 }

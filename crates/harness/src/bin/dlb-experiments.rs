@@ -37,6 +37,7 @@ const ALL_IDS: &[&str] = &[
     "scenarios",
     "churn",
     "serve",
+    "profile",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -55,7 +56,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios churn serve]... [--quick] [--csv DIR]\n\
+                    "usage: dlb-experiments [all | e1..e9 a1 a2 a3 t1 scenarios churn serve profile]... [--quick] [--csv DIR]\n\
                      \n\
                      e1  Table 1: discrepancy after 4T per scheme per graph\n\
                      e2  Thm 2.3(i): scaling on expanders\n\
@@ -80,7 +81,11 @@ fn parse_args() -> Result<Args, String> {
                                 under churn x workload (writes BENCH_PR6.json)\n\
                      serve      multi-tenant serving: >=1000 concurrent engine tenants\n\
                                 per scheduler config with journal replay and\n\
-                                snapshot-resume bit-identity checks (writes BENCH_PR9.json)"
+                                snapshot-resume bit-identity checks (writes BENCH_PR9.json)\n\
+                     profile    per-phase latency decomposition of every engine path\n\
+                                through the dlb-obs tracing layer, with traced-vs-\n\
+                                untraced bit-identity twins and the <=1.05x tracing\n\
+                                overhead gate (writes BENCH_PR10.json + trace_PR10.json)"
                 );
                 std::process::exit(0);
             }
@@ -118,6 +123,7 @@ fn run_one(id: &str, quick: bool) -> Result<Table, RunError> {
         "scenarios" => experiments::scenarios(quick),
         "churn" => experiments::churn(quick),
         "serve" => experiments::serve(quick),
+        "profile" => experiments::profile(quick),
         other => unreachable!("unvalidated experiment id {other}"),
     }
 }

@@ -10,6 +10,7 @@ mod churn;
 mod deviation_trace;
 mod dimension_exchange;
 mod lower;
+mod profile;
 mod scenarios;
 mod serve;
 mod table1;
@@ -22,6 +23,7 @@ pub use churn::churn;
 pub use deviation_trace::deviation_trace;
 pub use dimension_exchange::dimension_exchange;
 pub use lower::{thm41_lower, thm42_stateless, thm43_rotor_cycle};
+pub use profile::profile;
 pub use scenarios::scenarios;
 pub use serve::serve;
 pub use table1::table1;

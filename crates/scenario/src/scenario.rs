@@ -345,6 +345,9 @@ impl ScenarioCheckpoint {
 }
 
 /// The injection-phase accumulators a [`ScenarioCheckpoint`] carries.
+/// Checkpoint payload, not live telemetry: the engine-side cumulative
+/// counters behind these reach the dlb-obs MetricRegistry via the
+/// engine's `fill_metrics`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InjectionStats {
     /// Highest single-node load seen at any round boundary so far.

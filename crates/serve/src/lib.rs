@@ -38,7 +38,7 @@ pub mod tenant;
 pub mod wire;
 
 pub use journal::{Journal, JournalContents, RoundRecord};
-pub use server::{Server, SliceReport};
+pub use server::{Server, SliceProfile, SliceReport};
 pub use snapshot::{SchemeKind, TenantSnapshot};
 pub use tenant::{Tenant, TenantError, TenantOutcome};
 pub use wire::WireError;

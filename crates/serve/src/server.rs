@@ -13,17 +13,38 @@
 //! All synchronisation goes through [`dlb_core::sync`] (the PR 7
 //! gate), so the same code is model-checkable under
 //! `--cfg dlb_model`.
+//!
+//! # Observability
+//!
+//! The scheduler is instrumented three ways, all additive — the plain
+//! [`Server::run_slice`] path is byte-for-byte the PR 9 code path:
+//!
+//! * [`Server::trace_slice`] runs a serial slice against any
+//!   [`Sink`], emitting one `slice` span plus per-ticket
+//!   `ticket`/`lock`/`step`/`merge` spans (a [`NoopSink`] folds every
+//!   probe away, which is how `run_slice(1, ..)` and
+//!   `trace_slice(.., &mut NoopSink)` stay identical);
+//! * [`Server::run_slice_profiled`] runs a full (possibly threaded)
+//!   slice and aggregates per-phase wall-clock ns into a
+//!   [`SliceProfile`];
+//! * every profiled slice also feeds the server's
+//!   [`MetricRegistry`] (named counters plus the
+//!   `serve_slice_latency_ns` histogram), rendered on demand by
+//!   [`Server::render_prometheus`].
 
 use std::time::Instant;
 
 use dlb_core::sync::atomic::{AtomicUsize, Ordering};
 use dlb_core::sync::{thread, Mutex};
+use dlb_obs::{MetricRegistry, NoopSink, Phase, Sink};
 
 use crate::tenant::Tenant;
 
 /// A multi-tenant server: the tenant table plus slice scheduling.
 pub struct Server {
     tenants: Vec<Mutex<Tenant>>,
+    /// Cumulative serving metrics, fed by the profiled entry points.
+    metrics: Mutex<MetricRegistry>,
 }
 
 /// What one scheduler slice did.
@@ -40,11 +61,41 @@ pub struct SliceReport {
     pub latencies_ns: Vec<u64>,
 }
 
+/// Wall-clock decomposition of one scheduler slice, summed over every
+/// ticket a worker claimed: how long the slice spent acquiring
+/// tickets, waiting on tenant locks, stepping tenant engines, and
+/// merging bookkeeping. Produced by [`Server::run_slice_profiled`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceProfile {
+    /// Ns spent claiming tickets from the shared counter.
+    pub ticket_ns: u64,
+    /// Ns spent acquiring tenant mutexes.
+    pub lock_ns: u64,
+    /// Ns spent inside `Tenant::run_rounds` batches.
+    pub step_ns: u64,
+    /// Ns spent folding results back into the slice report.
+    pub merge_ns: u64,
+    /// Tickets that resolved to a tenant (visited, served or errored).
+    pub tickets: u64,
+}
+
+impl SliceProfile {
+    /// Folds another worker's profile into this one.
+    pub fn merge(&mut self, other: &SliceProfile) {
+        self.ticket_ns += other.ticket_ns;
+        self.lock_ns += other.lock_ns;
+        self.step_ns += other.step_ns;
+        self.merge_ns += other.merge_ns;
+        self.tickets += other.tickets;
+    }
+}
+
 impl Server {
     /// Builds a server over the given tenant table.
     pub fn new(tenants: Vec<Tenant>) -> Server {
         Server {
             tenants: tenants.into_iter().map(Mutex::new).collect(),
+            metrics: Mutex::new(MetricRegistry::new()),
         }
     }
 
@@ -85,6 +136,10 @@ impl Server {
         if threads <= 1 {
             return self.drain(&AtomicUsize::new(0), rounds);
         }
+        self.run_slice_pooled(threads, rounds)
+    }
+
+    fn run_slice_pooled(&self, threads: usize, rounds: usize) -> SliceReport {
         // The ticket counter is the entire scheduling protocol: each
         // worker claims the next unvisited tenant until the table is
         // exhausted.
@@ -108,24 +163,161 @@ impl Server {
         merged
     }
 
+    /// Runs one **serial** slice against a tracing sink, emitting one
+    /// `slice` span plus per-ticket `ticket`/`lock`/`step`/`merge`
+    /// spans (the span's `step` field carries the tenant index; the
+    /// `step` span's `value` carries the rounds advanced).
+    ///
+    /// With a [`NoopSink`] every probe compiles away and this is
+    /// exactly `run_slice(1, rounds)`; a [`dlb_obs::RingSink`] records
+    /// the per-ticket timeline without changing any tenant outcome.
+    pub fn trace_slice<Si: Sink>(&self, rounds: usize, sink: &mut Si) -> SliceReport {
+        let probe = sink.start();
+        let report = self.drain_traced(&AtomicUsize::new(0), rounds, sink);
+        sink.span(Phase::Slice, 0, probe);
+        report
+    }
+
     /// One worker's share of a slice: claim tickets until exhausted.
     fn drain(&self, next: &AtomicUsize, rounds: usize) -> SliceReport {
+        self.drain_traced(next, rounds, &mut NoopSink)
+    }
+
+    /// The drain loop, monomorphized over the sink: the untraced
+    /// [`Server::drain`] is this with a [`NoopSink`], so the two can
+    /// never drift apart.
+    fn drain_traced<Si: Sink>(
+        &self,
+        next: &AtomicUsize,
+        rounds: usize,
+        sink: &mut Si,
+    ) -> SliceReport {
         let mut report = SliceReport::default();
         loop {
+            let ticket_probe = sink.start();
             // Relaxed: the ticket only partitions indices between
             // workers; all tenant data is guarded by its own mutex.
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(slot) = self.tenants.get(i) else {
                 break;
             };
+            sink.span(Phase::Ticket, i as u64, ticket_probe);
             let started = Instant::now();
+            let lock_probe = sink.start();
             let mut tenant = slot.lock().expect("tenant mutex not poisoned");
+            sink.span(Phase::Lock, i as u64, lock_probe);
             if tenant.error().is_some() {
                 report.errored += 1;
                 continue;
             }
+            let step_probe = sink.start();
             let before = tenant.rounds_done();
             let clean = tenant.run_rounds(rounds);
+            let advanced = (tenant.rounds_done() - before) as u64;
+            if Si::ENABLED {
+                let now = sink.now_ns();
+                sink.record(dlb_obs::Event {
+                    kind: dlb_obs::EventKind::Span,
+                    phase: Phase::TenantStep,
+                    step: i as u64,
+                    at_ns: step_probe,
+                    dur_ns: now.saturating_sub(step_probe),
+                    value: advanced,
+                });
+            }
+            let merge_probe = sink.start();
+            report.rounds_advanced += advanced;
+            if clean {
+                report.served += 1;
+            } else {
+                report.errored += 1;
+            }
+            drop(tenant);
+            report
+                .latencies_ns
+                .push(started.elapsed().as_nanos() as u64);
+            sink.span(Phase::SliceMerge, i as u64, merge_probe);
+        }
+        report
+    }
+
+    /// Runs one slice like [`Server::run_slice`] while decomposing its
+    /// wall-clock into ticket-acquire / lock / tenant-step / merge
+    /// phases, and folds the result into the server's metric registry
+    /// (`serve_*` counters plus the `serve_slice_latency_ns` and
+    /// per-phase histograms).
+    ///
+    /// Profiling only reads a monotonic clock between the exact same
+    /// operations `run_slice` performs, so every tenant outcome is
+    /// bit-identical to the unprofiled path.
+    pub fn run_slice_profiled(&self, threads: usize, rounds: usize) -> (SliceReport, SliceProfile) {
+        let next = AtomicUsize::new(0);
+        let (report, profile) = if threads <= 1 {
+            self.drain_profiled(&next, rounds)
+        } else {
+            let mut merged = SliceReport::default();
+            let mut profile = SliceProfile::default();
+            let workers: Vec<(SliceReport, SliceProfile)> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| scope.spawn(|| self.drain_profiled(&next, rounds)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scheduler worker must not panic"))
+                    .collect()
+            });
+            for (report, p) in workers {
+                merged.served += report.served;
+                merged.errored += report.errored;
+                merged.rounds_advanced += report.rounds_advanced;
+                merged.latencies_ns.extend(report.latencies_ns);
+                profile.merge(&p);
+            }
+            (merged, profile)
+        };
+        let mut reg = self.metrics.lock().expect("metric registry not poisoned");
+        reg.counter_add("serve_slices_total", 1);
+        reg.counter_add("serve_tickets_total", profile.tickets);
+        reg.counter_add("serve_served_total", report.served as u64);
+        reg.counter_add("serve_errored_total", report.errored as u64);
+        reg.counter_add("serve_rounds_advanced_total", report.rounds_advanced);
+        for &l in &report.latencies_ns {
+            reg.observe("serve_slice_latency_ns", l);
+        }
+        reg.observe("serve_phase_ticket_ns", profile.ticket_ns);
+        reg.observe("serve_phase_lock_ns", profile.lock_ns);
+        reg.observe("serve_phase_step_ns", profile.step_ns);
+        reg.observe("serve_phase_merge_ns", profile.merge_ns);
+        drop(reg);
+        (report, profile)
+    }
+
+    /// One worker's share of a profiled slice.
+    fn drain_profiled(&self, next: &AtomicUsize, rounds: usize) -> (SliceReport, SliceProfile) {
+        let mut report = SliceReport::default();
+        let mut profile = SliceProfile::default();
+        loop {
+            let t_ticket = Instant::now();
+            // Relaxed: same protocol as the unprofiled drain.
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let ticket_ns = t_ticket.elapsed().as_nanos() as u64;
+            let Some(slot) = self.tenants.get(i) else {
+                break;
+            };
+            profile.tickets += 1;
+            profile.ticket_ns += ticket_ns;
+            let started = Instant::now();
+            let mut tenant = slot.lock().expect("tenant mutex not poisoned");
+            profile.lock_ns += started.elapsed().as_nanos() as u64;
+            if tenant.error().is_some() {
+                report.errored += 1;
+                continue;
+            }
+            let t_step = Instant::now();
+            let before = tenant.rounds_done();
+            let clean = tenant.run_rounds(rounds);
+            profile.step_ns += t_step.elapsed().as_nanos() as u64;
+            let t_merge = Instant::now();
             report.rounds_advanced += (tenant.rounds_done() - before) as u64;
             if clean {
                 report.served += 1;
@@ -136,7 +328,20 @@ impl Server {
             report
                 .latencies_ns
                 .push(started.elapsed().as_nanos() as u64);
+            profile.merge_ns += t_merge.elapsed().as_nanos() as u64;
         }
-        report
+        (report, profile)
+    }
+
+    /// Runs `f` against the server's cumulative metric registry.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricRegistry) -> R) -> R {
+        let reg = self.metrics.lock().expect("metric registry not poisoned");
+        f(&reg)
+    }
+
+    /// Renders the server's cumulative metrics in Prometheus text
+    /// exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.with_metrics(|reg| reg.render_prometheus())
     }
 }

@@ -24,6 +24,9 @@
 //! * [`bounds`] — the Theorem 4.1/4.2/4.3 lower-bound instances;
 //! * [`matching`] — the dimension-exchange models (random matching,
 //!   balancing circuit) the paper contrasts with diffusion in §1.2;
+//! * [`obs`] — zero-cost observability: monomorphized tracing sinks,
+//!   the metric registry, log-bucketed histograms, and trace/metrics
+//!   exporters (JSONL, chrome://tracing, Prometheus text);
 //! * [`scenario`] — dynamic workloads (arrivals, bursts, hotspots,
 //!   drains, a bounded adversary) and the open-system scenario runner;
 //! * [`harness`] — experiment drivers (Table 1, scaling laws,
@@ -60,6 +63,7 @@ pub use dlb_core as core;
 pub use dlb_graph as graph;
 pub use dlb_harness as harness;
 pub use dlb_matching as matching;
+pub use dlb_obs as obs;
 pub use dlb_scenario as scenario;
 pub use dlb_serve as serve;
 pub use dlb_spectral as spectral;

@@ -28,6 +28,14 @@
 //!   every `#[allow(...)]` carries a justifying comment — the module
 //!   exists to prove the autovectorizer needs no unsafety, so silent
 //!   lint waivers defeat its purpose.
+//! * **metric-registry** — counters flow through `dlb-obs`, not past
+//!   it: a raw `AtomicU64`/`AtomicI64` counter or an ad-hoc
+//!   `struct …Stats` in library code (anywhere under `crates/*/src`
+//!   except `crates/obs` itself) must carry a nearby comment naming
+//!   `MetricRegistry` — stating how the numbers reach the registry —
+//!   or an allowlist entry arguing why they never should. Without the
+//!   lint, every new subsystem grows its own counter struct and the
+//!   unified registry silently stops being unified.
 //!
 //! Test regions (`#[cfg(test)]` modules) and comments are masked out
 //! before linting, so tests may unwrap and assert freely. The masking
@@ -64,6 +72,9 @@ pub enum LintClass {
     KernelAssert,
     /// `unsafe` or an unjustified `#[allow]` in the vector module.
     VectorSafety,
+    /// Raw atomic counter or ad-hoc stats struct bypassing the
+    /// `dlb-obs` metric registry.
+    MetricRegistry,
     /// Allowlist entry that no longer matches anything.
     StaleAllow,
 }
@@ -78,6 +89,7 @@ impl LintClass {
             LintClass::Unwrap => "unwrap",
             LintClass::KernelAssert => "kernel-assert",
             LintClass::VectorSafety => "vector-safety",
+            LintClass::MetricRegistry => "metric-registry",
             LintClass::StaleAllow => "stale-allow",
         }
     }
@@ -89,6 +101,7 @@ impl LintClass {
             "unwrap" => Some(LintClass::Unwrap),
             "kernel-assert" => Some(LintClass::KernelAssert),
             "vector-safety" => Some(LintClass::VectorSafety),
+            "metric-registry" => Some(LintClass::MetricRegistry),
             _ => None,
         }
     }
@@ -259,6 +272,35 @@ fn has_nearby_comment(raw: &[&str], idx: usize) -> bool {
         .any(|l| l.trim_start().starts_with("//"))
 }
 
+/// Whether the raw line at `idx` (or one of the three lines above it)
+/// carries a comment naming `needle` — the marker discipline the
+/// metric-registry lint enforces.
+fn has_nearby_marker(raw: &[&str], idx: usize, needle: &str) -> bool {
+    if let Some(pos) = raw[idx].find("//") {
+        if raw[idx][pos..].contains(needle) {
+            return true;
+        }
+    }
+    raw[..idx]
+        .iter()
+        .rev()
+        .take(3)
+        .any(|l| l.trim_start().starts_with("//") && l.contains(needle))
+}
+
+/// Whether the masked line declares an ad-hoc statistics struct: a
+/// `struct` whose name ends in `Stats`.
+fn declares_stats_struct(line: &str) -> bool {
+    line.match_indices("struct ").any(|(pos, _)| {
+        let rest = &line[pos + "struct ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        name.ends_with("Stats")
+    })
+}
+
 const ATOMIC_OPS: [&str; 6] = [
     ".load(",
     ".store(",
@@ -281,6 +323,9 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
     let is_kernel =
         rel.starts_with("crates/core/src/kernel") || rel.starts_with("crates/core/src/schemes/");
     let is_vector = rel == "crates/core/src/kernel/vector.rs";
+    // The registry implementation itself is exempt; everyone else's
+    // counters must flow into it.
+    let metric_scope = rel.starts_with("crates/") && !rel.starts_with("crates/obs/");
 
     for (i, line) in masked.iter().enumerate() {
         let lineno = i + 1;
@@ -341,6 +386,25 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
                     message: format!(
                         "kernel code pays for assert! in release builds — use \
                          debug_assert! or allowlist with a hot-path argument: `{}`",
+                        excerpt(raw[i])
+                    ),
+                });
+            }
+        }
+
+        if metric_scope {
+            let raw_atomic_counter = line.contains("AtomicU64") || line.contains("AtomicI64");
+            if (raw_atomic_counter || declares_stats_struct(line))
+                && !has_nearby_marker(&raw, i, "MetricRegistry")
+            {
+                out.push(Violation {
+                    class: LintClass::MetricRegistry,
+                    file: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "counters belong in the dlb-obs MetricRegistry — add a \
+                         nearby comment naming MetricRegistry that says how these \
+                         numbers reach it (or allowlist with an argument): `{}`",
                         excerpt(raw[i])
                     ),
                 });
@@ -619,6 +683,49 @@ mod tests {
         let masked = "// unsafe would be faster but wrong\n\
                       fn f() -> &'static str { \"no unsafe here\" }\n";
         assert!(lint_source("crates/core/src/kernel/vector.rs", masked).is_empty());
+    }
+
+    #[test]
+    fn metric_registry_lint_wants_counters_routed_through_the_registry() {
+        // Seeded violations: a raw atomic counter and an ad-hoc stats
+        // struct, no marker comment.
+        let atomic = "static HITS: AtomicU64 = AtomicU64::new(0);\n";
+        assert_eq!(
+            classes(&lint_source("crates/serve/src/server.rs", atomic)),
+            vec![LintClass::MetricRegistry]
+        );
+        let stats = "pub struct FrobStats {\n    pub count: u64,\n}\n";
+        assert_eq!(
+            classes(&lint_source("crates/core/src/frob.rs", stats)),
+            vec![LintClass::MetricRegistry]
+        );
+
+        // A marker comment naming MetricRegistry (same line or the
+        // three lines above) satisfies the discipline.
+        let marked = "// Exported into the MetricRegistry by fill_metrics.\n\
+                      pub struct FrobStats {\n    pub count: u64,\n}\n";
+        assert!(lint_source("crates/core/src/frob.rs", marked).is_empty());
+        let same_line =
+            "static HITS: AtomicU64 = AtomicU64::new(0); // mirrored into MetricRegistry\n";
+        assert!(lint_source("crates/serve/src/server.rs", same_line).is_empty());
+
+        // A comment that does not name the registry is not a marker.
+        let vague = "// counts the hits\nstatic HITS: AtomicU64 = AtomicU64::new(0);\n";
+        assert_eq!(
+            classes(&lint_source("crates/serve/src/server.rs", vague)),
+            vec![LintClass::MetricRegistry]
+        );
+
+        // The registry crate itself is exempt, as is non-crate code.
+        assert!(lint_source("crates/obs/src/registry.rs", atomic).is_empty());
+        assert!(lint_source("tools/tidy/src/lib.rs", stats).is_empty());
+
+        // Struct names not ending in Stats are not this lint's
+        // business, and test regions are masked.
+        let other = "pub struct Statistics { x: u64 }\npub struct StatsRow { y: u64 }\n";
+        assert!(lint_source("crates/core/src/frob.rs", other).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    struct TinyStats { n: u64 }\n}\n";
+        assert!(lint_source("crates/core/src/frob.rs", in_test).is_empty());
     }
 
     #[test]
